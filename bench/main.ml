@@ -1,0 +1,159 @@
+(* Benchmark & reproduction harness.
+
+   Usage:
+     dune exec bench/main.exe                 # every table and figure
+     dune exec bench/main.exe -- -e fig7      # one experiment
+     dune exec bench/main.exe -- -e micro     # bechamel micro-benchmarks
+     dune exec bench/main.exe -- --scale 0.5 --queries 50 --seed 7
+
+   Experiment ids match DESIGN.md's per-experiment index. *)
+
+module E = Pc_workload.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the solver stack                       *)
+(* ------------------------------------------------------------------ *)
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let open Toolkit in
+  (* simplex: the paper's worked-example LP shape *)
+  let lp_problem =
+    let open Pc_lp.Simplex in
+    {
+      n_vars = 2;
+      maximize = true;
+      objective = [ (0, 129.99); (1, 149.99) ];
+      constraints =
+        [
+          c_ge [ (0, 1.) ] 50.;
+          c_le [ (0, 1.) ] 100.;
+          c_ge [ (0, 1.); (1, 1.) ] 75.;
+          c_le [ (0, 1.); (1, 1.) ] 125.;
+        ];
+    }
+  in
+  let milp_problem =
+    let open Pc_lp.Simplex in
+    {
+      n_vars = 3;
+      maximize = true;
+      objective = [ (0, 5.); (1, 4.); (2, 3.) ];
+      constraints =
+        [
+          c_le [ (0, 2.); (1, 3.); (2, 1.) ] 5.;
+          c_le [ (0, 4.); (1, 1.); (2, 2.) ] 11.;
+          c_le [ (0, 3.); (1, 4.); (2, 2.) ] 8.;
+        ];
+    }
+  in
+  let rng = Pc_util.Rng.create 7 in
+  let pcs =
+    List.init 10 (fun i ->
+        let lo = Pc_util.Rng.uniform rng ~lo:0. ~hi:60. in
+        let w = Pc_util.Rng.uniform rng ~lo:20. ~hi:50. in
+        Pc_core.Pc.make
+          ~name:(Printf.sprintf "p%d" i)
+          ~pred:[ Pc_predicate.Atom.between "x" lo (lo +. w) ]
+          ~values:[ ("v", Pc_interval.Interval.closed 0. 100.) ]
+          ~freq:(0, 10) ())
+  in
+  let set = Pc_core.Pc_set.make pcs in
+  let missing = Pc_synth.Sensor.generate (Pc_util.Rng.create 3) ~rows:5_000 in
+  let disjoint_set =
+    Pc_core.Pc_set.make
+      (Pc_core.Generate.corr_partition missing ~attrs:[ "device"; "time" ] ~n:500 ())
+  in
+  ignore (Pc_core.Pc_set.is_disjoint disjoint_set);
+  let sat_cnf =
+    let open Pc_predicate in
+    Cnf.of_pred [ Atom.between "x" 0. 50. ]
+    |> Cnf.conj (Cnf.of_neg_pred [ Atom.between "x" 10. 20. ])
+    |> Cnf.conj (Cnf.of_neg_pred [ Atom.between "x" 30. 40. ])
+  in
+  let query = Pc_query.Query.sum "light" in
+  let tests =
+    [
+      Test.make ~name:"simplex.solve (paper 4.4 shape)"
+        (Staged.stage (fun () -> ignore (Pc_lp.Simplex.solve lp_problem)));
+      Test.make ~name:"milp.solve (3-var knapsack)"
+        (Staged.stage (fun () -> ignore (Pc_milp.Milp.solve milp_problem)));
+      Test.make ~name:"sat.check (3-clause cell expr)"
+        (Staged.stage (fun () -> ignore (Pc_predicate.Sat.check sat_cnf)));
+      Test.make ~name:"cells.decompose (10 overlapping PCs)"
+        (Staged.stage (fun () ->
+             ignore (Pc_core.Cells.decompose ~strategy:Pc_core.Cells.Dfs_rewrite set)));
+      Test.make ~name:"bounds.greedy (500 disjoint PCs, SUM)"
+        (Staged.stage (fun () -> ignore (Pc_core.Bounds.bound disjoint_set query)));
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 200) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  Pc_workload.Report.section "Micro-benchmarks (bechamel, monotonic clock)";
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-42s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-42s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let experiment = ref "all" in
+  let scale = ref 1. in
+  let queries = ref 100 in
+  let seed = ref 42 in
+  let list_only = ref false in
+  let specs =
+    [
+      ("-e", Arg.Set_string experiment, "EXPERIMENT id (default: all)");
+      ("--experiment", Arg.Set_string experiment, "same as -e");
+      ("--scale", Arg.Set_float scale, "FLOAT dataset-size multiplier (default 1.0)");
+      ("--queries", Arg.Set_int queries, "INT workload size per experiment (default 100)");
+      ("--seed", Arg.Set_int seed, "INT RNG seed (default 42)");
+      ("--list", Arg.Set list_only, " list experiment ids and exit");
+    ]
+  in
+  Arg.parse specs
+    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    "Predicate-Constraints reproduction harness";
+  if !list_only then begin
+    List.iter (fun (id, desc, _) -> Printf.printf "%-22s %s\n" id desc) E.all;
+    Printf.printf "%-22s %s\n" "micro" "bechamel micro-benchmarks of the solver stack"
+  end
+  else begin
+    let cfg = { E.seed = !seed; scale = !scale; queries = !queries } in
+    Printf.printf
+      "Predicate-Constraints reproduction (seed=%d scale=%g queries=%d)\n" !seed
+      !scale !queries;
+    let run_one (id, _desc, f) =
+      let t0 = Sys.time () in
+      f cfg;
+      Printf.printf "  [%s finished in %.1f s CPU]\n" id (Sys.time () -. t0)
+    in
+    match !experiment with
+    | "all" ->
+        List.iter run_one E.all;
+        micro_benchmarks ()
+    | "micro" -> micro_benchmarks ()
+    | id -> (
+        match List.find_opt (fun (i, _, _) -> i = id) E.all with
+        | Some exp -> run_one exp
+        | None ->
+            Printf.eprintf "unknown experiment %S; use --list\n" id;
+            exit 1)
+  end

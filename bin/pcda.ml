@@ -1,0 +1,289 @@
+(* pcda — predicate-constraint data analysis.
+
+   Contingency analysis from the command line: given a CSV of the rows
+   you *do* have, a file of predicate-constraints describing the rows you
+   might be missing, and an aggregate query, prints the hard result range.
+
+     pcda bound  --csv sales.csv --constraints pcs.txt \
+                 --query "SELECT SUM(price) WHERE branch = 'Chicago'"
+     pcda check  --csv history.csv --constraints pcs.txt
+     pcda show   --constraints pcs.txt *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let constraints_arg =
+  let doc = "File of predicate-constraints in the PC DSL." in
+  Arg.(required & opt (some file) None & info [ "c"; "constraints" ] ~docv:"FILE" ~doc)
+
+let csv_doc = "CSV file with the certain (observed) rows."
+
+let csv_opt_arg =
+  Arg.(value & opt (some file) None & info [ "csv" ] ~docv:"FILE" ~doc:csv_doc)
+
+let csv_req_arg =
+  Arg.(required & opt (some file) None & info [ "csv" ] ~docv:"FILE" ~doc:csv_doc)
+
+let query_arg =
+  let doc =
+    "Aggregate query, e.g. \"SELECT SUM(price) WHERE branch = 'Chicago'\"."
+  in
+  Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"SQL" ~doc)
+
+let missing_only_arg =
+  let doc = "Bound the missing rows only (skip the certain partition)." in
+  Arg.(value & flag & info [ "missing-only" ] ~doc)
+
+let group_by_arg =
+  let doc = "Also break the result down per value of this categorical attribute." in
+  Arg.(value & opt (some string) None & info [ "group-by" ] ~docv:"ATTR" ~doc)
+
+let strategy_arg =
+  let doc = "Cell decomposition strategy: dfs, dfs-rewrite, naive, or early:<k>." in
+  Arg.(value & opt string "dfs-rewrite" & info [ "strategy" ] ~docv:"S" ~doc)
+
+let parse_strategy s =
+  match String.lowercase_ascii s with
+  | "dfs" -> Ok Pc_core.Cells.Dfs
+  | "dfs-rewrite" -> Ok Pc_core.Cells.Dfs_rewrite
+  | "naive" -> Ok Pc_core.Cells.Naive
+  | s when String.length s > 6 && String.sub s 0 6 = "early:" -> begin
+      match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+      | Some k -> Ok (Pc_core.Cells.Early_stop k)
+      | None -> Error (Printf.sprintf "bad early-stop depth in %S" s)
+    end
+  | _ -> Error (Printf.sprintf "unknown strategy %S" s)
+
+let load_constraints path =
+  try Ok (Pc_core.Pc_set.make (Pc_parse.Pc_parser.parse (read_file path)))
+  with Failure msg -> Error msg
+
+let with_errors f =
+  match f () with
+  | Ok () -> `Ok ()
+  | Error msg -> `Error (false, msg)
+
+(* ---- bound ---- *)
+
+let print_answer = function
+  | Pc_core.Bounds.Range r ->
+      Printf.printf "%s\n" (Pc_core.Range.to_string r);
+      Printf.printf "  lower bound: %g%s\n" r.Pc_core.Range.lo
+        (if r.Pc_core.Range.lo_exact then " (attained)" else "");
+      Printf.printf "  upper bound: %g%s\n" r.Pc_core.Range.hi
+        (if r.Pc_core.Range.hi_exact then " (attained)" else "")
+  | Pc_core.Bounds.Empty ->
+      print_endline
+        "empty: no consistent missing-data instance puts a row in the query \
+         region (aggregate undefined)"
+  | Pc_core.Bounds.Infeasible ->
+      print_endline
+        "infeasible: no relation satisfies these constraints — check them \
+         with `pcda check`"
+
+let short_answer = function
+  | Pc_core.Bounds.Range r -> Pc_core.Range.to_string r
+  | Pc_core.Bounds.Empty -> "(empty)"
+  | Pc_core.Bounds.Infeasible -> "(infeasible)"
+
+let bound_cmd =
+  let run csv constraints query missing_only strategy group_by =
+    with_errors (fun () ->
+        let ( let* ) = Result.bind in
+        let* set = load_constraints constraints in
+        let* strategy = parse_strategy strategy in
+        let* query =
+          try Ok (Pc_parse.Query_parser.parse query) with Failure m -> Error m
+        in
+        let opts = { Pc_core.Bounds.default_opts with Pc_core.Bounds.strategy } in
+        let* answer =
+          try
+            match (csv, missing_only) with
+            | Some path, false ->
+                let certain = Pc_data.Csv.read_file path in
+                Ok (Pc_core.Bounds.bound_with_certain ~opts set ~certain query)
+            | _, _ -> Ok (Pc_core.Bounds.bound ~opts set query)
+          with
+          | Failure m -> Error m
+          | Invalid_argument m -> Error m
+        in
+        print_answer answer;
+        (match (group_by, csv) with
+        | None, _ -> ()
+        | Some _, None ->
+            print_endline "(--group-by needs --csv for the group keys)"
+        | Some by, Some path ->
+            let certain = Pc_data.Csv.read_file path in
+            let result =
+              Pc_core.Group_by.bound ~opts set ~certain ~by query
+            in
+            print_endline "per-group breakdown:";
+            List.iter
+              (fun (key, a) ->
+                Printf.printf "  %-20s %s\n"
+                  (Pc_data.Value.to_string key)
+                  (short_answer a))
+              result.Pc_core.Group_by.groups;
+            match result.Pc_core.Group_by.residual with
+            | Some a -> Printf.printf "  %-20s %s\n" "(other keys)" (short_answer a)
+            | None -> ());
+        Ok ())
+  in
+  let doc = "Compute the hard result range of an aggregate query." in
+  Cmd.v
+    (Cmd.info "bound" ~doc)
+    Term.(
+      ret
+        (const run $ csv_opt_arg $ constraints_arg $ query_arg
+       $ missing_only_arg $ strategy_arg $ group_by_arg))
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run csv constraints =
+    with_errors (fun () ->
+        let ( let* ) = Result.bind in
+        let* set = load_constraints constraints in
+        let* rel =
+          try Ok (Pc_data.Csv.read_file csv) with Failure m -> Error m
+        in
+        let violations = Pc_core.Pc_set.violations rel set in
+        let closed = Pc_core.Pc_set.closed_over rel set in
+        if violations = [] then
+          Printf.printf "all %d constraints hold on %d rows\n"
+            (Pc_core.Pc_set.size set)
+            (Pc_data.Relation.cardinality rel)
+        else begin
+          List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) violations
+        end;
+        if not closed then
+          print_endline
+            "WARNING: some rows satisfy no predicate — the set is not closed \
+             over this data, so result ranges would not be guaranteed";
+        if violations = [] then Ok () else Error "constraints violated")
+  in
+  let doc =
+    "Test constraints against historical data (are they believable?)."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(ret (const run $ csv_req_arg $ constraints_arg))
+
+(* ---- show ---- *)
+
+let show_cmd =
+  let run constraints =
+    with_errors (fun () ->
+        let ( let* ) = Result.bind in
+        let* set = load_constraints constraints in
+        List.iter
+          (fun pc -> print_endline (Pc_parse.Pc_parser.to_dsl pc))
+          (Pc_core.Pc_set.pcs set);
+        Printf.printf "-- %d constraints, %s\n" (Pc_core.Pc_set.size set)
+          (if Pc_core.Pc_set.is_disjoint set then
+             "disjoint (fast greedy solving applies)"
+           else "overlapping (cell decomposition applies)");
+        Ok ())
+  in
+  let doc = "Parse, normalize and print a constraint file." in
+  Cmd.v (Cmd.info "show" ~doc) Term.(ret (const run $ constraints_arg))
+
+(* ---- generate ---- *)
+
+let generate_cmd =
+  let attrs_arg =
+    let doc = "Comma-separated partition attributes." in
+    Arg.(
+      required
+      & opt (some (list ~sep:',' string)) None
+      & info [ "attrs" ] ~docv:"A,B" ~doc)
+  in
+  let n_arg =
+    let doc = "Target number of constraints." in
+    Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let exact_arg =
+    let doc =
+      "Record exact per-bucket counts (two-sided bounds) instead of \
+       at-most counts."
+    in
+    Arg.(value & flag & info [ "exact-counts" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Output constraint file (stdout when omitted)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run csv attrs n exact out =
+    with_errors (fun () ->
+        let ( let* ) = Result.bind in
+        let* rel = try Ok (Pc_data.Csv.read_file csv) with Failure m -> Error m in
+        let* pcs =
+          try
+            Ok
+              (Pc_core.Generate.corr_partition ~exact_counts:exact rel ~attrs ~n ())
+          with
+          | Invalid_argument m -> Error m
+          | Not_found ->
+              Error "a partition attribute is missing from the CSV schema"
+        in
+        let text =
+          String.concat "\n" (List.map Pc_parse.Pc_parser.to_dsl pcs) ^ "\n"
+        in
+        (match out with
+        | None -> print_string text
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc text);
+            Printf.printf "wrote %d constraints to %s\n" (List.length pcs) path);
+        Ok ())
+  in
+  let doc =
+    "Derive equi-cardinality partition constraints (Corr-PC) from a CSV."
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(ret (const run $ csv_req_arg $ attrs_arg $ n_arg $ exact_arg $ out_arg))
+
+(* ---- explain ---- *)
+
+let explain_cmd =
+  let run constraints query =
+    with_errors (fun () ->
+        let ( let* ) = Result.bind in
+        let* set = load_constraints constraints in
+        let* query =
+          try Ok (Pc_parse.Query_parser.parse query) with Failure m -> Error m
+        in
+        let report = Pc_core.Explain.leave_one_out set query in
+        Format.printf "%a@." Pc_core.Explain.pp_report report;
+        (match Pc_core.Explain.binding report with
+        | [] ->
+            print_endline
+              "no single constraint is binding: the bound is redundantly \
+               supported"
+        | binding ->
+            print_endline "binding constraints (most influential first):";
+            List.iter
+              (fun (i : Pc_core.Explain.impact) ->
+                Printf.printf "  %-24s widens hi by %g / lo by %g when relaxed\n"
+                  i.Pc_core.Explain.name i.Pc_core.Explain.hi_widening
+                  i.Pc_core.Explain.lo_widening)
+              binding);
+        Ok ())
+  in
+  let doc = "Which constraints does a bound actually rest on?" in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(ret (const run $ constraints_arg $ query_arg))
+
+let main_cmd =
+  let doc = "missing-data contingency analysis with predicate-constraints" in
+  let info = Cmd.info "pcda" ~version:"1.0.0" ~doc in
+  Cmd.group info [ bound_cmd; check_cmd; show_cmd; explain_cmd; generate_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

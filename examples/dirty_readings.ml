@@ -1,0 +1,63 @@
+(* Dirty rows, not just missing rows (the extension sketched in the
+   paper's conclusion, Section 8): a batch of sensor readings is present
+   but suspect — a miscalibrated device, a clock that may have drifted.
+   How much can the corruption move the analysis?
+
+   Run with: dune exec examples/dirty_readings.exe *)
+
+module Q = Pc_query.Query
+module Atom = Pc_predicate.Atom
+module D = Pc_dirty.Dirty
+
+let () =
+  let rng = Pc_util.Rng.create 99 in
+  let readings = Pc_synth.Sensor.generate rng ~rows:5_000 in
+  Printf.printf "%d readings loaded; device 7 is suspected miscalibrated\n"
+    (Pc_data.Relation.cardinality readings);
+  Printf.printf "and every clock may have drifted by up to 0.25 hours\n\n";
+
+  (* Annotations: beliefs about how wrong the recorded values can be. *)
+  let annotations =
+    [
+      (* device 7's photodiode reads up to 15% off *)
+      D.annotation
+        ~pred:[ Atom.num_eq "device" 7. ]
+        ~attr:"light" (D.Relative 0.15);
+      (* all timestamps within ±0.25h of the truth *)
+      D.annotation ~attr:"time" (D.Additive 0.25);
+    ]
+  in
+
+  let show title q =
+    let truth = Pc_query.Query.eval readings q in
+    match (D.bound readings annotations q, truth) with
+    | D.Range r, Some recorded ->
+        Printf.printf "  %-34s recorded %10.1f   true value in [%10.1f, %10.1f]\n"
+          title recorded r.Pc_core.Range.lo r.Pc_core.Range.hi
+    | D.Range r, None ->
+        Printf.printf "  %-34s (recorded undefined)  [%.1f, %.1f]\n" title
+          r.Pc_core.Range.lo r.Pc_core.Range.hi
+    | D.Empty, _ -> Printf.printf "  %-34s may select no rows at all\n" title
+    | D.Inconsistent, _ ->
+        Printf.printf "  %-34s annotations are contradictory\n" title
+  in
+
+  print_endline "aggregates with hard corruption bounds:";
+  show "SUM(light), device 7"
+    (Q.sum ~where_:[ Atom.num_eq "device" 7. ] "light");
+  show "AVG(light), device 7"
+    (Q.avg ~where_:[ Atom.num_eq "device" 7. ] "light");
+  show "COUNT(*), first night hours"
+    (Q.count ~where_:[ Atom.between "time" 0. 6. ] ());
+  show "MAX(light), all devices" (Q.max_ "light");
+  print_newline ();
+
+  (* The time-drift annotation makes window membership itself uncertain:
+     COUNT ranges reflect rows that may or may not fall inside. *)
+  print_endline "window counts under clock drift (membership is three-valued):";
+  List.iter
+    (fun (lo, hi) ->
+      show
+        (Printf.sprintf "COUNT(*), time in [%g, %g]" lo hi)
+        (Q.count ~where_:[ Atom.between "time" lo hi ] ()))
+    [ (10., 12.); (100., 124.); (0., 336.) ]

@@ -1,0 +1,96 @@
+(* Join bounds (paper Section 5): bounding aggregates over natural joins
+   of tables with missing rows, using the Fractional-Edge-Cover / GWE
+   formulation — and why it beats both the naive Cartesian product and
+   the elastic-sensitivity technique from the privacy literature.
+
+   Run with: dune exec examples/join_bounds.exe *)
+
+module JB = Pc_join.Join_bound
+
+let pcs_for rel attr =
+  Pc_core.Pc_set.make
+    (Pc_core.Generate.corr_partition rel ~attrs:[ attr ] ~n:16 ~value_attrs:[] ())
+
+let () =
+  let rng = Pc_util.Rng.create 7 in
+  let n = 2_000 in
+
+  (* ---- triangle counting: |R(a,b) |><| S(b,c) |><| T(c,a)| ---- *)
+  let r = Pc_synth.Graphs.random_edges rng ~a:"a" ~b:"b" ~n ~vertices:n in
+  let s = Pc_synth.Graphs.random_edges rng ~a:"b" ~b:"c" ~n ~vertices:n in
+  let t = Pc_synth.Graphs.random_edges rng ~a:"c" ~b:"a" ~n ~vertices:n in
+  let tables =
+    [
+      JB.table ~name:"R" ~join_attrs:[ "a"; "b" ] (pcs_for r "a");
+      JB.table ~name:"S" ~join_attrs:[ "b"; "c" ] (pcs_for s "b");
+      JB.table ~name:"T" ~join_attrs:[ "c"; "a" ] (pcs_for t "c");
+    ]
+  in
+  Printf.printf "triangle counting on three %d-edge tables:\n" n;
+  Printf.printf "  true count                      %d\n"
+    (Pc_synth.Graphs.triangle_count ~r ~s ~t);
+  Printf.printf "  GWE / edge-cover bound          %.3e   (= N^1.5)\n"
+    (JB.count_bound tables);
+  Printf.printf "  naive Cartesian bound           %.3e   (= N^3)\n"
+    (JB.naive_count_bound tables);
+  Printf.printf "  elastic sensitivity bound       %.3e\n"
+    (Pc_join.Elastic.triangle_bound ~n:(float_of_int n));
+  print_newline ();
+
+  (* The edge cover behind the bound. *)
+  (match
+     Pc_join.Edge_cover.solve
+       ~weights:[ ("R", float_of_int n); ("S", float_of_int n); ("T", float_of_int n) ]
+       Pc_join.Hypergraph.triangle
+   with
+  | Some cover ->
+      print_endline "  optimal fractional edge cover:";
+      List.iter (fun (name, c) -> Printf.printf "    c_%s = %.2f\n" name c) cover
+  | None -> ());
+  print_newline ();
+
+  (* ---- acyclic 5-chain ---- *)
+  let k = 5 in
+  let rels =
+    List.init k (fun i ->
+        Pc_synth.Graphs.random_edges rng
+          ~a:(Printf.sprintf "x%d" (i + 1))
+          ~b:(Printf.sprintf "x%d" (i + 2))
+          ~n ~vertices:n)
+  in
+  let chain_tables =
+    List.mapi
+      (fun i rel ->
+        JB.table
+          ~name:(Printf.sprintf "R%d" (i + 1))
+          ~join_attrs:[ Printf.sprintf "x%d" (i + 1); Printf.sprintf "x%d" (i + 2) ]
+          (pcs_for rel (Printf.sprintf "x%d" (i + 1))))
+      rels
+  in
+  Printf.printf "acyclic %d-chain join on %d-row tables:\n" k n;
+  Printf.printf "  true join size                  %d\n"
+    (Pc_synth.Graphs.chain_join_count rels);
+  Printf.printf "  GWE / edge-cover bound          %.3e   (= N^3)\n"
+    (JB.count_bound chain_tables);
+  Printf.printf "  naive Cartesian bound           %.3e   (= N^5)\n"
+    (JB.naive_count_bound chain_tables);
+  Printf.printf "  elastic sensitivity bound       %.3e\n"
+    (Pc_join.Elastic.chain_bound ~n:(float_of_int n) ~k);
+  print_newline ();
+
+  (* ---- SUM over a join: fix the aggregate relation's coefficient ---- *)
+  let weighted =
+    Pc_synth.Graphs.random_edges rng ~a:"a" ~b:"b" ~n ~vertices:n
+  in
+  let w_tables =
+    [
+      JB.table ~name:"R" ~join_attrs:[ "a"; "b" ]
+        (Pc_core.Pc_set.make
+           (Pc_core.Generate.corr_partition weighted ~attrs:[ "a" ] ~n:16 ()));
+      JB.table ~name:"S" ~join_attrs:[ "b"; "c" ] (pcs_for s "b");
+      JB.table ~name:"T" ~join_attrs:[ "c"; "a" ] (pcs_for t "c");
+    ]
+  in
+  Printf.printf "SUM(R.b) over the triangle join (c_R fixed to 1):\n";
+  Printf.printf "  GWE sum bound                   %.3e\n"
+    (JB.sum_bound w_tables ~agg:("R", "b"))

@@ -1,0 +1,82 @@
+(* The temperature-sensor scenario from the paper's introduction: data
+   arrives in partitions and one fails to load. How much can the failed
+   partition change the analysis?
+
+   Demonstrates: generating constraints automatically from historical
+   data (Corr-PC partitioning), validating closure, hard ranges for a
+   threshold-count query, and checking the eventual ground truth landed
+   inside the range.
+
+   Run with: dune exec examples/sensor_outage.exe *)
+
+module Q = Pc_query.Query
+module Atom = Pc_predicate.Atom
+open Pc_core
+
+let () =
+  let rng = Pc_util.Rng.create 2024 in
+  let full = Pc_synth.Sensor.generate rng ~rows:30_000 in
+
+  (* Partition 7 of 10 (a time slice) failed to load. *)
+  let lost_window = [ Atom.between "time" 201.6 235.2 ] in
+  let split = Pc_synth.Missing.by_predicate full (Pc_predicate.Pred.conj lost_window) in
+  let observed = split.Pc_synth.Missing.observed in
+  let missing = split.Pc_synth.Missing.missing in
+  Printf.printf "loaded %d rows; partition with %d rows failed to load\n\n"
+    (Pc_data.Relation.cardinality observed)
+    (Pc_data.Relation.cardinality missing);
+
+  (* Build constraints for the lost window from a comparable historical
+     window (same time-of-day profile, one week earlier), then rebase
+     their predicates onto the lost window by construction: here we
+     simply derive them from the true missing partition, the idealized
+     protocol of the paper's experiments. *)
+  let attrs =
+    Generate.correlated_attrs missing ~agg:"light"
+      ~candidates:[ "device"; "time"; "temperature"; "humidity"; "voltage" ]
+      ~k:2
+  in
+  Printf.printf "attributes most correlated with light: %s\n"
+    (String.concat ", " attrs);
+  let pcs = Generate.corr_partition missing ~attrs ~n:300 () in
+  let set = Pc_set.make pcs in
+  Printf.printf "derived %d constraints; closed over the lost partition: %b\n\n"
+    (Pc_set.size set)
+    (Pc_set.closed_over missing set);
+
+  (* The analyst's question: how often did light exceed 1000? *)
+  let hot = Q.count ~where_:[ Atom.greater_than "light" 1000. ] () in
+  let answer = Bounds.bound_with_certain set ~certain:observed hot in
+  let truth =
+    Option.get (Q.eval (Pc_data.Relation.union observed missing) hot)
+  in
+  print_endline "how many readings exceeded light = 1000?";
+  (match answer with
+  | Bounds.Range r ->
+      Printf.printf "  hard range:    [%.0f, %.0f]\n" r.Range.lo r.Range.hi;
+      Printf.printf "  ground truth:  %.0f  (inside: %b)\n" truth
+        (Range.contains r truth)
+  | Bounds.Empty -> print_endline "  (no qualifying rows possible)"
+  | Bounds.Infeasible -> print_endline "  (constraints unsatisfiable)");
+  print_newline ();
+
+  (* Other aggregates over the lost window itself. *)
+  print_endline "aggregates over the lost partition alone:";
+  List.iter
+    (fun (title, q) ->
+      match (Bounds.bound set q, Q.eval missing q) with
+      | Bounds.Range r, Some truth ->
+          Printf.printf "  %-12s range [%10.0f, %10.0f]   truth %10.0f   inside: %b\n"
+            title r.Range.lo r.Range.hi truth (Range.contains r truth)
+      | Bounds.Range r, None ->
+          Printf.printf "  %-12s range [%10.0f, %10.0f]   (no truth)\n" title
+            r.Range.lo r.Range.hi
+      | (Bounds.Empty | Bounds.Infeasible), _ ->
+          Printf.printf "  %-12s (no bound)\n" title)
+    [
+      ("COUNT(*)", Q.count ());
+      ("SUM(light)", Q.sum "light");
+      ("AVG(light)", Q.avg "light");
+      ("MAX(light)", Q.max_ "light");
+      ("MIN(light)", Q.min_ "light");
+    ]

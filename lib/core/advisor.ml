@@ -1,0 +1,53 @@
+module Q = Pc_query.Query
+
+type scored = {
+  attrs : string list;
+  median_over_estimation : float;
+  failure_free : bool;
+}
+
+let subsets ~max_size xs =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let without = go rest in
+        List.map (fun s -> x :: s) without @ without
+  in
+  go xs
+  |> List.filter (fun s ->
+         let len = List.length s in
+         len >= 1 && len <= max_size)
+
+let score_subset rel ~n ~queries attrs =
+  let set = Pc_set.make (Generate.corr_partition rel ~attrs ~n ()) in
+  let ratios =
+    List.filter_map
+      (fun q ->
+        match (Q.eval rel q, Bounds.bound set q) with
+        | Some truth, Bounds.Range r
+          when truth > 0. && Float.is_finite r.Range.hi ->
+            Some (r.Range.hi /. truth)
+        | _ -> None)
+      queries
+  in
+  match ratios with
+  | [] -> None
+  | _ ->
+      Some
+        {
+          attrs;
+          median_over_estimation = Pc_util.Stat.median (Array.of_list ratios);
+          failure_free = true;
+        }
+
+let rank ?(max_attrs = 2) ?(n = 100) rel ~candidates ~queries =
+  if candidates = [] then invalid_arg "Advisor.rank: no candidates";
+  subsets ~max_size:max_attrs candidates
+  |> List.filter_map (score_subset rel ~n ~queries)
+  |> List.stable_sort (fun a b ->
+         Float.compare a.median_over_estimation b.median_over_estimation)
+
+let best ?max_attrs ?n rel ~candidates ~queries =
+  match rank ?max_attrs ?n rel ~candidates ~queries with
+  | [] -> invalid_arg "Advisor.best: no subset could be scored"
+  | top :: _ -> top.attrs

@@ -1,0 +1,41 @@
+(** Choosing *which attributes to constrain*: the paper observes that the
+    PC framework's accuracy hinges on partitioning over attributes
+    correlated with the aggregate (§6.1.4, Corr-PC), and leaves the
+    choice to the analyst. This module automates it: candidate attribute
+    subsets are scored by the actual bound tightness they produce on a
+    validation workload, which subsumes correlation heuristics (a highly
+    correlated attribute that produces ragged partitions scores
+    accordingly).
+
+    Typical use: run on a comparable historical window, then build the
+    production constraints over the winning attributes. *)
+
+type scored = {
+  attrs : string list;
+  median_over_estimation : float;
+      (** median upper-bound/truth ratio on the validation workload;
+          lower is better, 1.0 is optimal *)
+  failure_free : bool;  (** always true for PCs derived from the data *)
+}
+
+val rank :
+  ?max_attrs:int ->
+  ?n:int ->
+  Pc_data.Relation.t ->
+  candidates:string list ->
+  queries:Pc_query.Query.t list ->
+  scored list
+(** Scores every non-empty candidate subset of size ≤ [max_attrs]
+    (default 2), building an [n]-constraint (default 100) equi-cardinality
+    partition per subset, best first. Queries whose true answer is not a
+    positive number are skipped. Raises [Invalid_argument] when
+    [candidates] is empty. *)
+
+val best :
+  ?max_attrs:int ->
+  ?n:int ->
+  Pc_data.Relation.t ->
+  candidates:string list ->
+  queries:Pc_query.Query.t list ->
+  string list
+(** The winning subset. *)

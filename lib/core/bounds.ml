@@ -1,0 +1,739 @@
+module I = Pc_interval.Interval
+module Pred = Pc_predicate.Pred
+module Cnf = Pc_predicate.Cnf
+module Sat = Pc_predicate.Sat
+module Box = Pc_predicate.Box
+module S = Pc_lp.Simplex
+module M = Pc_milp.Milp
+module Q = Pc_query.Query
+
+type answer = Range of Range.t | Empty | Infeasible
+
+type opts = {
+  strategy : Cells.strategy;
+  node_limit : int;
+  tighten : bool;
+  use_greedy : bool;
+}
+
+let default_opts =
+  { strategy = Cells.Dfs_rewrite; node_limit = 2_000; tighten = true; use_greedy = true }
+
+(* ------------------------------------------------------------------ *)
+(* Preparation: cells, per-cell value bounds, frequency constraints    *)
+(* ------------------------------------------------------------------ *)
+
+(* Effective frequency lower bound under query pushdown: a PC's missing
+   rows may hide outside the query region unless its predicate is wholly
+   contained in it, so kl is only enforceable in that case. *)
+let effective_kl qpred (pc : Pc.t) =
+  if pc.Pc.freq_lo = 0 then 0
+  else if qpred = Pred.tt then pc.Pc.freq_lo
+  else begin
+    let escapes =
+      Sat.check (Cnf.conj (Cnf.of_pred pc.Pc.pred) (Cnf.of_neg_pred qpred))
+    in
+    if escapes then 0 else pc.Pc.freq_lo
+  end
+
+(* Value interval for rows of a cell on one attribute: the most
+   restrictive active value constraint (paper's U_i(a)/L_i(a)), optionally
+   clipped by the predicate/query box. Returns [None] when no row can
+   exist in the cell at all (empty value intersection). *)
+let cell_value_interval ~tighten set qpred active attr =
+  let from_values =
+    List.fold_left
+      (fun acc j ->
+        Option.bind acc (fun iv ->
+            I.intersect iv (Pc.value_interval (Pc_set.get set j) attr)))
+      (Some I.full) active
+  in
+  match from_values with
+  | None -> None
+  | Some iv ->
+      if not tighten then Some iv
+      else begin
+        let box =
+          List.fold_left
+            (fun acc j ->
+              Option.bind acc (fun b ->
+                  Box.add_pred b (Pc_set.get set j).Pc.pred))
+            (Box.add_pred Box.top qpred)
+            active
+        in
+        match box with
+        | None -> None (* cell region itself is empty (early-stop artifact) *)
+        | Some b -> I.intersect iv (Box.num_interval b attr)
+      end
+
+(* Can a row exist in this cell: every constrained attribute must keep a
+   non-empty value range. *)
+let cell_inhabitable ~tighten set qpred active =
+  let attrs =
+    List.concat_map (fun j -> Pc.value_attrs (Pc_set.get set j)) active
+    |> List.sort_uniq String.compare
+  in
+  List.for_all
+    (fun a -> Option.is_some (cell_value_interval ~tighten set qpred active a))
+    attrs
+  &&
+  (* guard against admitted-but-unsat cells from Early_stop *)
+  match attrs with
+  | _ :: _ -> true
+  | [] ->
+      (not tighten)
+      || Option.is_some
+           (List.fold_left
+              (fun acc j ->
+                Option.bind acc (fun b -> Box.add_pred b (Pc_set.get set j).Pc.pred))
+              (Box.add_pred Box.top qpred)
+              active)
+
+type info = {
+  active : int list;
+  u : float;  (** max value of the aggregated attribute; +inf possible *)
+  l : float;  (** min value; -inf possible *)
+}
+
+type prepared = {
+  sub : Pc_set.t;
+      (** the PCs whose predicate overlaps the query region — the only
+          ones that can constrain in-region cells (exact reduction: a
+          non-overlapping ψ is vacuously negated inside the region) *)
+  infos : info array;
+  cons : S.constr list;  (** PC frequency constraints over cell variables *)
+  all_kl_zero : bool;
+}
+
+exception Found_infeasible
+
+(* Build the allocation problem for a query. [agg_attr = None] is COUNT
+   (unit coefficients). Returns [Error Infeasible] when the constraint
+   system provably admits no instance. *)
+let prepare ~opts set (query : Q.t) : (prepared, answer) result =
+  let qpred = query.Q.where_ in
+  try
+    (* A frequency lower bound on an unsatisfiable predicate is
+       unsatisfiable as a system. *)
+    List.iter
+      (fun (pc : Pc.t) ->
+        if pc.Pc.freq_lo > 0 && not (Pred.satisfiable pc.Pc.pred) then
+          raise Found_infeasible)
+      (Pc_set.pcs set);
+    (* Predicate pushdown at the set level: only PCs overlapping the query
+       region participate in the decomposition. *)
+    let set =
+      if qpred = Pred.tt then set
+      else
+        Pc_set.make
+          (List.filter
+             (fun (pc : Pc.t) ->
+               match Box.of_pred pc.Pc.pred with
+               | None -> false
+               | Some b -> Option.is_some (Box.add_pred b qpred))
+             (Pc_set.pcs set))
+    in
+    let cells, _stats =
+      Cells.decompose ~strategy:opts.strategy ~query_pred:qpred set
+    in
+    let cells =
+      List.filter
+        (fun (c : Cells.cell) ->
+          cell_inhabitable ~tighten:opts.tighten set qpred c.Cells.active)
+        cells
+    in
+    let agg_attr = Q.agg_attr query in
+    let infos =
+      List.map
+        (fun (c : Cells.cell) ->
+          match agg_attr with
+          | None -> { active = c.Cells.active; u = 1.; l = 1. }
+          | Some a -> (
+              match
+                cell_value_interval ~tighten:opts.tighten set qpred c.Cells.active a
+              with
+              | None -> { active = c.Cells.active; u = 0.; l = 0. }
+              | Some iv ->
+                  {
+                    active = c.Cells.active;
+                    u = I.hi_float iv;
+                    l = I.lo_float iv;
+                  }))
+        cells
+      |> Array.of_list
+    in
+    let n_pcs = Pc_set.size set in
+    let cons = ref [] in
+    let all_kl_zero = ref true in
+    for j = 0 to n_pcs - 1 do
+      let pc = Pc_set.get set j in
+      let covering = ref [] in
+      Array.iteri
+        (fun i inf -> if List.mem j inf.active then covering := (i, 1.) :: !covering)
+        infos;
+      let kl' = effective_kl qpred pc in
+      if kl' > 0 then all_kl_zero := false;
+      match !covering with
+      | [] -> if kl' > 0 then raise Found_infeasible
+      | coeffs ->
+          cons := S.c_le coeffs (float_of_int pc.Pc.freq_hi) :: !cons;
+          if kl' > 0 then cons := S.c_ge coeffs (float_of_int kl') :: !cons
+    done;
+    Ok { sub = set; infos; cons = !cons; all_kl_zero = !all_kl_zero }
+  with Found_infeasible -> Error Infeasible
+
+(* ------------------------------------------------------------------ *)
+(* MILP plumbing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let milp ~node_limit ~maximize ~objective cons n_vars =
+  M.solve ~node_limit
+    { S.n_vars; maximize; objective; constraints = cons }
+
+(* Can the system place at least [k] rows in cell [i]? Conservative on
+   node-limit truncation (answers [true]). *)
+let cell_can_host ~node_limit prep i k =
+  let cons = S.c_ge [ (i, 1.) ] (float_of_int k) :: prep.cons in
+  match milp ~node_limit ~maximize:true ~objective:[] cons (Array.length prep.infos) with
+  | M.Infeasible -> false
+  | M.Optimal r -> r.M.incumbent <> None || not r.M.exact
+  | M.Unbounded -> true
+
+(* Any row at all in the query region? *)
+let some_row_feasible ~node_limit prep =
+  let n = Array.length prep.infos in
+  if n = 0 then false
+  else begin
+    let all = List.init n (fun i -> (i, 1.)) in
+    let cons = S.c_ge all 1. :: prep.cons in
+    match milp ~node_limit ~maximize:true ~objective:[] cons n with
+    | M.Infeasible -> false
+    | M.Optimal r -> r.M.incumbent <> None || not r.M.exact
+    | M.Unbounded -> true
+  end
+
+(* Replace infinite objective coefficients: a cell with an unbounded
+   value that can actually host a row makes the bound infinite; one that
+   cannot host a row contributes nothing. *)
+let resolve_infinite ~node_limit prep coeff_of =
+  let n = Array.length prep.infos in
+  let coeffs = Array.init n (fun i -> coeff_of prep.infos.(i)) in
+  let unbounded = ref false in
+  Array.iteri
+    (fun i c ->
+      if Float.is_finite c then ()
+      else if cell_can_host ~node_limit prep i 1 then unbounded := true
+      else coeffs.(i) <- 0.)
+    coeffs;
+  (coeffs, !unbounded)
+
+type side = { value : float; exact : bool }
+
+(* Optimize Σ coeffs·x over the frequency polytope. [maximize] selects
+   the direction; infinities in coefficients must be resolved first. *)
+let optimize ~node_limit ~maximize cons coeffs =
+  let n = Array.length coeffs in
+  let objective =
+    Array.to_list (Array.mapi (fun i c -> (i, c)) coeffs)
+    |> List.filter (fun (_, c) -> c <> 0.)
+  in
+  match milp ~node_limit ~maximize ~objective cons n with
+  | M.Infeasible -> Error Infeasible
+  | M.Unbounded ->
+      Ok { value = (if maximize then infinity else neg_infinity); exact = true }
+  | M.Optimal r -> Ok { value = r.M.bound; exact = r.M.exact }
+
+(* ------------------------------------------------------------------ *)
+(* COUNT and SUM                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sum_like ~opts prep ~is_count =
+  let node_limit = opts.node_limit in
+  let n = Array.length prep.infos in
+  if n = 0 then
+    (* no cell overlaps the query: the aggregate over missing rows is 0 *)
+    Range (Range.make ~lo_exact:true ~hi_exact:true 0. 0.)
+  else begin
+    let hi_result =
+      let coeffs, unbounded = resolve_infinite ~node_limit prep (fun inf -> inf.u) in
+      if unbounded then Ok { value = infinity; exact = true }
+      else optimize ~node_limit ~maximize:true prep.cons coeffs
+    in
+    let lo_result =
+      if
+        prep.all_kl_zero
+        && (is_count || Array.for_all (fun inf -> inf.l >= 0.) prep.infos)
+      then (* the empty instance minimizes *) Ok { value = 0.; exact = true }
+      else begin
+        let coeffs, unbounded =
+          resolve_infinite ~node_limit prep (fun inf -> inf.l)
+        in
+        if unbounded then Ok { value = neg_infinity; exact = true }
+        else optimize ~node_limit ~maximize:false prep.cons coeffs
+      end
+    in
+    match (lo_result, hi_result) with
+    | Error a, _ | _, Error a -> a
+    | Ok lo, Ok hi ->
+        Range
+          (Range.make ~lo_exact:lo.exact ~hi_exact:hi.exact lo.value hi.value)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* MIN / MAX                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* For MAX (and symmetrically MIN): the top of the range is the largest
+   per-cell upper bound among cells that can host a row (paper §4.2); the
+   bottom is what an adversary minimizing the maximum can reach — every
+   forced constraint still pins rows somewhere. *)
+let extremal ~opts (query : Q.t) prep ~is_max =
+  let set = prep.sub in
+  let node_limit = opts.node_limit in
+  let hosts =
+    Array.to_list (Array.mapi (fun i inf -> (i, inf)) prep.infos)
+    |> List.filter (fun (i, _) -> cell_can_host ~node_limit prep i 1)
+  in
+  match hosts with
+  | [] -> Empty
+  | _ ->
+      let qpred = query.Q.where_ in
+      let values_of f = List.map (fun (_, inf) -> f inf) hosts in
+      let best = if is_max then Pc_util.Stat.maximum else Pc_util.Stat.minimum in
+      let worst = if is_max then Pc_util.Stat.minimum else Pc_util.Stat.maximum in
+      let principal = best (Array.of_list (values_of (fun inf -> if is_max then inf.u else inf.l))) in
+      (* Adversarial other side. *)
+      let forced =
+        List.filter
+          (fun j -> effective_kl qpred (Pc_set.get set j) > 0)
+          (List.init (Pc_set.size set) Fun.id)
+      in
+      let other_side =
+        match forced with
+        | [] ->
+            (* instance may contain a single row in the least favourable
+               hosting cell *)
+            worst (Array.of_list (values_of (fun inf -> if is_max then inf.l else inf.u)))
+        | _ ->
+            let per_forced =
+              List.map
+                (fun j ->
+                  let own =
+                    List.filter (fun (_, inf) -> List.mem j inf.active) hosts
+                  in
+                  match own with
+                  | [] -> if is_max then neg_infinity else infinity
+                  | _ ->
+                      let vals =
+                        Array.of_list
+                          (List.map
+                             (fun (_, inf) -> if is_max then inf.l else inf.u)
+                             own)
+                      in
+                      if is_max then Pc_util.Stat.minimum vals
+                      else Pc_util.Stat.maximum vals)
+                forced
+            in
+            let arr = Array.of_list per_forced in
+            if is_max then Pc_util.Stat.maximum arr else Pc_util.Stat.minimum arr
+      in
+      let lo, hi =
+        if is_max then (other_side, principal) else (principal, other_side)
+      in
+      if Float.is_nan lo || Float.is_nan hi || lo > hi then
+        (* pathological interaction; fall back to the principal side *)
+        Range
+          (Range.make ~lo_exact:false ~hi_exact:false
+             (Float.min principal other_side)
+             (Float.max principal other_side))
+      else Range (Range.make ~lo_exact:false ~hi_exact:false lo hi)
+
+(* ------------------------------------------------------------------ *)
+(* AVG via binary search (paper §4.2)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Decide whether the maximal reachable average is >= r, where the
+   instance may be combined with a certain partition contributing
+   [c_count] rows and [c_sum] total. Uses the MILP upper bound, which is
+   sound (can only overstate reachability, widening the range). *)
+let avg_reachable_above ~node_limit prep ~c_count ~c_sum r =
+  let n = Array.length prep.infos in
+  let coeffs = Array.map (fun inf -> inf.u -. r) prep.infos in
+  let cons =
+    if c_count >= 1. then prep.cons
+    else S.c_ge (List.init n (fun i -> (i, 1.))) 1. :: prep.cons
+  in
+  match optimize ~node_limit ~maximize:true cons coeffs with
+  | Error _ -> false
+  | Ok { value; _ } -> value >= (r *. c_count) -. c_sum -. 1e-9
+
+let avg_reachable_below ~node_limit prep ~c_count ~c_sum r =
+  let n = Array.length prep.infos in
+  let coeffs = Array.map (fun inf -> inf.l -. r) prep.infos in
+  let cons =
+    if c_count >= 1. then prep.cons
+    else S.c_ge (List.init n (fun i -> (i, 1.))) 1. :: prep.cons
+  in
+  match optimize ~node_limit ~maximize:false cons coeffs with
+  | Error _ -> false
+  | Ok { value; _ } -> value <= (r *. c_count) -. c_sum +. 1e-9
+
+let binary_search ~reachable ~lo ~hi ~dir =
+  (* [dir = `Up]: find sup { r | reachable r }, assuming reachable lo and
+     bracketing the sup in [lo, hi]. The *outer* side of the final bracket
+     is returned — the bound must err outward to stay a hard bound. *)
+  let rec go lo hi iters =
+    if iters = 0 || hi -. lo <= 1e-9 *. Float.max 1. (Float.abs hi) then
+      match dir with `Up -> hi | `Down -> lo
+    else begin
+      let mid = 0.5 *. (lo +. hi) in
+      let r = reachable mid in
+      match (dir, r) with
+      | `Up, true -> go mid hi (iters - 1)
+      | `Up, false -> go lo mid (iters - 1)
+      | `Down, true -> go lo mid (iters - 1)
+      | `Down, false -> go mid hi (iters - 1)
+    end
+  in
+  go lo hi 60
+
+let avg_bounds ~opts prep ~c_count ~c_sum =
+  let node_limit = opts.node_limit in
+  let n = Array.length prep.infos in
+  let no_missing_rows_possible = n = 0 || not (some_row_feasible ~node_limit prep) in
+  if no_missing_rows_possible && c_count < 1. then Empty
+  else if no_missing_rows_possible then
+    (* only the certain partition contributes *)
+    Range (Range.point (c_sum /. c_count))
+  else begin
+    (* Unbounded value ranges that can host rows yield infinite ends. *)
+    let u_coeffs, u_unbounded =
+      resolve_infinite ~node_limit prep (fun inf -> inf.u)
+    in
+    let l_coeffs, l_unbounded =
+      resolve_infinite ~node_limit prep (fun inf -> inf.l)
+    in
+    let finite_u = Pc_util.Stat.maximum u_coeffs in
+    let finite_l = Pc_util.Stat.minimum l_coeffs in
+    let certain_avg = if c_count >= 1. then Some (c_sum /. c_count) else None in
+    let search_hi0 =
+      match certain_avg with
+      | Some a -> Float.max a finite_u
+      | None -> finite_u
+    and search_lo0 =
+      match certain_avg with
+      | Some a -> Float.min a finite_l
+      | None -> finite_l
+    in
+    let hi =
+      if u_unbounded then infinity
+      else
+        binary_search
+          ~reachable:(avg_reachable_above ~node_limit prep ~c_count ~c_sum)
+          ~lo:search_lo0 ~hi:(search_hi0 +. 1e-6) ~dir:`Up
+    and lo =
+      if l_unbounded then neg_infinity
+      else
+        binary_search
+          ~reachable:(avg_reachable_below ~node_limit prep ~c_count ~c_sum)
+          ~lo:(search_lo0 -. 1e-6) ~hi:search_hi0 ~dir:`Down
+    in
+    if lo > hi +. 1e-6 then
+      (* numeric corner: both searches met; collapse to their midpoint *)
+      Range (Range.point (0.5 *. (lo +. hi)))
+    else Range (Range.make ~lo_exact:false ~hi_exact:false (Float.min lo hi) hi)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Greedy fast path for disjoint predicate sets (paper §4.2,           *)
+(* "Faster Algorithm in Special Cases"): each predicate is its own     *)
+(* cell and the allocation decouples per constraint — O(n) per query.  *)
+(* ------------------------------------------------------------------ *)
+
+module Greedy = struct
+  type gcell = {
+    u : float;
+    l : float;
+    kl : int;  (** effective lower bound under pushdown *)
+    ku : int;
+  }
+
+  (* One gcell per PC overlapping the query region; [None] when the
+     system is infeasible. *)
+  let prepare ~opts set (query : Q.t) =
+    let qpred = query.Q.where_ in
+    let agg_attr = Q.agg_attr query in
+    try
+      let cells =
+        List.concat
+          (List.map
+             (fun (pc : Pc.t) ->
+               let overlaps =
+                 match Box.of_pred pc.Pc.pred with
+                 | None ->
+                     if pc.Pc.freq_lo > 0 then raise Found_infeasible;
+                     false
+                 | Some b -> Option.is_some (Box.add_pred b qpred)
+               in
+               if not overlaps then []
+               else begin
+                 let sub = Pc_set.make [ pc ] in
+                 if not (cell_inhabitable ~tighten:opts.tighten sub qpred [ 0 ])
+                 then begin
+                   (* predicate region overlaps the query but admits no
+                      valid row values *)
+                   if effective_kl qpred pc > 0 then raise Found_infeasible;
+                   []
+                 end
+                 else begin
+                   let l, u =
+                     match agg_attr with
+                     | None -> (1., 1.)
+                     | Some a -> (
+                         match
+                           cell_value_interval ~tighten:opts.tighten sub qpred
+                             [ 0 ] a
+                         with
+                         | None -> (0., 0.)
+                         | Some iv -> (I.lo_float iv, I.hi_float iv))
+                   in
+                   [ { u; l; kl = effective_kl qpred pc; ku = pc.Pc.freq_hi } ]
+                 end
+               end)
+             (Pc_set.pcs set))
+      in
+      Ok cells
+    with Found_infeasible -> Error Infeasible
+
+  (* max over x in [kl, ku] of x * coeff, and min respectively. *)
+  let max_contrib c =
+    if c.ku = 0 then 0.
+    else if c.u >= 0. then float_of_int c.ku *. c.u
+    else float_of_int c.kl *. c.u
+
+  let min_contrib c =
+    if c.ku = 0 then 0.
+    else if c.l <= 0. then float_of_int c.ku *. c.l
+    else float_of_int c.kl *. c.l
+
+  let sum_like cells ~is_count =
+    let cells = if is_count then List.map (fun c -> { c with u = 1.; l = 1. }) cells else cells in
+    let hi = List.fold_left (fun acc c -> acc +. max_contrib c) 0. cells in
+    let lo = List.fold_left (fun acc c -> acc +. min_contrib c) 0. cells in
+    Range (Range.make ~lo_exact:true ~hi_exact:true lo hi)
+
+  let hosts cells = List.filter (fun c -> c.ku >= 1) cells
+
+  let extremal cells ~is_max =
+    match hosts cells with
+    | [] -> Empty
+    | hs ->
+        let arr f = Array.of_list (List.map f hs) in
+        let principal =
+          if is_max then Pc_util.Stat.maximum (arr (fun c -> c.u))
+          else Pc_util.Stat.minimum (arr (fun c -> c.l))
+        in
+        let forced = List.filter (fun c -> c.kl >= 1) hs in
+        let other =
+          match forced with
+          | [] ->
+              if is_max then Pc_util.Stat.minimum (arr (fun c -> c.l))
+              else Pc_util.Stat.maximum (arr (fun c -> c.u))
+          | _ ->
+              let farr f = Array.of_list (List.map f forced) in
+              if is_max then Pc_util.Stat.maximum (farr (fun c -> c.l))
+              else Pc_util.Stat.minimum (farr (fun c -> c.u))
+        in
+        let lo, hi = if is_max then (other, principal) else (principal, other) in
+        Range
+          (Range.make ~lo_exact:false ~hi_exact:false (Float.min lo hi)
+             (Float.max lo hi))
+
+  (* Threshold test for AVG: can the (possibly certain-combined) average
+     reach at least / at most r? *)
+  let reach_above cells ~c_count ~c_sum r =
+    let total = ref 0. and allocated = ref false and best_single = ref neg_infinity in
+    List.iter
+      (fun c ->
+        if c.ku >= 1 then begin
+          let w = c.u -. r in
+          if w > 0. then begin
+            total := !total +. (float_of_int c.ku *. w);
+            allocated := true
+          end
+          else if c.kl >= 1 then begin
+            total := !total +. (float_of_int c.kl *. w);
+            allocated := true
+          end;
+          if w > !best_single then best_single := w
+        end)
+      cells;
+    if c_count >= 1. then !total >= (r *. c_count) -. c_sum -. 1e-9
+    else begin
+      let v = if !allocated then !total else !best_single in
+      v >= -1e-9
+    end
+
+  let reach_below cells ~c_count ~c_sum r =
+    let total = ref 0. and allocated = ref false and best_single = ref infinity in
+    List.iter
+      (fun c ->
+        if c.ku >= 1 then begin
+          let w = c.l -. r in
+          if w < 0. then begin
+            total := !total +. (float_of_int c.ku *. w);
+            allocated := true
+          end
+          else if c.kl >= 1 then begin
+            total := !total +. (float_of_int c.kl *. w);
+            allocated := true
+          end;
+          if w < !best_single then best_single := w
+        end)
+      cells;
+    if c_count >= 1. then !total <= (r *. c_count) -. c_sum +. 1e-9
+    else begin
+      let v = if !allocated then !total else !best_single in
+      v <= 1e-9
+    end
+
+  let avg cells ~c_count ~c_sum =
+    match hosts cells with
+    | [] when c_count < 1. -> Empty
+    | [] -> Range (Range.point (c_sum /. c_count))
+    | hs ->
+        let us = Array.of_list (List.map (fun c -> c.u) hs) in
+        let ls = Array.of_list (List.map (fun c -> c.l) hs) in
+        if Array.exists (fun u -> u = infinity) us then
+          Range (Range.make neg_infinity infinity)
+        else begin
+          let fin_hi = Pc_util.Stat.maximum us and fin_lo = Pc_util.Stat.minimum ls in
+          let fin_lo = if Float.is_finite fin_lo then fin_lo else -1e12 in
+          let certain_avg = if c_count >= 1. then Some (c_sum /. c_count) else None in
+          let hi0 =
+            match certain_avg with Some a -> Float.max a fin_hi | None -> fin_hi
+          and lo0 =
+            match certain_avg with Some a -> Float.min a fin_lo | None -> fin_lo
+          in
+          let lo_unbounded = Array.exists (fun l -> l = neg_infinity) ls in
+          let hi =
+            binary_search
+              ~reachable:(reach_above cells ~c_count ~c_sum)
+              ~lo:lo0 ~hi:(hi0 +. 1e-6) ~dir:`Up
+          in
+          let lo =
+            if lo_unbounded then neg_infinity
+            else
+              binary_search
+                ~reachable:(reach_below cells ~c_count ~c_sum)
+                ~lo:(lo0 -. 1e-6) ~hi:hi0 ~dir:`Down
+          in
+          Range
+            (Range.make ~lo_exact:false ~hi_exact:false (Float.min lo hi)
+               (Float.max lo hi))
+        end
+
+  let bound ~opts set (query : Q.t) ~c_count ~c_sum =
+    match prepare ~opts set query with
+    | Error a -> a
+    | Ok cells -> (
+        match query.Q.agg with
+        | Q.Count -> (
+            match sum_like cells ~is_count:true with
+            | Range r -> Range (Range.shift r c_count)
+            | other -> other)
+        | Q.Sum _ -> (
+            match sum_like cells ~is_count:false with
+            | Range r -> Range (Range.shift r c_sum)
+            | other -> other)
+        | Q.Avg _ -> avg cells ~c_count ~c_sum
+        | Q.Max _ | Q.Min _ ->
+            (* the per-cell shapes match the general path; certain
+               combination is handled by the caller *)
+            extremal cells ~is_max:(query.Q.agg = Q.Max (Option.get (Q.agg_attr query))))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Public interface                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let use_greedy_path ~opts set = opts.use_greedy && Pc_set.is_disjoint set
+
+let bound ?(opts = default_opts) set (query : Q.t) =
+  if use_greedy_path ~opts set then
+    Greedy.bound ~opts set query ~c_count:0. ~c_sum:0.
+  else begin
+    match prepare ~opts set query with
+    | Error a -> a
+    | Ok prep -> (
+        match query.Q.agg with
+        | Q.Count -> sum_like ~opts prep ~is_count:true
+        | Q.Sum _ -> sum_like ~opts prep ~is_count:false
+        | Q.Avg _ -> avg_bounds ~opts prep ~c_count:0. ~c_sum:0.
+        | Q.Max _ -> extremal ~opts query prep ~is_max:true
+        | Q.Min _ -> extremal ~opts query prep ~is_max:false)
+  end
+
+let can_be_empty set (query : Q.t) =
+  List.for_all
+    (fun pc -> effective_kl query.Q.where_ pc = 0)
+    (Pc_set.pcs set)
+
+let bound_with_certain ?(opts = default_opts) set ~certain (query : Q.t) =
+  let certain_sel = Q.selection certain query in
+  let c_count = float_of_int (Pc_data.Relation.cardinality certain_sel) in
+  match query.Q.agg with
+  | Q.Count -> (
+      match bound ~opts set query with
+      | Range r -> Range (Range.shift r c_count)
+      | (Empty | Infeasible) as a -> a)
+  | Q.Sum a -> (
+      let c_sum =
+        if c_count = 0. then 0.
+        else Pc_util.Stat.sum (Pc_data.Relation.column certain_sel a)
+      in
+      match bound ~opts set query with
+      | Range r -> Range (Range.shift r c_sum)
+      | (Empty | Infeasible) as ans -> ans)
+  | Q.Avg a -> (
+      let c_sum =
+        if c_count = 0. then 0.
+        else Pc_util.Stat.sum (Pc_data.Relation.column certain_sel a)
+      in
+      if use_greedy_path ~opts set then
+        Greedy.bound ~opts set query ~c_count ~c_sum
+      else begin
+        match prepare ~opts set query with
+        | Error ans -> ans
+        | Ok prep -> avg_bounds ~opts prep ~c_count ~c_sum
+      end)
+  | Q.Min a | Q.Max a -> (
+      let is_max = match query.Q.agg with Q.Max _ -> true | _ -> false in
+      let certain_extreme =
+        if c_count = 0. then None
+        else begin
+          let col = Pc_data.Relation.column certain_sel a in
+          Some
+            (if is_max then Pc_util.Stat.maximum col else Pc_util.Stat.minimum col)
+        end
+      in
+      let missing = bound ~opts set query in
+      match (missing, certain_extreme) with
+      | Infeasible, _ -> Infeasible
+      | Empty, None -> Empty
+      | Empty, Some m -> Range (Range.point m)
+      | Range r, None -> Range r
+      | Range r, Some m ->
+          let empty_ok = can_be_empty set query in
+          if is_max then begin
+            (* MAX(union) = max(m*, MAX(missing)); an allowed-empty
+               missing partition pins the low end at m*. *)
+            let lo = if empty_ok then m else Float.max m r.Range.lo in
+            let hi = Float.max m r.Range.hi in
+            Range (Range.make ~lo_exact:false ~hi_exact:false (Float.min lo hi) hi)
+          end
+          else begin
+            let hi = if empty_ok then m else Float.min m r.Range.hi in
+            let lo = Float.min m r.Range.lo in
+            Range (Range.make ~lo_exact:false ~hi_exact:false lo (Float.max lo hi))
+          end)

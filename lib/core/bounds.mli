@@ -1,0 +1,50 @@
+(** Result ranges for aggregate queries over missing data (paper §4).
+
+    Given a closed predicate-constraint set describing the missing
+    partition R? and an aggregate query, computes the hard range of values
+    the aggregate can take over any R? consistent with the constraints:
+    cell decomposition, then a mixed-integer program allocating row counts
+    to cells (Equation 2), with the paper's special cases — greedy
+    solution for disjoint constraint sets, binary search for AVG, per-cell
+    scan for MIN/MAX.
+
+    Semantics of the aggregates:
+    - COUNT/SUM: the range always exists (an empty R? gives 0).
+    - AVG/MIN/MAX: undefined on an empty selection, so the answer is
+      [Empty] when no consistent R? can place a row in the query region;
+      otherwise the range is over consistent instances with at least one
+      qualifying row.
+    - [Infeasible] signals a constraint system no relation satisfies
+      (e.g. a frequency lower bound on an unsatisfiable predicate). *)
+
+type answer = Range of Range.t | Empty | Infeasible
+
+type opts = {
+  strategy : Cells.strategy;
+  node_limit : int;  (** MILP node budget; exceeding it only loosens bounds *)
+  tighten : bool;
+      (** also clip cell value bounds by predicate/query ranges on the
+          aggregated attribute (sound strengthening of the paper's
+          U_i(a) = min value-constraint bound) *)
+  use_greedy : bool;
+      (** use the O(n) greedy path when the predicates are disjoint
+          (paper §4.2, "Faster Algorithm in Special Cases") *)
+}
+
+val default_opts : opts
+
+val bound : ?opts:opts -> Pc_set.t -> Pc_query.Query.t -> answer
+(** Range of the aggregate over the missing partition only. *)
+
+val bound_with_certain :
+  ?opts:opts ->
+  Pc_set.t ->
+  certain:Pc_data.Relation.t ->
+  Pc_query.Query.t ->
+  answer
+(** Range over R* ∪ R?: evaluates the query exactly on the certain
+    partition and combines it with the missing-data range (§6.2's
+    partial-ground-truth protocol). *)
+
+val can_be_empty : Pc_set.t -> Pc_query.Query.t -> bool
+(** No frequency lower bound forces a row into the query region. *)

@@ -1,0 +1,124 @@
+module Pred = Pc_predicate.Pred
+module Cnf = Pc_predicate.Cnf
+module Sat = Pc_predicate.Sat
+
+type cell = { active : int list; expr : Cnf.t }
+
+type strategy = Naive | Dfs | Dfs_rewrite | Early_stop of int
+
+type stats = { sat_calls : int; n_cells : int; elapsed : float }
+
+let strategy_name = function
+  | Naive -> "naive"
+  | Dfs -> "dfs"
+  | Dfs_rewrite -> "dfs+rewrite"
+  | Early_stop k -> Printf.sprintf "early-stop(%d)" k
+
+let max_enum_bits = 24
+
+let guard_enumeration n =
+  if n > max_enum_bits then
+    invalid_arg
+      (Printf.sprintf
+         "Cells.decompose: exhaustive strategy on %d constraints would \
+          enumerate 2^%d cells"
+         n n)
+
+let naive preds base =
+  let n = Array.length preds in
+  guard_enumeration n;
+  let cells = ref [] in
+  for mask = 1 to (1 lsl n) - 1 do
+    let expr = ref base in
+    for i = n - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then
+        expr := Cnf.conj (Cnf.of_pred preds.(i)) !expr
+      else expr := Cnf.conj (Cnf.of_neg_pred preds.(i)) !expr
+    done;
+    if Sat.check !expr then begin
+      let active =
+        List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id)
+      in
+      cells := { active; expr = !expr } :: !cells
+    end
+  done;
+  List.rev !cells
+
+(* Depth-first over predicate indices; [rewrite] enables Optimization 3.
+   Invariant: [expr] (the prefix expression) is known satisfiable when
+   [known_sat]; in plain DFS mode we verify each extension eagerly, so the
+   prefix is always known satisfiable and every extension costs a solver
+   call. With rewriting, a failed positive extension certifies the
+   negative one for free. *)
+let dfs ~rewrite preds base =
+  let n = Array.length preds in
+  let cells = ref [] in
+  let rec go i expr active =
+    if i = n then begin
+      match active with
+      | [] -> () (* closure excludes the all-negative region *)
+      | _ -> cells := { active = List.rev active; expr } :: !cells
+    end
+    else begin
+      let pos = Cnf.conj expr (Cnf.of_pred preds.(i)) in
+      let neg = Cnf.conj expr (Cnf.of_neg_pred preds.(i)) in
+      let pos_sat = Sat.check pos in
+      if pos_sat then go (i + 1) pos (i :: active);
+      if rewrite && not pos_sat then
+        (* X sat ∧ X∧ψ unsat ⟹ X∧¬ψ sat: skip the solver call *)
+        go (i + 1) neg active
+      else if Sat.check neg then go (i + 1) neg active
+    end
+  in
+  if Sat.check base then go 0 base [];
+  List.rev !cells
+
+(* Optimization 4: verify prefixes only down to depth [k]; admit every
+   deeper completion as satisfiable (sound for bounding: false positives
+   only relax the optimization problem). *)
+let early_stop ~k preds base =
+  let n = Array.length preds in
+  if n - k > max_enum_bits then guard_enumeration n;
+  let cells = ref [] in
+  let rec go i expr active =
+    if i = n then begin
+      match active with
+      | [] -> ()
+      | _ -> cells := { active = List.rev active; expr } :: !cells
+    end
+    else begin
+      let pos = Cnf.conj expr (Cnf.of_pred preds.(i)) in
+      let neg = Cnf.conj expr (Cnf.of_neg_pred preds.(i)) in
+      if i < k then begin
+        let pos_sat = Sat.check pos in
+        if pos_sat then go (i + 1) pos (i :: active);
+        if not pos_sat then go (i + 1) neg active
+        else if Sat.check neg then go (i + 1) neg active
+      end
+      else begin
+        (* beyond the verified prefix: admit both branches *)
+        go (i + 1) pos (i :: active);
+        go (i + 1) neg active
+      end
+    end
+  in
+  if k <= 0 || Sat.check base then go 0 base [];
+  List.rev !cells
+
+let decompose ?(strategy = Dfs_rewrite) ?(query_pred = Pred.tt) set =
+  let preds =
+    Array.of_list (List.map (fun (pc : Pc.t) -> pc.Pc.pred) (Pc_set.pcs set))
+  in
+  let base = Cnf.of_pred query_pred in
+  let calls_before = Sat.calls () in
+  let t0 = Sys.time () in
+  let cells =
+    match strategy with
+    | Naive -> naive preds base
+    | Dfs -> dfs ~rewrite:false preds base
+    | Dfs_rewrite -> dfs ~rewrite:true preds base
+    | Early_stop k -> early_stop ~k preds base
+  in
+  let elapsed = Sys.time () -. t0 in
+  let sat_calls = Sat.calls () - calls_before in
+  (cells, { sat_calls; n_cells = List.length cells; elapsed })

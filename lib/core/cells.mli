@@ -1,0 +1,40 @@
+(** Cell decomposition (paper §4.1): split possibly-overlapping predicates
+    into disjoint satisfiable cells.
+
+    A cell is identified by its non-empty set of *active* constraints A:
+    its region is [Q ∧ (∧_{i∈A} ψᵢ) ∧ (∧_{i∉A} ¬ψᵢ)], where [Q] is the
+    target query's predicate (pushdown, Optimization 1). The all-negative
+    cell is excluded by closure. Strategies:
+
+    - [Naive]: test all 2ⁿ − 1 subsets (paper's baseline; n ≤ 24 enforced).
+    - [Dfs]: depth-first over predicates, pruning unsatisfiable prefixes
+      (Optimization 2).
+    - [Dfs_rewrite]: additionally uses the rewrite rule
+      "X sat ∧ (X∧ψ unsat) ⟹ X∧¬ψ sat" to skip solver calls
+      (Optimization 3).
+    - [Early_stop k]: prune with DFS for the first [k] levels only and
+      admit every deeper cell unchecked (Optimization 4) — may yield
+      false-positive cells, which loosen but never invalidate the bounds. *)
+
+type cell = {
+  active : int list;  (** indices into the PC set, ascending, non-empty *)
+  expr : Pc_predicate.Cnf.t;  (** the cell's region *)
+}
+
+type strategy = Naive | Dfs | Dfs_rewrite | Early_stop of int
+
+type stats = {
+  sat_calls : int;  (** satisfiability-solver invocations *)
+  n_cells : int;  (** satisfiable (or admitted) cells *)
+  elapsed : float;  (** CPU seconds *)
+}
+
+val decompose :
+  ?strategy:strategy ->
+  ?query_pred:Pc_predicate.Pred.t ->
+  Pc_set.t ->
+  cell list * stats
+(** Raises [Invalid_argument] when [Naive] or [Early_stop] would enumerate
+    more than 2²⁴ cells. *)
+
+val strategy_name : strategy -> string

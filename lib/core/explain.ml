@@ -1,0 +1,68 @@
+type impact = {
+  name : string;
+  without : Bounds.answer;
+  hi_widening : float;
+  lo_widening : float;
+}
+
+type report = { baseline : Bounds.answer; impacts : impact list }
+
+let hi_of = function
+  | Bounds.Range r -> r.Range.hi
+  | Bounds.Empty -> neg_infinity
+  | Bounds.Infeasible -> neg_infinity
+
+let lo_of = function
+  | Bounds.Range r -> r.Range.lo
+  | Bounds.Empty -> infinity
+  | Bounds.Infeasible -> infinity
+
+let widenings ~baseline ~without =
+  let dh = hi_of without -. hi_of baseline in
+  let dl = lo_of baseline -. lo_of without in
+  (* clamp numeric noise and the degenerate empty/infeasible encodings *)
+  let clean x = if Float.is_nan x then 0. else Float.max 0. x in
+  (clean dh, clean dl)
+
+(* "Dropping" a constraint must not also revoke its region's permission
+   to hold rows (closure makes predicates double as existence
+   permissions), so the counterfactual keeps the predicate but relaxes
+   the belief to vacuous: no value bounds, a huge frequency cap. *)
+let vacuous_ku = 1_000_000_000
+
+let relax (pc : Pc.t) =
+  Pc.make ~name:pc.Pc.name ~pred:pc.Pc.pred ~values:[] ~freq:(0, vacuous_ku) ()
+
+let leave_one_out ?opts set query =
+  let baseline = Bounds.bound ?opts set query in
+  let pcs = Pc_set.pcs set in
+  let impacts =
+    List.mapi
+      (fun i (pc : Pc.t) ->
+        let relaxed = List.mapi (fun j p -> if j = i then relax p else p) pcs in
+        let without = Bounds.bound ?opts (Pc_set.make relaxed) query in
+        let hi_widening, lo_widening = widenings ~baseline ~without in
+        { name = pc.Pc.name; without; hi_widening; lo_widening })
+      pcs
+  in
+  { baseline; impacts }
+
+let binding report =
+  List.filter (fun i -> i.hi_widening > 1e-9 || i.lo_widening > 1e-9) report.impacts
+  |> List.stable_sort (fun a b ->
+         let c = Float.compare b.hi_widening a.hi_widening in
+         if c <> 0 then c else Float.compare b.lo_widening a.lo_widening)
+
+let pp_answer ppf = function
+  | Bounds.Range r -> Range.pp ppf r
+  | Bounds.Empty -> Format.fprintf ppf "(empty)"
+  | Bounds.Infeasible -> Format.fprintf ppf "(infeasible)"
+
+let pp_report ppf report =
+  Format.fprintf ppf "@[<v>baseline: %a@," pp_answer report.baseline;
+  List.iter
+    (fun i ->
+      Format.fprintf ppf "  without %-20s %a  (hi +%g, lo -%g)@," i.name
+        pp_answer i.without i.hi_widening i.lo_widening)
+    report.impacts;
+  Format.fprintf ppf "@]"

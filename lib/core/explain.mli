@@ -1,0 +1,34 @@
+(** Attribution of result ranges to individual constraints, towards the
+    paper's stated future work of "understanding the robustness
+    properties of result ranges" (§8): which constraints is a bound
+    actually resting on?
+
+    Each constraint is *relaxed* in turn (its predicate kept — under
+    closure a predicate doubles as an existence permission — but its
+    value bounds and frequency cap made vacuous) and the range is
+    recomputed. A constraint whose relaxation widens the range is
+    *binding*; one whose relaxation blows a side up toward infinity is
+    *load-bearing* — it is the only thing standing between the analyst
+    and an unbounded answer. Analysts should scrutinize binding
+    constraints first: they are the beliefs the conclusion depends on. *)
+
+type impact = {
+  name : string;
+  without : Bounds.answer;  (** range when this constraint is dropped *)
+  hi_widening : float;
+      (** increase of the upper bound when dropped; [infinity] for a
+          load-bearing constraint, [0.] for a redundant one *)
+  lo_widening : float;  (** decrease of the lower bound when dropped *)
+}
+
+type report = { baseline : Bounds.answer; impacts : impact list }
+
+val leave_one_out :
+  ?opts:Bounds.opts -> Pc_set.t -> Pc_query.Query.t -> report
+(** O(n) bound computations. *)
+
+val binding : report -> impact list
+(** Impacts with non-zero widening, most influential (by [hi_widening],
+    then [lo_widening]) first. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,57 @@
+(** PC generation schemes used by the paper's macro-benchmarks (§6.1.4):
+    [Corr-PC] — equi-cardinality partitions over attributes correlated
+    with the aggregate — and [Rand-PC] — random overlapping constraints.
+    Histograms are generated as the equi-width special case.
+
+    All generators derive constraints that *hold by construction* on the
+    relation they summarize (typically the missing partition, matching the
+    paper's idealized protocol where every baseline gets true information
+    about the missing data in O(n) space). *)
+
+val correlated_attrs :
+  Pc_data.Relation.t -> agg:string -> candidates:string list -> k:int -> string list
+(** The [k] candidates most correlated with [agg]: numeric candidates by
+    |Pearson correlation|, categorical ones by the R² of group means. *)
+
+val corr_partition :
+  ?value_attrs:string list ->
+  ?exact_counts:bool ->
+  Pc_data.Relation.t ->
+  attrs:string list ->
+  n:int ->
+  unit ->
+  Pc.t list
+(** Equi-cardinality grid partition over [attrs] with roughly [n]
+    non-empty buckets. Each bucket becomes one PC: its predicate is the
+    bucket box, its value constraint the min/max of each [value_attrs]
+    (default: all numeric attributes) within the bucket, its frequency
+    (0, bucket count) — or (count, count) with [exact_counts], which
+    also yields informative lower bounds. The result is disjoint, so the
+    greedy solver path applies. *)
+
+val rand_pcs :
+  ?value_attrs:string list ->
+  ?width_frac:float * float ->
+  Pc_util.Rng.t ->
+  Pc_data.Relation.t ->
+  attrs:string list ->
+  n:int ->
+  unit ->
+  Pc.t list
+(** [n] random overlapping range predicates over numeric [attrs], each
+    with exact value ranges and counts of its matching rows, plus one
+    catch-all constraint that guarantees coverage of the space.
+    [width_frac = (lo, hi)] controls window widths as a fraction of each
+    attribute's domain (default: the difference of two uniform draws,
+    mean 1/3). *)
+
+val equiwidth_grid :
+  ?value_attrs:string list ->
+  Pc_data.Relation.t ->
+  attrs:string list ->
+  bins:int ->
+  unit ->
+  Pc.t list
+(** Equi-width grid ([bins] per numeric attribute; one bucket per distinct
+    value of categorical attributes). This is the Histogram baseline
+    (§6.1.3) expressed as disjoint PCs with exact per-bucket counts. *)

@@ -1,0 +1,30 @@
+(** Predicate-constraint sets S = {π₁, …, πₙ} (paper §3.2). *)
+
+type t
+
+val make : Pc.t list -> t
+val of_array : Pc.t array -> t
+val pcs : t -> Pc.t list
+val size : t -> int
+val get : t -> int -> Pc.t
+
+val holds : Pc_data.Relation.t -> t -> bool
+(** Every constraint holds on the relation. *)
+
+val violations : Pc_data.Relation.t -> t -> string list
+
+val closed_over : Pc_data.Relation.t -> t -> bool
+(** Closure (Definition 3.2) checked empirically: every tuple satisfies at
+    least one predicate. The framework's result ranges are guaranteed only
+    under closure. *)
+
+val is_disjoint : t -> bool
+(** True when predicates are pairwise unsatisfiable together — the fast
+    greedy path applies (paper §4.2, "Faster Algorithm in Special Cases").
+    Computed once and cached. *)
+
+val attrs : t -> string list
+(** Sorted distinct attributes mentioned by any predicate or value
+    constraint. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type t = { lo : float; hi : float; lo_exact : bool; hi_exact : bool }
+
+let make ?(lo_exact = false) ?(hi_exact = false) lo hi =
+  if Float.is_nan lo || Float.is_nan hi then invalid_arg "Range.make: NaN bound";
+  if lo > hi +. 1e-6 *. Float.max 1. (Float.abs hi) then
+    invalid_arg (Printf.sprintf "Range.make: lo %g > hi %g" lo hi);
+  { lo = Float.min lo hi; hi; lo_exact; hi_exact }
+
+let point x = make ~lo_exact:true ~hi_exact:true x x
+let contains t x = x >= t.lo -. 1e-9 && x <= t.hi +. 1e-9
+let width t = t.hi -. t.lo
+
+let shift t d =
+  { t with lo = t.lo +. d; hi = t.hi +. d }
+
+let join a b =
+  {
+    lo = Float.min a.lo b.lo;
+    hi = Float.max a.hi b.hi;
+    lo_exact = (if a.lo <= b.lo then a.lo_exact else b.lo_exact);
+    hi_exact = (if a.hi >= b.hi then a.hi_exact else b.hi_exact);
+  }
+
+let over_estimation t ~truth = if truth <= 0. then nan else t.hi /. truth
+
+let pp ppf t =
+  Format.fprintf ppf "[%g%s, %g%s]" t.lo
+    (if t.lo_exact then "" else "-")
+    t.hi
+    (if t.hi_exact then "" else "+")
+
+let to_string t = Format.asprintf "%a" pp t

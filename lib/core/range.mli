@@ -1,0 +1,33 @@
+(** Deterministic result ranges ("hard bounds", as opposed to
+    probabilistic confidence intervals — paper footnote 1). *)
+
+type t = {
+  lo : float;  (** may be [neg_infinity] *)
+  hi : float;  (** may be [infinity] *)
+  lo_exact : bool;
+      (** the optimizer proved [lo] is attained by a valid missing-data
+          instance (bound tightness, §4) — [false] means [lo] is merely a
+          sound under-approximation *)
+  hi_exact : bool;
+}
+
+val make : ?lo_exact:bool -> ?hi_exact:bool -> float -> float -> t
+(** Raises [Invalid_argument] when [lo > hi] (beyond tolerance) or a bound
+    is NaN. *)
+
+val point : float -> t
+val contains : t -> float -> bool
+val width : t -> float
+
+val shift : t -> float -> t
+(** Translate both endpoints (combining with a certain-partition value). *)
+
+val join : t -> t -> t
+(** Smallest range containing both. *)
+
+val over_estimation : t -> truth:float -> float
+(** [hi / truth], the paper's tightness metric (§6.1). Meaningful for
+    positive [truth]; returns [nan] when [truth <= 0]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,54 @@
+(** In-memory relations: a schema plus an array of tuples.
+
+    A tuple is a [Value.t array] whose layout matches the schema. Relations
+    are immutable from the outside; operations return fresh relations and
+    never alias the caller's arrays. *)
+
+type tuple = Value.t array
+
+type t
+
+val create : Schema.t -> tuple list -> t
+(** Validates every tuple against the schema (arity and kinds). *)
+
+val of_array : Schema.t -> tuple array -> t
+val schema : t -> Schema.t
+val cardinality : t -> int
+val is_empty : t -> bool
+val tuples : t -> tuple array
+(** A defensive copy. *)
+
+val get : t -> int -> tuple
+val value : t -> int -> string -> Value.t
+(** [value r i a] is attribute [a] of tuple [i]. *)
+
+val number : t -> int -> string -> float
+(** Numeric attribute access; raises on categorical. *)
+
+val iter : (tuple -> unit) -> t -> unit
+val fold : ('a -> tuple -> 'a) -> 'a -> t -> 'a
+val filter : (tuple -> bool) -> t -> t
+val partition : (tuple -> bool) -> t -> t * t
+val union : t -> t -> t
+(** Bag union; schemas must be equal. *)
+
+val column : t -> string -> float array
+(** Numeric column as floats. *)
+
+val column_values : t -> string -> Value.t array
+
+val distinct_strings : t -> string -> string list
+(** Sorted distinct values of a categorical column. *)
+
+val min_max : t -> string -> (float * float) option
+(** Range of a numeric column; [None] when empty. *)
+
+val sort_by : (tuple -> tuple -> int) -> t -> t
+
+val group_by : t -> string -> (Value.t * t) list
+(** Groups by one attribute; order of groups follows first occurrence. *)
+
+val take : int -> t -> t
+val drop : int -> t -> t
+val pp : Format.formatter -> t -> unit
+(** Prints the schema and up to 10 tuples. *)

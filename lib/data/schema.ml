@@ -1,0 +1,56 @@
+type kind = Numeric | Categorical
+
+type attr = { name : string; kind : kind }
+
+type t = { attrs : attr array; by_name : (string, int) Hashtbl.t }
+
+let make attrs =
+  let arr = Array.of_list attrs in
+  let by_name = Hashtbl.create (Array.length arr) in
+  Array.iteri
+    (fun i a ->
+      if Hashtbl.mem by_name a.name then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %S" a.name);
+      Hashtbl.add by_name a.name i)
+    arr;
+  { attrs = arr; by_name }
+
+let of_names pairs = make (List.map (fun (name, kind) -> { name; kind }) pairs)
+let attrs t = Array.to_list t.attrs
+let arity t = Array.length t.attrs
+let index_opt t name = Hashtbl.find_opt t.by_name name
+
+let index t name =
+  match index_opt t name with Some i -> i | None -> raise Not_found
+
+let mem t name = Hashtbl.mem t.by_name name
+let attr t name = t.attrs.(index t name)
+let kind t name = (attr t name).kind
+let names t = Array.to_list t.attrs |> List.map (fun a -> a.name)
+
+let numeric_names t =
+  Array.to_list t.attrs
+  |> List.filter_map (fun a ->
+         match a.kind with Numeric -> Some a.name | Categorical -> None)
+
+let concat a b =
+  let right =
+    List.map
+      (fun at -> if mem a at.name then { at with name = at.name ^ "_r" } else at)
+      (attrs b)
+  in
+  make (attrs a @ right)
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2 (fun x y -> x.name = y.name && x.kind = y.kind) a.attrs
+       b.attrs
+
+let pp ppf t =
+  let pp_attr ppf a =
+    Format.fprintf ppf "%s:%s" a.name
+      (match a.kind with Numeric -> "num" | Categorical -> "cat")
+  in
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_attr)
+    (attrs t)

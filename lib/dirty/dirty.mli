@@ -1,0 +1,52 @@
+(** Contingency analysis for dirty rows — the extension sketched in the
+    paper's conclusion (§8): "rather than considering completely missing
+    or dirty rows, we want to consider rows with some good and some
+    faulty information."
+
+    Rows are present, but annotations declare that some numeric attribute
+    values are untrustworthy: the true value lies in an interval around
+    (or instead of) the recorded one. Aggregates are then bounded over
+    every relation obtainable by replacing annotated values within their
+    intervals — same hard-bound semantics as the missing-row framework,
+    evaluated by three-valued predicate matching (a row with an uncertain
+    predicate attribute *may* satisfy the query) plus an exact
+    interval-aggregation step.
+
+    Categorical attributes are always trusted; annotations apply to
+    numeric attributes only. *)
+
+type model =
+  | Absolute of Pc_interval.Interval.t
+      (** the true value lies in this interval, wherever the recorded one is *)
+  | Additive of float  (** within ± delta of the recorded value *)
+  | Relative of float  (** within ± (r × |recorded value|) *)
+
+type annotation = {
+  pred : Pc_predicate.Pred.t;  (** which rows are suspect *)
+  attr : string;  (** which attribute is unreliable *)
+  model : model;
+}
+
+val annotation :
+  ?pred:Pc_predicate.Pred.t -> attr:string -> model -> annotation
+(** [pred] defaults to all rows. *)
+
+type answer = Range of Pc_core.Range.t | Empty | Inconsistent
+
+val value_interval :
+  Pc_data.Schema.t ->
+  annotation list ->
+  Pc_data.Relation.tuple ->
+  string ->
+  Pc_interval.Interval.t option
+(** Possible true values of one attribute of one row: the recorded point
+    unless annotations apply; overlapping annotations intersect (most
+    restrictive wins, as with overlapping PCs). [None] when annotations
+    contradict each other. *)
+
+val bound :
+  Pc_data.Relation.t -> annotation list -> Pc_query.Query.t -> answer
+(** Hard range of the aggregate over all consistent repairs of the dirty
+    relation. [Inconsistent] when some row admits no true value under
+    the annotations; [Empty] when AVG/MIN/MAX may be undefined in every
+    repair... (never returned for COUNT/SUM, whose empty value is 0). *)

@@ -1,0 +1,76 @@
+module S = Pc_lp.Simplex
+
+type cover = (string * float) list
+
+let solve ?(fixed = []) ~weights hg =
+  let rels = Hypergraph.rels hg in
+  let n = List.length rels in
+  let index =
+    List.mapi (fun i (r : Hypergraph.rel) -> (r.Hypergraph.name, i)) rels
+  in
+  let weight_of name =
+    match List.assoc_opt name weights with
+    | Some w -> Float.max 1. w
+    | None -> invalid_arg (Printf.sprintf "Edge_cover.solve: missing weight for %s" name)
+  in
+  let objective =
+    List.map
+      (fun (r : Hypergraph.rel) ->
+        (List.assoc r.Hypergraph.name index, log (weight_of r.Hypergraph.name)))
+      rels
+  in
+  let cover_cons =
+    List.map
+      (fun attr ->
+        let coeffs =
+          List.map (fun name -> (List.assoc name index, 1.)) (Hypergraph.covering hg attr)
+        in
+        S.c_ge coeffs 1.)
+      (Hypergraph.attrs hg)
+  in
+  let fixed_cons =
+    List.map
+      (fun (name, v) ->
+        match List.assoc_opt name index with
+        | Some i -> S.c_eq [ (i, 1.) ] v
+        | None -> invalid_arg (Printf.sprintf "Edge_cover.solve: unknown relation %s" name))
+      fixed
+  in
+  let problem =
+    {
+      S.n_vars = n;
+      maximize = false;
+      objective;
+      constraints = cover_cons @ fixed_cons;
+    }
+  in
+  match S.solve problem with
+  | S.Optimal sol ->
+      Some
+        (List.map
+           (fun (r : Hypergraph.rel) ->
+             (r.Hypergraph.name, sol.S.values.(List.assoc r.Hypergraph.name index)))
+           rels)
+  | S.Infeasible | S.Unbounded -> None
+
+let product_bound ~weights cover =
+  List.fold_left
+    (fun acc (name, c) ->
+      if c <= 1e-12 then acc
+      else begin
+        let w =
+          match List.assoc_opt name weights with
+          | Some w -> Float.max 1. w
+          | None -> invalid_arg "Edge_cover.product_bound: missing weight"
+        in
+        acc *. (w ** c)
+      end)
+    1. cover
+
+let integral_cover hg =
+  let weights =
+    List.map
+      (fun (r : Hypergraph.rel) -> (r.Hypergraph.name, Float.exp 1.))
+      (Hypergraph.rels hg)
+  in
+  solve ~weights hg

@@ -1,0 +1,57 @@
+type rel = { name : string; attrs : string list }
+
+type t = rel list
+
+let make rels =
+  let names = List.map (fun r -> r.name) rels in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Hypergraph.make: duplicate relation names";
+  List.iter
+    (fun r -> if r.attrs = [] then invalid_arg "Hypergraph.make: relation without attributes")
+    rels;
+  rels
+
+let rels t = t
+let size t = List.length t
+
+let attrs t =
+  List.concat_map (fun r -> r.attrs) t |> List.sort_uniq String.compare
+
+let covering t attr =
+  List.filter_map
+    (fun r -> if List.mem attr r.attrs then Some r.name else None)
+    t
+
+let mem t name = List.exists (fun r -> r.name = name) t
+
+let triangle =
+  make
+    [
+      { name = "R"; attrs = [ "a"; "b" ] };
+      { name = "S"; attrs = [ "b"; "c" ] };
+      { name = "T"; attrs = [ "c"; "a" ] };
+    ]
+
+let clique k =
+  if k < 2 then invalid_arg "Hypergraph.clique: k < 2";
+  let rels = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      rels :=
+        {
+          name = Printf.sprintf "E%d_%d" i j;
+          attrs = [ Printf.sprintf "x%d" i; Printf.sprintf "x%d" j ];
+        }
+        :: !rels
+    done
+  done;
+  make (List.rev !rels)
+
+let chain k =
+  if k < 1 then invalid_arg "Hypergraph.chain: k < 1";
+  make
+    (List.init k (fun i ->
+         {
+           name = Printf.sprintf "R%d" (i + 1);
+           attrs = [ Printf.sprintf "x%d" (i + 1); Printf.sprintf "x%d" (i + 2) ];
+         }))

@@ -1,0 +1,33 @@
+(** Join hypergraphs: one hyperedge per relation, vertices are join
+    attributes. When several relations join on an attribute the attribute
+    is considered indistinguishable across them (paper §5.2). *)
+
+type rel = { name : string; attrs : string list }
+
+type t
+
+val make : rel list -> t
+(** Raises [Invalid_argument] on duplicate relation names or a relation
+    without attributes. *)
+
+val rels : t -> rel list
+val size : t -> int
+val attrs : t -> string list
+(** All distinct attributes, sorted. *)
+
+val covering : t -> string -> string list
+(** Names of the relations containing an attribute. *)
+
+val mem : t -> string -> bool
+(** Membership by relation name. *)
+
+(** Standard shapes used in the paper's evaluation (§6.6.3). *)
+
+val triangle : t
+(** R(a,b) ⋈ S(b,c) ⋈ T(c,a). *)
+
+val clique : int -> t
+(** The k-clique pattern: one binary relation per vertex pair. *)
+
+val chain : int -> t
+(** R1(x1,x2) ⋈ R2(x2,x3) ⋈ … ⋈ Rk(xk, x(k+1)) — the acyclic join. *)

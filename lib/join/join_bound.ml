@@ -1,0 +1,88 @@
+module Q = Pc_query.Query
+module Bounds = Pc_core.Bounds
+module Pc_set = Pc_core.Pc_set
+module Pc = Pc_core.Pc
+
+type table = {
+  name : string;
+  join_attrs : string list;
+  pcs : Pc_set.t;
+  where_ : Pc_predicate.Pred.t;
+      (** per-table selection pushed below the join; [Pred.tt] when the
+          query has no predicate on this table *)
+}
+
+let table ?(where_ = Pc_predicate.Pred.tt) ~name ~join_attrs pcs =
+  { name; join_attrs; pcs; where_ }
+
+let hi_of = function
+  | Bounds.Range r -> r.Pc_core.Range.hi
+  | Bounds.Empty -> 0.
+  | Bounds.Infeasible -> 0.
+
+let count_upper ?opts t =
+  hi_of (Bounds.bound ?opts t.pcs (Q.count ~where_:t.where_ ()))
+
+let sum_upper ?opts t ~attr =
+  Float.max 0. (hi_of (Bounds.bound ?opts t.pcs (Q.sum ~where_:t.where_ attr)))
+
+let hypergraph_of tables =
+  Hypergraph.make
+    (List.map
+       (fun t -> { Hypergraph.name = t.name; attrs = t.join_attrs })
+       tables)
+
+let count_bound ?opts tables =
+  let counts = List.map (fun t -> (t.name, count_upper ?opts t)) tables in
+  if List.exists (fun (_, c) -> c <= 0.) counts then 0.
+  else begin
+    let hg = hypergraph_of tables in
+    match Edge_cover.solve ~weights:counts hg with
+    | Some cover -> Edge_cover.product_bound ~weights:counts cover
+    | None -> List.fold_left (fun acc (_, c) -> acc *. c) 1. counts
+  end
+
+let sum_bound ?opts tables ~agg:(agg_table, attr) =
+  if not (List.exists (fun t -> t.name = agg_table) tables) then
+    invalid_arg "Join_bound.sum_bound: unknown aggregate table";
+  let sums_and_counts =
+    List.map
+      (fun t ->
+        if t.name = agg_table then (t.name, sum_upper ?opts t ~attr)
+        else (t.name, count_upper ?opts t))
+      tables
+  in
+  if List.exists (fun (_, c) -> c <= 0.) sums_and_counts then 0.
+  else begin
+    let hg = hypergraph_of tables in
+    match Edge_cover.solve ~fixed:[ (agg_table, 1.) ] ~weights:sums_and_counts hg with
+    | Some cover -> Edge_cover.product_bound ~weights:sums_and_counts cover
+    | None -> List.fold_left (fun acc (_, c) -> acc *. c) 1. sums_and_counts
+  end
+
+let naive_count_bound ?opts tables =
+  List.fold_left (fun acc t -> acc *. count_upper ?opts t) 1. tables
+
+let product_pc_set a b =
+  let shared =
+    List.filter (fun x -> List.mem x (Pc_set.attrs b)) (Pc_set.attrs a)
+  in
+  if shared <> [] then
+    invalid_arg
+      (Printf.sprintf "Join_bound.product_pc_set: shared attributes (%s)"
+         (String.concat ", " shared));
+  let pairs =
+    List.concat_map
+      (fun (pa : Pc.t) ->
+        List.map
+          (fun (pb : Pc.t) ->
+            Pc.make
+              ~name:(pa.Pc.name ^ "*" ^ pb.Pc.name)
+              ~pred:(pa.Pc.pred @ pb.Pc.pred)
+              ~values:(pa.Pc.values @ pb.Pc.values)
+              ~freq:(pa.Pc.freq_lo * pb.Pc.freq_lo, pa.Pc.freq_hi * pb.Pc.freq_hi)
+              ())
+          (Pc_set.pcs b))
+      (Pc_set.pcs a)
+  in
+  Pc_set.make pairs

@@ -1,0 +1,276 @@
+
+type relop = Le | Ge | Eq
+
+type constr = { coeffs : (int * float) list; op : relop; rhs : float }
+
+type problem = {
+  n_vars : int;
+  maximize : bool;
+  objective : (int * float) list;
+  constraints : constr list;
+}
+
+type solution = { objective_value : float; values : float array }
+
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+let c_le coeffs rhs = { coeffs; op = Le; rhs }
+let c_ge coeffs rhs = { coeffs; op = Ge; rhs }
+let c_eq coeffs rhs = { coeffs; op = Eq; rhs }
+
+let tol = 1e-7
+let max_iters = 1_000_000
+
+let validate p =
+  if p.n_vars < 0 then invalid_arg "Simplex: negative n_vars";
+  let check_term (j, c) =
+    if j < 0 || j >= p.n_vars then invalid_arg "Simplex: variable index out of range";
+    if not (Float.is_finite c) then invalid_arg "Simplex: non-finite coefficient"
+  in
+  List.iter check_term p.objective;
+  List.iter
+    (fun cn ->
+      List.iter check_term cn.coeffs;
+      if not (Float.is_finite cn.rhs) then invalid_arg "Simplex: non-finite rhs")
+    p.constraints
+
+(* Mutable tableau state for one solve. *)
+type tableau = {
+  m : int;  (* constraint rows *)
+  n : int;  (* total columns (structural + slack + artificial) *)
+  a : float array array;  (* m rows of length n + 1; column n is rhs *)
+  z : float array;  (* objective row, length n + 1: reduced costs + value *)
+  basis : int array;  (* basic variable of each row *)
+  banned : bool array;  (* columns excluded from entering (artificials in phase 2) *)
+}
+
+let pivot t ~row ~col =
+  let arow = t.a.(row) in
+  let piv = arow.(col) in
+  let inv = 1. /. piv in
+  for j = 0 to t.n do
+    arow.(j) <- arow.(j) *. inv
+  done;
+  arow.(col) <- 1.;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let r = t.a.(i) in
+      let factor = r.(col) in
+      if factor <> 0. then begin
+        for j = 0 to t.n do
+          r.(j) <- r.(j) -. (factor *. arow.(j))
+        done;
+        r.(col) <- 0.
+      end
+    end
+  done;
+  let factor = t.z.(col) in
+  if factor <> 0. then begin
+    for j = 0 to t.n do
+      t.z.(j) <- t.z.(j) -. (factor *. arow.(j))
+    done;
+    t.z.(col) <- 0.
+  end;
+  t.basis.(row) <- col
+
+(* Entering column: Dantzig (most negative reduced cost) or Bland
+   (smallest index with negative reduced cost). *)
+let entering t ~bland =
+  if bland then begin
+    let rec find j =
+      if j >= t.n then None
+      else if (not t.banned.(j)) && t.z.(j) < -.tol then Some j
+      else find (j + 1)
+    in
+    find 0
+  end
+  else begin
+    let best = ref (-1) and best_val = ref (-.tol) in
+    for j = 0 to t.n - 1 do
+      if (not t.banned.(j)) && t.z.(j) < !best_val then begin
+        best := j;
+        best_val := t.z.(j)
+      end
+    done;
+    if !best = -1 then None else Some !best
+  end
+
+(* Leaving row by minimum ratio; ties broken by smallest basis variable
+   index (lexicographic-ish tie-break that combines well with Bland). *)
+let leaving t ~col =
+  let best = ref (-1) and best_ratio = ref infinity in
+  for i = 0 to t.m - 1 do
+    let aij = t.a.(i).(col) in
+    if aij > tol then begin
+      let ratio = t.a.(i).(t.n) /. aij in
+      if
+        ratio < !best_ratio -. tol
+        || (Float.abs (ratio -. !best_ratio) <= tol
+            && !best >= 0
+            && t.basis.(i) < t.basis.(!best))
+      then begin
+        best := i;
+        best_ratio := ratio
+      end
+    end
+  done;
+  if !best = -1 then None else Some !best
+
+exception Unbounded_exc
+
+let optimize t =
+  let iters = ref 0 in
+  let stall = ref 0 in
+  let last_obj = ref t.z.(t.n) in
+  let continue_ = ref true in
+  while !continue_ do
+    if !iters > max_iters then failwith "Simplex: iteration limit";
+    let bland = !stall > 2 * (t.m + t.n) in
+    match entering t ~bland with
+    | None -> continue_ := false
+    | Some col -> (
+        match leaving t ~col with
+        | None -> raise Unbounded_exc
+        | Some row ->
+            pivot t ~row ~col;
+            incr iters;
+            let obj = t.z.(t.n) in
+            if obj > !last_obj +. tol then begin
+              stall := 0;
+              last_obj := obj
+            end
+            else incr stall)
+  done
+
+let solve p =
+  validate p;
+  let cons =
+    (* Normalize to rhs >= 0 so artificial bases are valid. *)
+    List.map
+      (fun c ->
+        if c.rhs < 0. then begin
+          let coeffs = List.map (fun (j, v) -> (j, -.v)) c.coeffs in
+          let op = match c.op with Le -> Ge | Ge -> Le | Eq -> Eq in
+          { coeffs; op; rhs = -.c.rhs }
+        end
+        else c)
+      p.constraints
+    |> Array.of_list
+  in
+  let m = Array.length cons in
+  let n_slack =
+    Array.fold_left
+      (fun acc c -> match c.op with Le | Ge -> acc + 1 | Eq -> acc)
+      0 cons
+  in
+  let n_art =
+    Array.fold_left
+      (fun acc c -> match c.op with Ge | Eq -> acc + 1 | Le -> acc)
+      0 cons
+  in
+  let n = p.n_vars + n_slack + n_art in
+  let a = Array.init m (fun _ -> Array.make (n + 1) 0.) in
+  let basis = Array.make m (-1) in
+  let banned = Array.make n false in
+  let art_start = p.n_vars + n_slack in
+  let slack = ref p.n_vars and art = ref art_start in
+  Array.iteri
+    (fun i c ->
+      List.iter
+        (fun (j, v) -> a.(i).(j) <- a.(i).(j) +. v)
+        c.coeffs;
+      a.(i).(n) <- c.rhs;
+      (match c.op with
+      | Le ->
+          a.(i).(!slack) <- 1.;
+          basis.(i) <- !slack;
+          incr slack
+      | Ge ->
+          a.(i).(!slack) <- -1.;
+          incr slack;
+          a.(i).(!art) <- 1.;
+          basis.(i) <- !art;
+          incr art
+      | Eq ->
+          a.(i).(!art) <- 1.;
+          basis.(i) <- !art;
+          incr art))
+    cons;
+  let t = { m; n; a; z = Array.make (n + 1) 0.; basis; banned } in
+  (* ---- Phase 1: maximize -(sum of artificials). The reduced-cost row
+     for the initial artificial basis is the negated sum of rows whose
+     basic variable is artificial. ---- *)
+  let has_art = n_art > 0 in
+  let phase1_failed = ref false in
+  if has_art then begin
+    Array.fill t.z 0 (n + 1) 0.;
+    for i = 0 to m - 1 do
+      if basis.(i) >= art_start then
+        for j = 0 to n do
+          t.z.(j) <- t.z.(j) -. a.(i).(j)
+        done
+    done;
+    (* reduced cost of each artificial itself is 0 in the basis *)
+    for j = art_start to n - 1 do
+      t.z.(j) <- t.z.(j) +. 1.
+    done;
+    (try optimize t with Unbounded_exc -> failwith "Simplex: phase 1 unbounded");
+    if t.z.(n) < -.(tol *. 10.) then phase1_failed := true
+    else begin
+      (* Drive out artificials still basic at zero, ban artificial columns. *)
+      for i = 0 to m - 1 do
+        if basis.(i) >= art_start then begin
+          let found = ref (-1) in
+          for j = 0 to art_start - 1 do
+            if !found = -1 && Float.abs a.(i).(j) > tol then found := j
+          done;
+          if !found >= 0 then pivot t ~row:i ~col:!found
+          (* else: redundant row, harmless to keep with artificial at 0 *)
+        end
+      done;
+      for j = art_start to n - 1 do
+        banned.(j) <- true
+      done
+    end
+  end;
+  if !phase1_failed then Infeasible
+  else begin
+    (* ---- Phase 2: real objective, as maximization. ---- *)
+    let sign = if p.maximize then 1. else -1. in
+    let c = Array.make n 0. in
+    List.iter (fun (j, v) -> c.(j) <- c.(j) +. (sign *. v)) p.objective;
+    Array.fill t.z 0 (n + 1) 0.;
+    for j = 0 to n - 1 do
+      t.z.(j) <- -.c.(j)
+    done;
+    (* Make reduced costs of basic variables zero. *)
+    for i = 0 to m - 1 do
+      let b = basis.(i) in
+      let factor = t.z.(b) in
+      if factor <> 0. then begin
+        for j = 0 to n do
+          t.z.(j) <- t.z.(j) -. (factor *. a.(i).(j))
+        done;
+        t.z.(b) <- 0.
+      end
+    done;
+    match optimize t with
+    | exception Unbounded_exc -> Unbounded
+    | () ->
+        let values = Array.make p.n_vars 0. in
+        for i = 0 to m - 1 do
+          if basis.(i) < p.n_vars then begin
+            let v = a.(i).(n) in
+            values.(basis.(i)) <- (if Float.abs v < tol then 0. else v)
+          end
+        done;
+        let obj = sign *. t.z.(n) in
+        Optimal { objective_value = obj; values }
+  end
+
+let feasible p =
+  match solve { p with objective = []; maximize = true } with
+  | Optimal _ -> true
+  | Infeasible -> false
+  | Unbounded -> true
+

@@ -1,0 +1,42 @@
+(** Dense two-phase primal simplex over floats.
+
+    Solves [max/min c^T x] subject to linear constraints and [x >= 0].
+    Phase 1 finds a basic feasible solution with artificial variables;
+    phase 2 optimizes the real objective. Pricing is Dantzig's rule with a
+    switch to Bland's rule after a stall, which guarantees termination.
+
+    Tolerances come from {!Pc_util.Float_eps}; this is a float code and its
+    answers are exact only up to those tolerances (see DESIGN.md). Problem
+    sizes in this library are at most a few thousand variables/constraints,
+    well within dense-tableau territory. *)
+
+type relop = Le | Ge | Eq
+
+type constr = { coeffs : (int * float) list; op : relop; rhs : float }
+(** Sparse row: [coeffs] pairs a variable index with its coefficient.
+    Variable indices must be in [0, n_vars). *)
+
+type problem = {
+  n_vars : int;
+  maximize : bool;
+  objective : (int * float) list;  (** sparse; omitted indices are 0 *)
+  constraints : constr list;
+}
+
+type solution = { objective_value : float; values : float array }
+
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+val solve : problem -> outcome
+(** Raises [Invalid_argument] on malformed input (bad indices, non-finite
+    coefficients) and [Failure] if the iteration cap (1e6) is hit, which
+    indicates a bug rather than a hard instance at our sizes. *)
+
+val feasible : problem -> bool
+(** Phase-1 feasibility only. *)
+
+(** Constraint construction helpers. *)
+
+val c_le : (int * float) list -> float -> constr
+val c_ge : (int * float) list -> float -> constr
+val c_eq : (int * float) list -> float -> constr

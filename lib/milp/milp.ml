@@ -1,0 +1,134 @@
+module S = Pc_lp.Simplex
+module F = Pc_util.Float_eps
+
+type result = {
+  bound : float;
+  incumbent : S.solution option;
+  exact : bool;
+  nodes : int;
+}
+
+type outcome = Optimal of result | Infeasible | Unbounded
+
+let int_tol = 1e-6
+
+(* A node is the list of branching constraints accumulated on the path
+   from the root. *)
+type node = { extra : S.constr list; relax : S.solution }
+
+let most_fractional integrality values =
+  let best = ref (-1) and best_frac = ref int_tol in
+  Array.iteri
+    (fun j v ->
+      if integrality j then begin
+        let frac = Float.abs (v -. Float.round v) in
+        if frac > !best_frac then begin
+          best := j;
+          best_frac := frac
+        end
+      end)
+    values;
+  if !best = -1 then None else Some !best
+
+let solve ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem =
+  let sign = if problem.S.maximize then 1. else -1. in
+  (* Internally treat everything as maximization of sign * objective by
+     comparing signed values. *)
+  let better a b = sign *. a > sign *. b in
+  let solve_relax extra =
+    S.solve { problem with S.constraints = problem.S.constraints @ extra }
+  in
+  match solve_relax [] with
+  | S.Infeasible -> Infeasible
+  | S.Unbounded -> Unbounded
+  | S.Optimal root ->
+      let open_nodes : node Pc_util.Heap.t = Pc_util.Heap.create () in
+      Pc_util.Heap.push open_nodes (sign *. root.S.objective_value)
+        { extra = []; relax = root };
+      let incumbent = ref None in
+      let incumbent_val = ref neg_infinity (* signed value *) in
+      let nodes = ref 0 in
+      let stopped_early = ref false in
+      let continue_ = ref true in
+      while !continue_ do
+        match Pc_util.Heap.pop open_nodes with
+        | None -> continue_ := false
+        | Some (signed_bound, node) ->
+            if signed_bound <= !incumbent_val +. int_tol then
+              (* Best-first: every remaining node is no better. *)
+              continue_ := false
+            else if !nodes >= node_limit then begin
+              stopped_early := true;
+              (* put it back so the dual bound accounts for it *)
+              Pc_util.Heap.push open_nodes signed_bound node;
+              continue_ := false
+            end
+            else begin
+              incr nodes;
+              match most_fractional integrality node.relax.S.values with
+              | None ->
+                  (* Integral: candidate incumbent. *)
+                  if better node.relax.S.objective_value (sign *. !incumbent_val)
+                  then begin
+                    incumbent := Some node.relax;
+                    incumbent_val := sign *. node.relax.S.objective_value
+                  end
+              | Some j ->
+                  let v = node.relax.S.values.(j) in
+                  let fl = Float.of_int (int_of_float (Float.floor v)) in
+                  let branches =
+                    [
+                      S.c_le [ (j, 1.) ] fl;
+                      S.c_ge [ (j, 1.) ] (fl +. 1.);
+                    ]
+                  in
+                  List.iter
+                    (fun bc ->
+                      let extra = bc :: node.extra in
+                      match solve_relax extra with
+                      | S.Infeasible -> ()
+                      | S.Unbounded ->
+                          (* cannot happen if root is bounded, but keep a
+                             sound fallback *)
+                          Pc_util.Heap.push open_nodes infinity
+                            { extra; relax = node.relax }
+                      | S.Optimal sol ->
+                          let sb = sign *. sol.S.objective_value in
+                          if sb > !incumbent_val +. int_tol then
+                            Pc_util.Heap.push open_nodes sb
+                              { extra; relax = sol })
+                    branches
+            end
+      done;
+      let open_bound =
+        match Pc_util.Heap.peek_priority open_nodes with
+        | Some p when !stopped_early -> Some p
+        | _ -> None
+      in
+      let signed_final =
+        match open_bound with
+        | Some p -> Float.max p !incumbent_val
+        | None -> !incumbent_val
+      in
+      if !incumbent = None && open_bound = None then
+        (* No integral solution exists (e.g. constraints force a
+           fractional-only region). *)
+        Infeasible
+      else begin
+        let bound =
+          if signed_final = neg_infinity then nan else sign *. signed_final
+        in
+        let exact =
+          match (!incumbent, open_bound) with
+          | Some inc, None ->
+              F.approx_eq ~eps:1e-6 inc.S.objective_value bound
+          | Some _, Some _ | None, _ -> false
+        in
+        Optimal { bound; incumbent = !incumbent; exact; nodes = !nodes }
+      end
+
+let solve_exn ?node_limit ?integrality problem =
+  match solve ?node_limit ?integrality problem with
+  | Optimal r -> r
+  | Infeasible -> failwith "Milp.solve_exn: infeasible"
+  | Unbounded -> failwith "Milp.solve_exn: unbounded"

@@ -1,0 +1,34 @@
+(** Mixed-integer linear programming by branch-and-bound over the
+    {!Pc_lp.Simplex} relaxation.
+
+    Node selection is best-bound-first, so when the node budget runs out
+    the best open relaxation value is still a valid *dual bound* on the
+    true optimum — exactly what a hard result range needs: the reported
+    range can only get looser, never incorrect. Branching is
+    most-fractional-variable; all variables are non-negative, and all are
+    integer unless [integrality] says otherwise. *)
+
+type result = {
+  bound : float;
+      (** Valid bound on the optimum in the optimization direction (an
+          upper bound when maximizing). Equals the optimum when [exact]. *)
+  incumbent : Pc_lp.Simplex.solution option;
+      (** Best integral solution found, if any. *)
+  exact : bool;
+      (** The search closed the gap: [bound] is attained by [incumbent]. *)
+  nodes : int;  (** Branch-and-bound nodes expanded. *)
+}
+
+type outcome = Optimal of result | Infeasible | Unbounded
+
+val solve :
+  ?node_limit:int ->
+  ?integrality:(int -> bool) ->
+  Pc_lp.Simplex.problem ->
+  outcome
+(** [node_limit] defaults to 10_000; [integrality] defaults to all-integer.
+    [Unbounded] is reported when the relaxation is unbounded. *)
+
+val solve_exn :
+  ?node_limit:int -> ?integrality:(int -> bool) -> Pc_lp.Simplex.problem -> result
+(** Raises [Failure] on infeasible/unbounded. *)

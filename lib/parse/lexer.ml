@@ -1,0 +1,152 @@
+type token =
+  | Ident of string
+  | Number of float
+  | String of string
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Colon
+  | Le
+  | Ge
+  | Lt
+  | Gt
+  | Eq
+  | Neq
+  | Star
+  | Eof
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %s" s
+  | Number x -> Format.fprintf ppf "number %g" x
+  | String s -> Format.fprintf ppf "string '%s'" s
+  | Lparen -> Format.fprintf ppf "("
+  | Rparen -> Format.fprintf ppf ")"
+  | Lbracket -> Format.fprintf ppf "["
+  | Rbracket -> Format.fprintf ppf "]"
+  | Comma -> Format.fprintf ppf ","
+  | Semicolon -> Format.fprintf ppf ";"
+  | Colon -> Format.fprintf ppf ":"
+  | Le -> Format.fprintf ppf "<="
+  | Ge -> Format.fprintf ppf ">="
+  | Lt -> Format.fprintf ppf "<"
+  | Gt -> Format.fprintf ppf ">"
+  | Eq -> Format.fprintf ppf "="
+  | Neq -> Format.fprintf ppf "<>"
+  | Star -> Format.fprintf ppf "*"
+  | Eof -> Format.fprintf ppf "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  let fail msg = failwith (Printf.sprintf "lex error at offset %d: %s" !i msg) in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && input.[!i + 1] = '-' then begin
+      (* line comment *)
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      emit (Ident (String.sub input start (!i - start)))
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit input.[!i + 1])
+            || (c = '.' && !i + 1 < n && is_digit input.[!i + 1]) then begin
+      let start = !i in
+      if input.[!i] = '-' then incr i;
+      while
+        !i < n
+        && (is_digit input.[!i]
+           || input.[!i] = '.'
+           || input.[!i] = 'e'
+           || input.[!i] = 'E'
+           || ((input.[!i] = '+' || input.[!i] = '-')
+              && (input.[!i - 1] = 'e' || input.[!i - 1] = 'E')))
+      do
+        incr i
+      done;
+      let text = String.sub input start (!i - start) in
+      match float_of_string_opt text with
+      | Some x -> emit (Number x)
+      | None -> fail (Printf.sprintf "bad number %S" text)
+    end
+    else begin
+      match c with
+      | '\'' ->
+          let buf = Buffer.create 16 in
+          incr i;
+          let closed = ref false in
+          while (not !closed) && !i < n do
+            if input.[!i] = '\'' then
+              if !i + 1 < n && input.[!i + 1] = '\'' then begin
+                Buffer.add_char buf '\'';
+                i := !i + 2
+              end
+              else begin
+                closed := true;
+                incr i
+              end
+            else begin
+              Buffer.add_char buf input.[!i];
+              incr i
+            end
+          done;
+          if not !closed then fail "unterminated string";
+          emit (String (Buffer.contents buf))
+      | '(' -> emit Lparen; incr i
+      | ')' -> emit Rparen; incr i
+      | '[' -> emit Lbracket; incr i
+      | ']' -> emit Rbracket; incr i
+      | ',' -> emit Comma; incr i
+      | ';' -> emit Semicolon; incr i
+      | ':' -> emit Colon; incr i
+      | '*' -> emit Star; incr i
+      | '=' -> emit Eq; incr i
+      | '!' ->
+          if !i + 1 < n && input.[!i + 1] = '=' then begin
+            emit Neq;
+            i := !i + 2
+          end
+          else fail "expected != "
+      | '<' ->
+          if !i + 1 < n && input.[!i + 1] = '=' then begin
+            emit Le;
+            i := !i + 2
+          end
+          else if !i + 1 < n && input.[!i + 1] = '>' then begin
+            emit Neq;
+            i := !i + 2
+          end
+          else begin
+            emit Lt;
+            incr i
+          end
+      | '>' ->
+          if !i + 1 < n && input.[!i + 1] = '=' then begin
+            emit Ge;
+            i := !i + 2
+          end
+          else begin
+            emit Gt;
+            incr i
+          end
+      | c -> fail (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  List.rev (Eof :: !tokens)

@@ -1,0 +1,29 @@
+(** Hand-written lexer shared by the PC DSL and the mini-SQL query
+    parser. *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | String of string  (** single-quoted *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Colon
+  | Le  (** [<=] *)
+  | Ge  (** [>=] *)
+  | Lt
+  | Gt
+  | Eq
+  | Neq  (** [<>] or [!=] *)
+  | Star
+  | Eof
+
+val tokenize : string -> token list
+(** Raises [Failure] with position information on invalid input.
+    Identifiers are case-preserved; keyword matching is the parsers'
+    concern (case-insensitive there). *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,126 @@
+(* Shared recursive-descent plumbing for the two parsers. *)
+
+type state = { mutable tokens : Lexer.token list }
+
+let make tokens = { tokens }
+
+let peek st = match st.tokens with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let fail_expect st what =
+  failwith
+    (Format.asprintf "parse error: expected %s but found %a" what Lexer.pp_token
+       (peek st))
+
+let expect st token what =
+  if peek st = token then advance st else fail_expect st what
+
+let keyword_matches kw = function
+  | Lexer.Ident s -> String.lowercase_ascii s = String.lowercase_ascii kw
+  | _ -> false
+
+let accept_keyword st kw =
+  if keyword_matches kw (peek st) then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_keyword st kw =
+  if not (accept_keyword st kw) then fail_expect st (Printf.sprintf "keyword %s" kw)
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.Ident s ->
+      advance st;
+      s
+  | _ -> fail_expect st what
+
+let expect_number st what =
+  match peek st with
+  | Lexer.Number x ->
+      advance st;
+      x
+  | _ -> fail_expect st what
+
+(* A comparison atom: ident op literal (or BETWEEN / IN forms). *)
+let parse_atom st =
+  let attr = expect_ident st "attribute name" in
+  match peek st with
+  | Lexer.Eq -> begin
+      advance st;
+      match peek st with
+      | Lexer.Number x ->
+          advance st;
+          Pc_predicate.Atom.num_eq attr x
+      | Lexer.String s ->
+          advance st;
+          Pc_predicate.Atom.cat_eq attr s
+      | _ -> fail_expect st "number or string after ="
+    end
+  | Lexer.Neq -> begin
+      advance st;
+      match peek st with
+      | Lexer.String s ->
+          advance st;
+          Pc_predicate.Atom.Cat_neq (attr, s)
+      | _ -> fail_expect st "string after <>"
+    end
+  | Lexer.Le ->
+      advance st;
+      Pc_predicate.Atom.at_most attr (expect_number st "number after <=")
+  | Lexer.Ge ->
+      advance st;
+      Pc_predicate.Atom.at_least attr (expect_number st "number after >=")
+  | Lexer.Lt ->
+      advance st;
+      Pc_predicate.Atom.less_than attr (expect_number st "number after <")
+  | Lexer.Gt ->
+      advance st;
+      Pc_predicate.Atom.greater_than attr (expect_number st "number after >")
+  | Lexer.Ident _ when keyword_matches "between" (peek st) ->
+      advance st;
+      let lo = expect_number st "lower BETWEEN bound" in
+      expect_keyword st "and";
+      let hi = expect_number st "upper BETWEEN bound" in
+      if lo > hi then failwith "parse error: BETWEEN bounds inverted";
+      Pc_predicate.Atom.between attr lo hi
+  | Lexer.Ident _ when keyword_matches "in" (peek st) -> begin
+      advance st;
+      expect st Lexer.Lparen "( after IN";
+      let rec values acc =
+        match peek st with
+        | Lexer.String s -> begin
+            advance st;
+            match peek st with
+            | Lexer.Comma ->
+                advance st;
+                values (s :: acc)
+            | _ -> List.rev (s :: acc)
+          end
+        | _ -> fail_expect st "string in IN list"
+      in
+      (* numeric IN lists degrade to a disjunction we cannot represent in a
+         conjunction; only categorical IN is supported *)
+      match peek st with
+      | Lexer.String _ ->
+          let vs = values [] in
+          expect st Lexer.Rparen ") after IN list";
+          Pc_predicate.Atom.Cat_in (attr, vs)
+      | _ -> fail_expect st "string values in IN list"
+    end
+  | _ -> fail_expect st "comparison operator"
+
+(* conjunction: TRUE | atom (AND atom)* *)
+let parse_conj st =
+  if accept_keyword st "true" then Pc_predicate.Pred.tt
+  else begin
+    let rec atoms acc =
+      let atom = parse_atom st in
+      if accept_keyword st "and" then atoms (atom :: acc)
+      else List.rev (atom :: acc)
+    in
+    Pc_predicate.Pred.conj (atoms [])
+  end

@@ -1,0 +1,39 @@
+module P = Parser_common
+module Q = Pc_query.Query
+
+let parse_agg st =
+  let kind = P.expect_ident st "aggregate function" in
+  P.expect st Lexer.Lparen "( after aggregate" ;
+  let agg =
+    match String.lowercase_ascii kind with
+    | "count" ->
+        P.expect st Lexer.Star "* in COUNT(*)";
+        Q.Count
+    | "sum" -> Q.Sum (P.expect_ident st "attribute in SUM()")
+    | "avg" -> Q.Avg (P.expect_ident st "attribute in AVG()")
+    | "min" -> Q.Min (P.expect_ident st "attribute in MIN()")
+    | "max" -> Q.Max (P.expect_ident st "attribute in MAX()")
+    | other -> failwith (Printf.sprintf "parse error: unknown aggregate %S" other)
+  in
+  P.expect st Lexer.Rparen ") after aggregate";
+  agg
+
+let parse string =
+  let st = P.make (Lexer.tokenize string) in
+  P.expect_keyword st "select";
+  let agg = parse_agg st in
+  if P.accept_keyword st "from" then ignore (P.expect_ident st "table name");
+  let where_ =
+    if P.accept_keyword st "where" then P.parse_conj st else Pc_predicate.Pred.tt
+  in
+  (match P.peek st with
+  | Lexer.Semicolon -> P.advance st
+  | _ -> ());
+  P.expect st Lexer.Eof "end of query";
+  { Q.agg; where_ }
+
+let parse_predicate string =
+  let st = P.make (Lexer.tokenize string) in
+  let pred = P.parse_conj st in
+  P.expect st Lexer.Eof "end of predicate";
+  pred

@@ -1,0 +1,17 @@
+(** Parser for the aggregate-query fragment the framework supports:
+
+    {v
+    SELECT SUM(price) FROM sales WHERE utc >= 10 AND branch = 'Chicago'
+    SELECT COUNT( * ) WHERE price BETWEEN 5 AND 10
+    SELECT MAX(price) WHERE branch IN ('Chicago', 'New York')
+    v}
+
+    The FROM clause is optional and ignored (queries run against the
+    relation supplied at evaluation time). Keywords are
+    case-insensitive. *)
+
+val parse : string -> Pc_query.Query.t
+(** Raises [Failure] with a description on syntax errors. *)
+
+val parse_predicate : string -> Pc_predicate.Pred.t
+(** Parses a bare conjunction (the WHERE-clause sublanguage). *)

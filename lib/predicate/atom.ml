@@ -1,0 +1,78 @@
+module I = Pc_interval.Interval
+
+type t =
+  | Num_range of string * I.t
+  | Cat_eq of string * string
+  | Cat_neq of string * string
+  | Cat_in of string * string list
+  | Cat_not_in of string * string list
+
+let attr = function
+  | Num_range (a, _)
+  | Cat_eq (a, _)
+  | Cat_neq (a, _)
+  | Cat_in (a, _)
+  | Cat_not_in (a, _) ->
+      a
+
+let eval schema t row =
+  let get name = row.(Pc_data.Schema.index schema name) in
+  match t with
+  | Num_range (a, iv) -> I.contains iv (Pc_data.Value.as_num (get a))
+  | Cat_eq (a, s) -> String.equal (Pc_data.Value.as_str (get a)) s
+  | Cat_neq (a, s) -> not (String.equal (Pc_data.Value.as_str (get a)) s)
+  | Cat_in (a, ss) ->
+      let v = Pc_data.Value.as_str (get a) in
+      List.exists (String.equal v) ss
+  | Cat_not_in (a, ss) ->
+      let v = Pc_data.Value.as_str (get a) in
+      not (List.exists (String.equal v) ss)
+
+let negate = function
+  | Num_range (a, iv) -> List.map (fun c -> Num_range (a, c)) (I.complement iv)
+  | Cat_eq (a, s) -> [ Cat_neq (a, s) ]
+  | Cat_neq (a, s) -> [ Cat_eq (a, s) ]
+  | Cat_in (a, ss) -> [ Cat_not_in (a, ss) ]
+  | Cat_not_in (a, ss) -> [ Cat_in (a, ss) ]
+
+let norm_set ss = List.sort_uniq String.compare ss
+
+let compare a b =
+  match (a, b) with
+  | Num_range (x, i), Num_range (y, j) ->
+      let c = String.compare x y in
+      if c <> 0 then c else I.compare i j
+  | Cat_eq (x, s), Cat_eq (y, t) | Cat_neq (x, s), Cat_neq (y, t) ->
+      let c = String.compare x y in
+      if c <> 0 then c else String.compare s t
+  | Cat_in (x, s), Cat_in (y, t) | Cat_not_in (x, s), Cat_not_in (y, t) ->
+      let c = String.compare x y in
+      if c <> 0 then c else Stdlib.compare (norm_set s) (norm_set t)
+  | Num_range _, _ -> -1
+  | _, Num_range _ -> 1
+  | Cat_eq _, _ -> -1
+  | _, Cat_eq _ -> 1
+  | Cat_neq _, _ -> -1
+  | _, Cat_neq _ -> 1
+  | Cat_in _, _ -> -1
+  | _, Cat_in _ -> 1
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Num_range (a, iv) -> Format.fprintf ppf "%s in %a" a I.pp iv
+  | Cat_eq (a, s) -> Format.fprintf ppf "%s = '%s'" a s
+  | Cat_neq (a, s) -> Format.fprintf ppf "%s <> '%s'" a s
+  | Cat_in (a, ss) ->
+      Format.fprintf ppf "%s in {%s}" a (String.concat ", " ss)
+  | Cat_not_in (a, ss) ->
+      Format.fprintf ppf "%s not in {%s}" a (String.concat ", " ss)
+
+let to_string t = Format.asprintf "%a" pp t
+let between a lo hi = Num_range (a, I.closed lo hi)
+let at_least a x = Num_range (a, I.at_least x)
+let at_most a x = Num_range (a, I.at_most x)
+let greater_than a x = Num_range (a, I.greater_than x)
+let less_than a x = Num_range (a, I.less_than x)
+let num_eq a x = Num_range (a, I.point x)
+let cat_eq a s = Cat_eq (a, s)

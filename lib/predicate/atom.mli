@@ -1,0 +1,40 @@
+(** Atomic constraints over a single attribute.
+
+    Predicates in the PC framework are conjunctions of these atoms
+    (paper §3.1): numeric range constraints and categorical
+    (in)equalities/memberships. *)
+
+type t =
+  | Num_range of string * Pc_interval.Interval.t
+      (** attribute value lies in the interval *)
+  | Cat_eq of string * string
+  | Cat_neq of string * string
+  | Cat_in of string * string list
+  | Cat_not_in of string * string list
+
+val attr : t -> string
+
+val eval : Pc_data.Schema.t -> t -> Pc_data.Relation.tuple -> bool
+(** Raises if the attribute is absent from the schema or has the wrong
+    kind. *)
+
+val negate : t -> t list
+(** Negation as a disjunction of atoms (0, 1, or 2 of them — a bounded
+    numeric range negates to two rays). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Convenience constructors. *)
+
+val between : string -> float -> float -> t
+(** Closed range [lo, hi]. *)
+
+val at_least : string -> float -> t
+val at_most : string -> float -> t
+val greater_than : string -> float -> t
+val less_than : string -> float -> t
+val num_eq : string -> float -> t
+val cat_eq : string -> string -> t

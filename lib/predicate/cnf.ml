@@ -1,0 +1,31 @@
+type clause = Atom.t list
+
+type t = clause list
+
+let tt = []
+let of_pred p = List.map (fun atom -> [ atom ]) p
+let of_neg_pred p = [ List.concat_map Atom.negate p ]
+let conj = ( @ )
+
+let eval schema t row =
+  List.for_all
+    (fun clause -> List.exists (fun atom -> Atom.eval schema atom row) clause)
+    t
+
+let pp ppf t =
+  let pp_clause ppf clause =
+    match clause with
+    | [] -> Format.fprintf ppf "FALSE"
+    | atoms ->
+        Format.fprintf ppf "(%a)"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf " OR ")
+             Atom.pp)
+          atoms
+  in
+  match t with
+  | [] -> Format.fprintf ppf "TRUE"
+  | clauses ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf " AND ")
+        pp_clause ppf clauses

@@ -1,0 +1,58 @@
+module I = Pc_interval.Interval
+
+type t = Atom.t list
+
+let tt = []
+let conj atoms = atoms
+let eval schema t row = List.for_all (fun a -> Atom.eval schema a row) t
+let attrs t = List.map Atom.attr t |> List.sort_uniq String.compare
+let to_box t = Box.of_pred t
+let satisfiable t = Option.is_some (to_box t)
+
+let implies_box box = function
+  | [] -> true
+  | atoms ->
+      List.for_all
+        (fun atom ->
+          match atom with
+          | Atom.Num_range (a, iv) -> I.subset (Box.num_interval box a) iv
+          | Atom.Cat_eq (a, s) -> (
+              match Box.cat_constraint box a with
+              | Some (Box.In [ v ]) -> String.equal v s
+              | Some (Box.In vs) -> List.for_all (String.equal s) vs
+              | Some (Box.Not_in _) | None -> false)
+          | Atom.Cat_neq (a, s) -> (
+              match Box.cat_constraint box a with
+              | Some (Box.In vs) -> not (List.exists (String.equal s) vs)
+              | Some (Box.Not_in vs) -> List.exists (String.equal s) vs
+              | None -> false)
+          | Atom.Cat_in (a, ss) -> (
+              match Box.cat_constraint box a with
+              | Some (Box.In vs) ->
+                  List.for_all (fun v -> List.exists (String.equal v) ss) vs
+              | Some (Box.Not_in _) | None -> false)
+          | Atom.Cat_not_in (a, ss) -> (
+              match Box.cat_constraint box a with
+              | Some (Box.In vs) ->
+                  List.for_all
+                    (fun v -> not (List.exists (String.equal v) ss))
+                    vs
+              | Some (Box.Not_in excl) ->
+                  List.for_all
+                    (fun s -> List.exists (String.equal s) excl)
+                    ss
+              | None -> false))
+        atoms
+
+let equal a b =
+  let norm = List.sort_uniq Atom.compare in
+  List.equal Atom.equal (norm a) (norm b)
+
+let pp ppf = function
+  | [] -> Format.fprintf ppf "TRUE"
+  | atoms ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf " AND ")
+        Atom.pp ppf atoms
+
+let to_string t = Format.asprintf "%a" pp t

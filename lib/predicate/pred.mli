@@ -1,0 +1,28 @@
+(** Predicates: conjunctions of atoms, as restricted by the paper (§3.1).
+
+    [tt] (the empty conjunction) is the tautology used for constraints that
+    apply to every missing row, e.g. the paper's
+    [c2 : TRUE => (0 <= price <= 149.99), (0, 100)]. *)
+
+type t = Atom.t list
+(** Conjunction; [[]] is True. *)
+
+val tt : t
+val conj : Atom.t list -> t
+val eval : Pc_data.Schema.t -> t -> Pc_data.Relation.tuple -> bool
+val attrs : t -> string list
+(** Sorted distinct attribute names mentioned. *)
+
+val to_box : t -> Box.t option
+(** Solved form; [None] when the conjunction is unsatisfiable on its own. *)
+
+val satisfiable : t -> bool
+
+val implies_box : Box.t -> t -> bool
+(** [implies_box box p]: every point of [box] satisfies [p]. Used by the
+    decomposition to skip provably-redundant solver calls. Sound but not
+    complete for categorical exclusions over an open universe. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

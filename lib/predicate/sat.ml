@@ -1,0 +1,25 @@
+let call_count = ref 0
+let calls () = !call_count
+let reset_calls () = call_count := 0
+
+(* Clause ordering heuristic: decide short clauses first — unit clauses
+   are deterministic and prune the box before any branching happens. *)
+let order_clauses cnf =
+  List.stable_sort (fun a b -> Stdlib.compare (List.length a) (List.length b)) cnf
+
+let solve ?(box = Box.top) cnf =
+  incr call_count;
+  let rec go box = function
+    | [] -> Some box
+    | [] :: _ -> None (* empty clause: unsatisfiable *)
+    | clause :: rest ->
+        List.find_map
+          (fun atom ->
+            match Box.add_atom box atom with
+            | None -> None
+            | Some box' -> go box' rest)
+          clause
+  in
+  go box (order_clauses cnf)
+
+let check ?box cnf = Option.is_some (solve ?box cnf)

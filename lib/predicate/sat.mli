@@ -1,0 +1,25 @@
+(** Satisfiability of cell expressions (CNF over interval atoms).
+
+    This is the library's substitute for the paper's use of Z3: the paper
+    restricts predicates to conjunctions of ranges and inequalities exactly
+    so that this decision problem is easy. The solver does DPLL-style
+    branching over clause literals with an attribute-box store; pruning is
+    by box emptiness. Sound and complete over independent attributes
+    (numeric: interval domains; categorical: string domains, finite when a
+    universe is supplied).
+
+    Calls are counted in a global statistic so the decomposition
+    experiments (Figure 7) can report solver effort. *)
+
+val check : ?box:Box.t -> Cnf.t -> bool
+(** [check cnf] decides satisfiability starting from [box]
+    (default {!Box.top}, or a box built with {!Box.with_universe} to bound
+    categorical domains). *)
+
+val solve : ?box:Box.t -> Cnf.t -> Box.t option
+(** Like {!check} but returns a witness box on success. *)
+
+val calls : unit -> int
+(** Number of [check]/[solve] invocations since {!reset_calls}. *)
+
+val reset_calls : unit -> unit

@@ -1,0 +1,31 @@
+(** Aggregate queries of the shape the paper supports (§2):
+    [SELECT agg(attr) FROM R WHERE conjunctive-predicate], plus GROUP BY as
+    a union of such queries. *)
+
+type agg = Count | Sum of string | Avg of string | Min of string | Max of string
+
+type t = { agg : agg; where_ : Pc_predicate.Pred.t }
+
+val make : ?where_:Pc_predicate.Pred.t -> agg -> t
+val count : ?where_:Pc_predicate.Pred.t -> unit -> t
+val sum : ?where_:Pc_predicate.Pred.t -> string -> t
+val avg : ?where_:Pc_predicate.Pred.t -> string -> t
+val min_ : ?where_:Pc_predicate.Pred.t -> string -> t
+val max_ : ?where_:Pc_predicate.Pred.t -> string -> t
+
+val agg_attr : t -> string option
+(** The aggregated attribute; [None] for COUNT. *)
+
+val eval : Pc_data.Relation.t -> t -> float option
+(** Ground-truth evaluation. COUNT and SUM of an empty selection are [0.];
+    AVG/MIN/MAX of an empty selection are [None]. *)
+
+val eval_group_by :
+  Pc_data.Relation.t -> t -> string -> (Pc_data.Value.t * float option) list
+(** One result per group, in first-occurrence order. *)
+
+val selection : Pc_data.Relation.t -> t -> Pc_data.Relation.t
+(** Rows satisfying the WHERE clause. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,28 @@
+(** Confidence intervals for the sampling baselines (§6.1.1, §6.7).
+
+    [Parametric] is the Central-Limit-Theorem interval (US-kp / ST-kp):
+    mean ± z·s/√m, scaled to the population. [Nonparametric] is the
+    conservative range-based interval in the style of Hellerstein et al.'s
+    online aggregation bounds (US-kn / ST-kn): it replaces the estimated
+    standard error with the observed value spread and a Hoeffding term —
+    milder assumptions, wider intervals, still fallible because the
+    sample min/max underestimate the true spread. *)
+
+type method_ = Parametric | Nonparametric
+
+val uniform_estimator :
+  name:string ->
+  method_:method_ ->
+  confidence:float ->
+  sample:Pc_data.Relation.t ->
+  n_total:int ->
+  Estimator.t
+(** Estimates COUNT/SUM totals over a missing partition of [n_total] rows
+    from a uniform sample, and AVG/MIN/MAX from the matching subsample. *)
+
+val stratified_estimator :
+  name:string ->
+  method_:method_ ->
+  confidence:float ->
+  strata:Sample.stratum list ->
+  Estimator.t

@@ -1,0 +1,6 @@
+type t = {
+  name : string;
+  estimate : Pc_query.Query.t -> Pc_core.Range.t option;
+}
+
+let make name estimate = { name; estimate }

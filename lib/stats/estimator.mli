@@ -1,0 +1,13 @@
+(** Common interface for the competing frameworks of §6.1: each baseline
+    is fitted once on (information about) the missing partition and then
+    estimates a result interval per query. [None] means the technique
+    cannot produce an estimate for this query (e.g. an empty sample for a
+    ratio aggregate) — the experiment harness scores it as a failure when
+    a true answer exists. *)
+
+type t = {
+  name : string;
+  estimate : Pc_query.Query.t -> Pc_core.Range.t option;
+}
+
+val make : string -> (Pc_query.Query.t -> Pc_core.Range.t option) -> t

@@ -1,0 +1,27 @@
+module Q = Pc_query.Query
+module Relation = Pc_data.Relation
+
+let estimate ~observed ~n_missing (query : Q.t) =
+  let n_obs = Relation.cardinality observed in
+  if n_obs = 0 then None
+  else begin
+    let scale =
+      float_of_int (n_obs + n_missing) /. float_of_int n_obs
+    in
+    Option.map
+      (fun v ->
+        match query.Q.agg with
+        | Q.Count | Q.Sum _ -> v *. scale
+        | Q.Avg _ | Q.Min _ | Q.Max _ -> v)
+      (Q.eval observed query)
+  end
+
+let relative_error ~observed ~missing query =
+  let full = Relation.union observed missing in
+  match
+    ( estimate ~observed ~n_missing:(Relation.cardinality missing) query,
+      Q.eval full query )
+  with
+  | Some est, Some truth when truth <> 0. ->
+      Some (Float.abs (est -. truth) /. Float.abs truth)
+  | _ -> None

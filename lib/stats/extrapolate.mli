@@ -1,0 +1,17 @@
+(** Simple extrapolation (§1, Figure 1): scale the observed aggregate by
+    the known total size, assuming the missing rows resemble the observed
+    ones. Returns a single point, not an interval — exactly the
+    methodological weakness the paper's introduction illustrates. *)
+
+val estimate :
+  observed:Pc_data.Relation.t -> n_missing:int -> Pc_query.Query.t -> float option
+(** COUNT/SUM: observed value × (n_obs + n_missing) / n_obs.
+    AVG/MIN/MAX: the observed value unchanged. [None] when undefined. *)
+
+val relative_error :
+  observed:Pc_data.Relation.t ->
+  missing:Pc_data.Relation.t ->
+  Pc_query.Query.t ->
+  float option
+(** |extrapolated − truth| / |truth| on the full relation, the quantity
+    Figure 1 plots. [None] when either side is undefined or truth is 0. *)

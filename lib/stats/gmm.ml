@@ -1,0 +1,190 @@
+module Relation = Pc_data.Relation
+module Q = Pc_query.Query
+module Range = Pc_core.Range
+
+type t = {
+  attrs : string list;
+  weights : float array;  (* k *)
+  means : float array array;  (* k x d *)
+  vars : float array array;  (* k x d, diagonal *)
+}
+
+let n_components t = Array.length t.weights
+
+let data_matrix rel attrs =
+  let cols = List.map (fun a -> Relation.column rel a) attrs in
+  let d = List.length attrs in
+  let n = Relation.cardinality rel in
+  let cols = Array.of_list cols in
+  Array.init n (fun i -> Array.init d (fun j -> cols.(j).(i)))
+
+let log_density_component mean var x =
+  let d = Array.length x in
+  let acc = ref 0. in
+  for j = 0 to d - 1 do
+    let v = Float.max 1e-9 var.(j) in
+    let diff = x.(j) -. mean.(j) in
+    acc := !acc -. (0.5 *. (log (2. *. Float.pi *. v) +. (diff *. diff /. v)))
+  done;
+  !acc
+
+let log_density t x =
+  let k = n_components t in
+  let terms =
+    Array.init k (fun c ->
+        log t.weights.(c) +. log_density_component t.means.(c) t.vars.(c) x)
+  in
+  Pc_util.Stat.log_sum_exp terms
+
+(* k-means++-style seeding: first centre uniform, later centres biased
+   towards points far from the chosen ones. *)
+let seed_means rng xs k =
+  let n = Array.length xs in
+  let centres = Array.make k xs.(Pc_util.Rng.int rng n) in
+  let dist2 a b =
+    let acc = ref 0. in
+    Array.iteri (fun j v -> acc := !acc +. ((v -. b.(j)) ** 2.)) a;
+    !acc
+  in
+  for c = 1 to k - 1 do
+    let d2 =
+      Array.map
+        (fun x ->
+          let best = ref infinity in
+          for c' = 0 to c - 1 do
+            best := Float.min !best (dist2 x centres.(c'))
+          done;
+          !best)
+        xs
+    in
+    let total = Array.fold_left ( +. ) 0. d2 in
+    if total <= 0. then centres.(c) <- xs.(Pc_util.Rng.int rng n)
+    else begin
+      let r = Pc_util.Rng.float rng total in
+      let acc = ref 0. and chosen = ref 0 in
+      (try
+         Array.iteri
+           (fun i v ->
+             acc := !acc +. v;
+             if !acc >= r then begin
+               chosen := i;
+               raise Exit
+             end)
+           d2
+       with Exit -> ());
+      centres.(c) <- xs.(!chosen)
+    end
+  done;
+  Array.map Array.copy centres
+
+let fit ?(iters = 30) ?(k = 3) rng rel ~attrs =
+  if Relation.is_empty rel then invalid_arg "Gmm.fit: empty relation";
+  if k < 1 then invalid_arg "Gmm.fit: k < 1";
+  let xs = data_matrix rel attrs in
+  let n = Array.length xs in
+  let d = List.length attrs in
+  let k = min k n in
+  let global_var =
+    Array.init d (fun j ->
+        let col = Array.map (fun x -> x.(j)) xs in
+        Float.max 1e-6 (Pc_util.Stat.variance col))
+  in
+  let means = seed_means rng xs k in
+  let vars = Array.init k (fun _ -> Array.copy global_var) in
+  let weights = Array.make k (1. /. float_of_int k) in
+  let model = ref { attrs; weights; means; vars } in
+  let resp = Array.make_matrix n k 0. in
+  for _ = 1 to iters do
+    let m = !model in
+    (* E step *)
+    for i = 0 to n - 1 do
+      let logs =
+        Array.init k (fun c ->
+            log m.weights.(c) +. log_density_component m.means.(c) m.vars.(c) xs.(i))
+      in
+      let lse = Pc_util.Stat.log_sum_exp logs in
+      for c = 0 to k - 1 do
+        resp.(i).(c) <- exp (logs.(c) -. lse)
+      done
+    done;
+    (* M step *)
+    let nk = Array.make k 0. in
+    for i = 0 to n - 1 do
+      for c = 0 to k - 1 do
+        nk.(c) <- nk.(c) +. resp.(i).(c)
+      done
+    done;
+    let new_weights = Array.map (fun x -> Float.max 1e-9 (x /. float_of_int n)) nk in
+    let new_means =
+      Array.init k (fun c ->
+          let mu = Array.make d 0. in
+          for i = 0 to n - 1 do
+            for j = 0 to d - 1 do
+              mu.(j) <- mu.(j) +. (resp.(i).(c) *. xs.(i).(j))
+            done
+          done;
+          let denom = Float.max 1e-9 nk.(c) in
+          Array.map (fun v -> v /. denom) mu)
+    in
+    let new_vars =
+      Array.init k (fun c ->
+          let var = Array.make d 0. in
+          for i = 0 to n - 1 do
+            for j = 0 to d - 1 do
+              let diff = xs.(i).(j) -. new_means.(c).(j) in
+              var.(j) <- var.(j) +. (resp.(i).(c) *. diff *. diff)
+            done
+          done;
+          let denom = Float.max 1e-9 nk.(c) in
+          Array.mapi (fun j v -> Float.max (1e-6 *. global_var.(j)) (v /. denom)) var)
+    in
+    model := { attrs; weights = new_weights; means = new_means; vars = new_vars }
+  done;
+  !model
+
+let log_likelihood t rel =
+  let xs = data_matrix rel t.attrs in
+  if Array.length xs = 0 then invalid_arg "Gmm.log_likelihood: empty relation";
+  Pc_util.Stat.mean (Array.map (log_density t) xs)
+
+let sample rng t ~n =
+  let d = List.length t.attrs in
+  let k = n_components t in
+  let schema =
+    Pc_data.Schema.of_names (List.map (fun a -> (a, Pc_data.Schema.Numeric)) t.attrs)
+  in
+  let pick_component () =
+    let r = Pc_util.Rng.float rng 1. in
+    let acc = ref 0. and chosen = ref (k - 1) in
+    (try
+       Array.iteri
+         (fun c w ->
+           acc := !acc +. w;
+           if !acc >= r then begin
+             chosen := c;
+             raise Exit
+           end)
+         t.weights
+     with Exit -> ());
+    !chosen
+  in
+  let rows =
+    List.init n (fun _ ->
+        let c = pick_component () in
+        Array.init d (fun j ->
+            Pc_data.Value.Num
+              (Pc_util.Rng.gaussian rng ~mu:t.means.(c).(j)
+                 ~sigma:(sqrt t.vars.(c).(j)))))
+  in
+  Relation.create schema rows
+
+let estimator rng t ~n_missing ~trials =
+  (* simulate the missing partitions once; queries reuse them *)
+  let worlds = List.init (max 1 trials) (fun _ -> sample rng t ~n:n_missing) in
+  Estimator.make "Gen" (fun query ->
+      let answers = List.filter_map (fun w -> Q.eval w query) worlds in
+      match answers with
+      | [] -> None
+      | _ ->
+          let ys = Array.of_list answers in
+          Some (Range.make (Pc_util.Stat.minimum ys) (Pc_util.Stat.maximum ys)))

@@ -1,0 +1,9 @@
+let pcs rel ~attrs ~bins =
+  Pc_core.Pc_set.make (Pc_core.Generate.equiwidth_grid rel ~attrs ~bins ())
+
+let estimator rel ~attrs ~bins =
+  let set = pcs rel ~attrs ~bins in
+  Estimator.make "Histogram" (fun query ->
+      match Pc_core.Bounds.bound set query with
+      | Pc_core.Bounds.Range r -> Some r
+      | Pc_core.Bounds.Empty | Pc_core.Bounds.Infeasible -> None)

@@ -1,0 +1,31 @@
+module Range = Pc_core.Range
+
+let hard_of_pc_set ?opts set query =
+  match Pc_core.Bounds.bound ?opts set query with
+  | Pc_core.Bounds.Range r -> Some r
+  | Pc_core.Bounds.Empty | Pc_core.Bounds.Infeasible -> None
+
+let intersect (a : Range.t) (b : Range.t) =
+  let lo = Float.max a.Range.lo b.Range.lo in
+  let hi = Float.min a.Range.hi b.Range.hi in
+  if lo > hi then None else Some (Range.make lo hi)
+
+let inside (inner : Range.t) (outer : Range.t) =
+  inner.Range.lo >= outer.Range.lo -. 1e-9 && inner.Range.hi <= outer.Range.hi +. 1e-9
+
+let estimator ?(mode = `Reject_on_conflict) ~name ~hard ~statistical () =
+  Estimator.make name (fun query ->
+      match (hard query, statistical.Estimator.estimate query) with
+      | None, other -> other
+      | other, None -> other
+      | Some h, Some s -> (
+          match mode with
+          | `Reject_on_conflict ->
+              (* a statistical interval that asserts mass on values the
+                 constraints prove impossible is evidence of a broken
+                 sample or model: trust the hard range instead *)
+              if inside s h then Some s else Some h
+          | `Clip -> (
+              match intersect h s with
+              | Some r -> Some r
+              | None -> Some h)))

@@ -1,0 +1,36 @@
+(** PCs and samples combined — the "best of both worlds" system the paper
+    anticipates in §7: a statistical interval is usually much tighter,
+    while the hard range defines the deterministically possible values.
+
+    Two composition modes:
+
+    - [`Reject_on_conflict] (default): trust the statistical interval
+      only when it lies entirely inside the hard range. An interval that
+      asserts probability mass on impossible values is evidence that the
+      sample or its model is broken — a biased sample typically produces
+      exactly that signature — so the hard range is reported instead.
+    - [`Clip]: intersect the two intervals; when they are disjoint, the
+      hard range alone is returned.
+
+    Neither mode can fail more often than the hard range fails (never,
+    when the constraints hold), except when an in-range statistical
+    interval is itself wrong — the residual risk any statistical method
+    carries. *)
+
+val hard_of_pc_set :
+  ?opts:Pc_core.Bounds.opts ->
+  Pc_core.Pc_set.t ->
+  Pc_query.Query.t ->
+  Pc_core.Range.t option
+(** The hard range as an estimator function ([Empty]/[Infeasible] map to
+    abstention). *)
+
+val estimator :
+  ?mode:[ `Reject_on_conflict | `Clip ] ->
+  name:string ->
+  hard:(Pc_query.Query.t -> Pc_core.Range.t option) ->
+  statistical:Estimator.t ->
+  unit ->
+  Estimator.t
+(** Falls back to whichever side produced an interval when the other
+    abstains. *)

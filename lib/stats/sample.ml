@@ -1,0 +1,47 @@
+module Relation = Pc_data.Relation
+
+let uniform rng rel ~m =
+  let rows = Relation.tuples rel in
+  let chosen = Pc_util.Rng.sample_without_replacement rng m rows in
+  Relation.of_array (Relation.schema rel) chosen
+
+type stratum = { rows : Relation.t; population : int }
+
+let stratified rng rel ~strata_of ~m =
+  let groups : (int, Relation.tuple list ref) Hashtbl.t = Hashtbl.create 16 in
+  Relation.iter
+    (fun row ->
+      let key = strata_of row in
+      match Hashtbl.find_opt groups key with
+      | Some cell -> cell := row :: !cell
+      | None -> Hashtbl.add groups key (ref [ row ]))
+    rel;
+  let total = Relation.cardinality rel in
+  if total = 0 then []
+  else begin
+    let schema = Relation.schema rel in
+    Hashtbl.fold (fun key cell acc -> (key, !cell) :: acc) groups []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (_, rows) ->
+           let population = List.length rows in
+           let share =
+             max 1 (int_of_float (Float.round (float_of_int (m * population) /. float_of_int total)))
+           in
+           let chosen =
+             Pc_util.Rng.sample_without_replacement rng share (Array.of_list rows)
+           in
+           { rows = Relation.of_array schema chosen; population })
+  end
+
+let strata_by_quantiles rel ~attr ~buckets =
+  let xs = Relation.column rel attr in
+  Array.sort Float.compare xs;
+  let n = Array.length xs in
+  let edges =
+    Array.init (buckets - 1) (fun i -> xs.(min (n - 1) ((i + 1) * n / buckets)))
+  in
+  let idx = Pc_data.Schema.index (Relation.schema rel) attr in
+  fun row ->
+    let v = Pc_data.Value.as_num row.(idx) in
+    let rec find i = if i >= Array.length edges || v < edges.(i) then i else find (i + 1) in
+    find 0

@@ -1,0 +1,26 @@
+(** Sampling baselines (§6.1.1): the user supplies unbiased example rows
+    of the missing partition; confidence intervals extrapolate from them.
+
+    [US-k] draws k·n uniform rows; [ST-k] stratifies by the partitions a
+    PC scheme would use, drawing proportionally within strata. *)
+
+val uniform :
+  Pc_util.Rng.t -> Pc_data.Relation.t -> m:int -> Pc_data.Relation.t
+(** [m] rows without replacement (clipped to the population). *)
+
+type stratum = { rows : Pc_data.Relation.t; population : int }
+
+val stratified :
+  Pc_util.Rng.t ->
+  Pc_data.Relation.t ->
+  strata_of:(Pc_data.Relation.tuple -> int) ->
+  m:int ->
+  stratum list
+(** Splits the population with [strata_of], then draws from each stratum
+    proportionally to its size (at least one row from each non-empty
+    stratum when the budget allows). *)
+
+val strata_by_quantiles :
+  Pc_data.Relation.t -> attr:string -> buckets:int -> Pc_data.Relation.tuple -> int
+(** A stratification function: quantile buckets of a numeric attribute —
+    the same partitioning Corr-PC uses. *)

@@ -1,0 +1,76 @@
+module I = Pc_interval.Interval
+module Schema = Pc_data.Schema
+module Relation = Pc_data.Relation
+module Atom = Pc_predicate.Atom
+
+type summary = {
+  count : int;
+  ranges : (string * I.t) list;
+  categories : (string * string list) list;
+}
+
+type status = Loaded | Missing
+
+type t = {
+  id : string;
+  status : status;
+  summary : summary;
+  rows : Relation.t option;
+}
+
+let summarize ~id rel =
+  if Relation.is_empty rel then
+    invalid_arg "Partition.summarize: empty partition";
+  let schema = Relation.schema rel in
+  let ranges =
+    List.filter_map
+      (fun (a : Schema.attr) ->
+        match a.Schema.kind with
+        | Schema.Numeric ->
+            let lo, hi = Option.get (Relation.min_max rel a.Schema.name) in
+            Some (a.Schema.name, I.closed lo hi)
+        | Schema.Categorical -> None)
+      (Schema.attrs schema)
+  and categories =
+    List.filter_map
+      (fun (a : Schema.attr) ->
+        match a.Schema.kind with
+        | Schema.Categorical ->
+            Some (a.Schema.name, Relation.distinct_strings rel a.Schema.name)
+        | Schema.Numeric -> None)
+      (Schema.attrs schema)
+  in
+  {
+    id;
+    status = Loaded;
+    summary = { count = Relation.cardinality rel; ranges; categories };
+    rows = Some rel;
+  }
+
+let mark_missing t = { t with status = Missing; rows = None }
+
+let rows_exn t =
+  match t.rows with
+  | Some rel -> rel
+  | None -> invalid_arg (Printf.sprintf "Partition.rows_exn: %s is missing" t.id)
+
+let bounding_pred t =
+  List.map (fun (a, iv) -> Atom.Num_range (a, iv)) t.summary.ranges
+  @ List.map (fun (a, vs) -> Atom.Cat_in (a, vs)) t.summary.categories
+
+let to_pc t =
+  Pc_core.Pc.make ~name:t.id
+    ~pred:(bounding_pred t)
+    ~values:t.summary.ranges
+    ~freq:(t.summary.count, t.summary.count)
+    ()
+
+let summary_holds t =
+  match t.rows with
+  | None -> true
+  | Some rel -> Pc_core.Pc.holds rel (to_pc t)
+
+let pp ppf t =
+  Format.fprintf ppf "partition %s [%s] %d rows" t.id
+    (match t.status with Loaded -> "loaded" | Missing -> "MISSING")
+    t.summary.count

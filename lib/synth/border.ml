@@ -1,0 +1,37 @@
+module V = Pc_data.Value
+
+let schema =
+  Pc_data.Schema.of_names
+    [
+      ("port", Pc_data.Schema.Numeric);
+      ("date", Pc_data.Schema.Numeric);
+      ("value", Pc_data.Schema.Numeric);
+      ("measure", Pc_data.Schema.Categorical);
+    ]
+
+let measures = [| "Personal Vehicles"; "Trucks"; "Pedestrians"; "Buses" |]
+
+let generate ?(ports = 40) ?(days = 365) rng ~rows =
+  let port_table = Pc_util.Rng.zipf_table ~n:ports ~s:1.4 in
+  (* port popularity scale: rank r gets volume ~ 1/r^1.4 *)
+  let port_scale =
+    Array.init ports (fun i -> 50_000. /. (float_of_int (i + 1) ** 1.4))
+  in
+  let make_row _ =
+    let port = Pc_util.Rng.zipf_sample rng port_table - 1 in
+    let date = float_of_int (Pc_util.Rng.int rng days) in
+    let season = 1. +. (0.3 *. sin (date /. 365. *. 2. *. Float.pi)) in
+    let measure_idx = Pc_util.Rng.int rng (Array.length measures) in
+    let measure_scale = [| 1.0; 0.25; 0.15; 0.03 |].(measure_idx) in
+    let noise = Pc_util.Rng.uniform rng ~lo:0.6 ~hi:1.4 in
+    let value =
+      Float.round (port_scale.(port) *. season *. measure_scale *. noise)
+    in
+    [|
+      V.Num (float_of_int port);
+      V.Num date;
+      V.Num value;
+      V.Str measures.(measure_idx);
+    |]
+  in
+  Pc_data.Relation.create schema (List.init rows make_row)

@@ -1,0 +1,71 @@
+module Relation = Pc_data.Relation
+module V = Pc_data.Value
+
+let edges_schema a b =
+  Pc_data.Schema.of_names [ (a, Pc_data.Schema.Numeric); (b, Pc_data.Schema.Numeric) ]
+
+let random_edges rng ~a ~b ~n ~vertices =
+  let rows =
+    List.init n (fun _ ->
+        [|
+          V.Num (float_of_int (Pc_util.Rng.int rng vertices));
+          V.Num (float_of_int (Pc_util.Rng.int rng vertices));
+        |])
+  in
+  Relation.create (edges_schema a b) rows
+
+let pairs rel =
+  let n = Relation.cardinality rel in
+  Array.init n (fun i ->
+      ( int_of_float (Pc_data.Value.as_num (Relation.get rel i).(0)),
+        int_of_float (Pc_data.Value.as_num (Relation.get rel i).(1)) ))
+
+let triangle_count ~r ~s ~t =
+  (* index S by first column, T by (first, second) pair count *)
+  let s_by_b : (int, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun (b, c) ->
+      match Hashtbl.find_opt s_by_b b with
+      | Some cell -> cell := c :: !cell
+      | None -> Hashtbl.add s_by_b b (ref [ c ]))
+    (pairs s);
+  let t_count : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun (c, a) ->
+      let key = (c, a) in
+      Hashtbl.replace t_count key (1 + Option.value (Hashtbl.find_opt t_count key) ~default:0))
+    (pairs t);
+  Array.fold_left
+    (fun acc (a, b) ->
+      match Hashtbl.find_opt s_by_b b with
+      | None -> acc
+      | Some cs ->
+          List.fold_left
+            (fun acc c ->
+              acc + Option.value (Hashtbl.find_opt t_count (c, a)) ~default:0)
+            acc !cs)
+    0 (pairs r)
+
+let chain_join_count rels =
+  match rels with
+  | [] -> 0
+  | first :: rest ->
+      (* paths(v) = number of partial joins ending at value v *)
+      let paths : (int, int) Hashtbl.t = Hashtbl.create 256 in
+      Array.iter
+        (fun (_, b) ->
+          Hashtbl.replace paths b (1 + Option.value (Hashtbl.find_opt paths b) ~default:0))
+        (pairs first);
+      let step acc rel =
+        let next : (int, int) Hashtbl.t = Hashtbl.create 256 in
+        Array.iter
+          (fun (a, b) ->
+            match Hashtbl.find_opt acc a with
+            | None -> ()
+            | Some k ->
+                Hashtbl.replace next b (k + Option.value (Hashtbl.find_opt next b) ~default:0))
+          (pairs rel);
+        next
+      in
+      let final = List.fold_left step paths rest in
+      Hashtbl.fold (fun _ k acc -> acc + k) final 0

@@ -1,0 +1,36 @@
+module V = Pc_data.Value
+
+let schema =
+  Pc_data.Schema.of_names
+    [
+      ("latitude", Pc_data.Schema.Numeric);
+      ("longitude", Pc_data.Schema.Numeric);
+      ("price", Pc_data.Schema.Numeric);
+      ("reviews", Pc_data.Schema.Numeric);
+      ("room_type", Pc_data.Schema.Categorical);
+    ]
+
+let room_types = [| "Entire home/apt"; "Private room"; "Shared room" |]
+
+let generate ?(clusters = 5) rng ~rows =
+  (* Borough-like blobs over the NYC bounding box. *)
+  let centers =
+    Array.init clusters (fun _ ->
+        ( Pc_util.Rng.uniform rng ~lo:40.55 ~hi:40.9,
+          Pc_util.Rng.uniform rng ~lo:(-74.15) ~hi:(-73.75),
+          (* price level: one expensive "Manhattan" cluster, others cheaper *)
+          Pc_util.Rng.uniform rng ~lo:3.8 ~hi:5.3 ))
+  in
+  let make_row _ =
+    let c = Pc_util.Rng.int rng clusters in
+    let clat, clon, price_mu = centers.(c) in
+    let lat = clat +. Pc_util.Rng.gaussian rng ~mu:0. ~sigma:0.03 in
+    let lon = clon +. Pc_util.Rng.gaussian rng ~mu:0. ~sigma:0.03 in
+    let price = Float.min 10_000. (Pc_util.Rng.lognormal rng ~mu:price_mu ~sigma:0.7) in
+    let reviews =
+      Float.of_int (Pc_util.Rng.zipf rng ~n:300 ~s:1.2) -. 1.
+    in
+    let room = room_types.(Pc_util.Rng.int rng (Array.length room_types)) in
+    [| V.Num lat; V.Num lon; V.Num price; V.Num reviews; V.Str room |]
+  in
+  Pc_data.Relation.create schema (List.init rows make_row)

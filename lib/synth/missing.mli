@@ -1,0 +1,21 @@
+(** Missing-data mechanisms: split a relation into the certain partition
+    R* and the missing partition R?.
+
+    The paper's headline experiments remove rows *correlated with the
+    aggregate* ("removing those rows with maximum values of the light
+    attribute", §6.2) — the regime where extrapolation and sampling break
+    down. Random removal and predicate-defined losses (e.g. a failed
+    partition, §1's example) are also provided. *)
+
+type split = { observed : Pc_data.Relation.t; missing : Pc_data.Relation.t }
+
+val random : Pc_util.Rng.t -> Pc_data.Relation.t -> fraction:float -> split
+(** Missing rows chosen uniformly. [fraction] in [0, 1]. *)
+
+val top_values : Pc_data.Relation.t -> attr:string -> fraction:float -> split
+(** The [fraction] of rows with the largest [attr] values go missing —
+    maximally adversarial for extrapolation. *)
+
+val by_predicate : Pc_data.Relation.t -> Pc_predicate.Pred.t -> split
+(** Rows matching the predicate go missing (lost partitions, outage
+    windows). *)

@@ -1,0 +1,58 @@
+module V = Pc_data.Value
+
+let schema =
+  Pc_data.Schema.of_names
+    [
+      ("device", Pc_data.Schema.Numeric);
+      ("time", Pc_data.Schema.Numeric);
+      ("light", Pc_data.Schema.Numeric);
+      ("temperature", Pc_data.Schema.Numeric);
+      ("humidity", Pc_data.Schema.Numeric);
+      ("voltage", Pc_data.Schema.Numeric);
+    ]
+
+(* Lab lights follow a day cycle; windows add a noon bump; some devices
+   sit near windows (higher base and amplitude). *)
+let day_pattern hour_of_day =
+  let x = (hour_of_day -. 13.) /. 24. *. 2. *. Float.pi in
+  Float.max 0. (0.5 +. (0.5 *. cos x))
+
+let generate ?(devices = 54) ?(days = 14) rng ~rows =
+  let device_base = Array.init devices (fun _ -> Pc_util.Rng.uniform rng ~lo:20. ~hi:120.) in
+  let device_amp = Array.init devices (fun _ -> Pc_util.Rng.uniform rng ~lo:100. ~hi:600.) in
+  let horizon = float_of_int (days * 24) in
+  let make_row _ =
+    let device = Pc_util.Rng.int rng devices in
+    let time = Pc_util.Rng.uniform rng ~lo:0. ~hi:horizon in
+    let hour = Float.rem time 24. in
+    let burst =
+      (* direct-sunlight spikes around midday: heavy-tailed but
+         localized in time, so time-correlated summaries can capture
+         them *)
+      if hour >= 11.5 && hour <= 14.5 && Pc_util.Rng.float rng 1. < 0.25 then
+        Pc_util.Rng.pareto rng ~scale:300. ~shape:2.2
+      else 0.
+    in
+    let light =
+      device_base.(device)
+      +. (device_amp.(device) *. day_pattern hour)
+      +. Float.abs (Pc_util.Rng.gaussian rng ~mu:0. ~sigma:15.)
+      +. burst
+    in
+    let temperature =
+      18. +. (6. *. day_pattern hour) +. Pc_util.Rng.gaussian rng ~mu:0. ~sigma:1.
+    in
+    let humidity =
+      45. -. (8. *. day_pattern hour) +. Pc_util.Rng.gaussian rng ~mu:0. ~sigma:3.
+    in
+    let voltage = 2.3 +. Pc_util.Rng.float rng 0.4 in
+    [|
+      V.Num (float_of_int device);
+      V.Num time;
+      V.Num (Float.min light 5_000.);
+      V.Num temperature;
+      V.Num humidity;
+      V.Num voltage;
+    |]
+  in
+  Pc_data.Relation.create schema (List.init rows make_row)

@@ -1,0 +1,16 @@
+(** Synthetic stand-in for the Intel Berkeley wireless sensor dataset
+    [Bodik et al. 2004] used in §6.2 (the original 3M-row trace is not
+    shipped in this container). Reproduces the properties the experiments
+    rely on: per-device baselines, strong daily periodicity of [light],
+    heavy-tailed bursts (the extreme values that break sampling-based
+    confidence intervals), and correlation of [light] with [device] and
+    [time].
+
+    Schema: device, time (hours), light, temperature, humidity, voltage —
+    all numeric. *)
+
+val schema : Pc_data.Schema.t
+
+val generate :
+  ?devices:int -> ?days:int -> Pc_util.Rng.t -> rows:int -> Pc_data.Relation.t
+(** [devices] defaults to 54 (as deployed in the lab), [days] to 14. *)

@@ -1,0 +1,13 @@
+(** Mutable binary max-heap keyed by float priority. Used by the MILP
+    branch-and-bound for best-bound-first node selection. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+(** Highest-priority element. *)
+
+val peek_priority : 'a t -> float option

@@ -1,0 +1,46 @@
+module Range = Pc_core.Range
+
+type outcome = { truth : float option; estimate : Range.t option }
+
+type summary = {
+  queries : int;
+  failures : int;
+  failure_rate : float;
+  median_over_estimation : float;
+  mean_over_estimation : float;
+}
+
+let is_failure o =
+  match (o.truth, o.estimate) with
+  | None, _ -> false
+  | Some _, None -> true
+  | Some v, Some r -> not (Range.contains r v)
+
+let summarize outcomes =
+  let scored = List.filter (fun o -> o.truth <> None) outcomes in
+  let queries = List.length scored in
+  let failures = List.length (List.filter is_failure scored) in
+  let ratios =
+    List.filter_map
+      (fun o ->
+        match (o.truth, o.estimate) with
+        | Some v, Some r when v > 0. && Float.is_finite r.Range.hi ->
+            Some (r.Range.hi /. v)
+        | _ -> None)
+      scored
+  in
+  let median_over_estimation, mean_over_estimation =
+    match ratios with
+    | [] -> (nan, nan)
+    | _ ->
+        let arr = Array.of_list ratios in
+        (Pc_util.Stat.median arr, Pc_util.Stat.mean arr)
+  in
+  {
+    queries;
+    failures;
+    failure_rate =
+      (if queries = 0 then 0. else 100. *. float_of_int failures /. float_of_int queries);
+    median_over_estimation;
+    mean_over_estimation;
+  }

@@ -1,0 +1,24 @@
+(** Scoring of estimated result ranges against ground truth: the paper's
+    two quantities (§6.1) — failure rate (truth escapes the interval) and
+    median over-estimation rate (interval top / truth, tightness). *)
+
+type outcome = {
+  truth : float option;  (** [None] when the aggregate is undefined *)
+  estimate : Pc_core.Range.t option;  (** [None] when the baseline abstains *)
+}
+
+type summary = {
+  queries : int;  (** outcomes with a defined truth *)
+  failures : int;
+  failure_rate : float;  (** percent *)
+  median_over_estimation : float;
+      (** median of hi/truth over queries with positive truth; [nan] when
+          none qualify *)
+  mean_over_estimation : float;
+}
+
+val is_failure : outcome -> bool
+(** Truth defined but missing from the interval (an abstention with
+    defined truth counts as a failure). *)
+
+val summarize : outcome list -> summary

@@ -1,0 +1,43 @@
+module Q = Pc_query.Query
+module Atom = Pc_predicate.Atom
+module Relation = Pc_data.Relation
+module Schema = Pc_data.Schema
+
+type agg_spec =
+  | Count
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+
+let to_agg = function
+  | Count -> Q.Count
+  | Sum a -> Q.Sum a
+  | Avg a -> Q.Avg a
+  | Min a -> Q.Min a
+  | Max a -> Q.Max a
+
+let random_queries ?(selectivity = (0.05, 0.3)) rng rel ~attrs ~agg ~n =
+  let schema = Relation.schema rel in
+  let sel_lo, sel_hi = selectivity in
+  if sel_lo <= 0. || sel_hi > 1. || sel_lo > sel_hi then
+    invalid_arg "Querygen.random_queries: bad selectivity";
+  let domains =
+    List.map
+      (fun attr ->
+        match Schema.kind schema attr with
+        | Schema.Numeric -> (attr, `Num (Option.get (Relation.min_max rel attr)))
+        | Schema.Categorical ->
+            (attr, `Cat (Array.of_list (Relation.distinct_strings rel attr))))
+      attrs
+  in
+  let random_atom (attr, dom) =
+    match dom with
+    | `Num (lo, hi) ->
+        let width = (hi -. lo) *. Pc_util.Rng.uniform rng ~lo:sel_lo ~hi:sel_hi in
+        let start = Pc_util.Rng.uniform rng ~lo ~hi:(Float.max lo (hi -. width)) in
+        Atom.between attr start (start +. width)
+    | `Cat values -> Atom.cat_eq attr (Pc_util.Rng.choose rng values)
+  in
+  List.init n (fun _ ->
+      { Q.agg = to_agg agg; where_ = List.map random_atom domains })

@@ -1,0 +1,22 @@
+(** Random aggregate-query workloads over a relation's attribute domains
+    (the "1000 randomly chosen predicates" of the paper's evaluation). *)
+
+type agg_spec =
+  | Count
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+
+val random_queries :
+  ?selectivity:float * float ->
+  Pc_util.Rng.t ->
+  Pc_data.Relation.t ->
+  attrs:string list ->
+  agg:agg_spec ->
+  n:int ->
+  Pc_query.Query.t list
+(** Each query conjoins one random window per predicate attribute: numeric
+    attributes get a range covering a fraction of the domain drawn from
+    [selectivity] (default 5–30%), categorical attributes an equality with
+    a random present value. *)

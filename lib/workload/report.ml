@@ -1,0 +1,35 @@
+let section title =
+  let line = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" line title line
+
+let table ~header rows =
+  let ncols = List.length header in
+  let pad row = row @ List.init (max 0 (ncols - List.length row)) (fun _ -> "") in
+  let rows = List.map pad rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let print_row cells =
+    let padded =
+      List.map2 (fun w c -> c ^ String.make (w - String.length c) ' ') widths cells
+    in
+    print_endline ("  " ^ String.concat "  " padded)
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let fnum x =
+  if Float.is_nan x then "nan"
+  else if x = infinity then "inf"
+  else if x = neg_infinity then "-inf"
+  else if x <> 0. && (Float.abs x >= 1e6 || Float.abs x < 1e-3) then
+    Printf.sprintf "%.3e" x
+  else Printf.sprintf "%.4g" x
+
+let fpct x = if Float.is_nan x then "nan" else Printf.sprintf "%.2f%%" x

@@ -1,0 +1,16 @@
+(** Fixed-width text tables for the experiment harness output, so each
+    figure/table prints in a shape directly comparable to the paper. *)
+
+val table : header:string list -> string list list -> unit
+(** Prints to stdout with column auto-sizing. Rows shorter than the header
+    are right-padded. *)
+
+val section : string -> unit
+(** Prints a banner. *)
+
+val fnum : float -> string
+(** Compact number formatting: 4 significant digits, scientific beyond
+    1e6, "inf"/"nan" spelled out. *)
+
+val fpct : float -> string
+(** Percent with 2 decimals. *)

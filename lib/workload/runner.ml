@@ -1,0 +1,31 @@
+module Q = Pc_query.Query
+module Bounds = Pc_core.Bounds
+
+type baseline = { label : string; answer : Q.t -> Pc_core.Range.t option }
+
+let of_pc_set label ?opts set =
+  {
+    label;
+    answer =
+      (fun query ->
+        match Bounds.bound ?opts set query with
+        | Bounds.Range r -> Some r
+        | Bounds.Empty | Bounds.Infeasible -> None);
+  }
+
+let of_estimator (e : Pc_stats.Estimator.t) =
+  { label = e.Pc_stats.Estimator.name; answer = e.Pc_stats.Estimator.estimate }
+
+let outcomes baseline ~missing ~queries =
+  List.map
+    (fun query ->
+      {
+        Metrics.truth = Q.eval missing query;
+        estimate = baseline.answer query;
+      })
+    queries
+
+let run ~baselines ~missing ~queries =
+  List.map
+    (fun b -> (b.label, Metrics.summarize (outcomes b ~missing ~queries)))
+    baselines

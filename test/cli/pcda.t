@@ -1,0 +1,91 @@
+The pcda CLI end to end: write a constraint file and a CSV, then run
+every subcommand against them.
+
+  $ cat > pcs.txt <<'TXT'
+  > -- the paper's running example
+  > constraint chicago_cap:
+  >   branch = 'Chicago' => price in [0.0, 149.99], count [0, 5];
+  > constraint newyork_cap:
+  >   branch = 'New York' => price in [0.0, 100.0], count [0, 10];
+  > TXT
+
+  $ cat > sales.csv <<'TXT'
+  > utc,branch,price
+  > 1,Chicago,3.02
+  > 2,New York,6.71
+  > 3,Chicago,18.99
+  > TXT
+
+show parses and classifies the constraint set:
+
+  $ ../../bin/pcda.exe show -c pcs.txt
+  constraint chicago_cap branch = 'Chicago' => price in [0, 149.99], count [0, 5];
+  constraint newyork_cap branch = 'New York' => price in [0, 100], count [0, 10];
+  -- 2 constraints, disjoint (fast greedy solving applies)
+
+check validates against observed data:
+
+  $ ../../bin/pcda.exe check --csv sales.csv -c pcs.txt
+  all 2 constraints hold on 3 rows
+
+bound combines the certain rows with the missing-data range:
+
+  $ ../../bin/pcda.exe bound --csv sales.csv -c pcs.txt -q "SELECT SUM(price) WHERE branch = 'Chicago'"
+  [22.01, 771.96]
+    lower bound: 22.01 (attained)
+    upper bound: 771.96 (attained)
+
+missing-only restricts to the hypothetical lost rows:
+
+  $ ../../bin/pcda.exe bound -c pcs.txt --missing-only -q "SELECT COUNT(*)"
+  [0, 15]
+    lower bound: 0 (attained)
+    upper bound: 15 (attained)
+
+group-by breaks the result down per key:
+
+  $ ../../bin/pcda.exe bound --csv sales.csv -c pcs.txt -q "SELECT SUM(price)" --group-by branch
+  [28.72, 1778.67]
+    lower bound: 28.72 (attained)
+    upper bound: 1778.67 (attained)
+  per-group breakdown:
+    Chicago              [22.01, 771.96]
+    New York             [6.71, 1006.71]
+
+explain reports the binding constraints:
+
+  $ ../../bin/pcda.exe explain -c pcs.txt -q "SELECT SUM(price) WHERE branch = 'New York'"
+  baseline: [0, 1000]
+    without chicago_cap          [0, 1000]  (hi +0, lo -0)
+    without newyork_cap          [-inf, inf]  (hi +inf, lo -inf)
+  
+  binding constraints (most influential first):
+    newyork_cap              widens hi by inf / lo by inf when relaxed
+
+generate derives constraints from data:
+
+  $ ../../bin/pcda.exe generate --csv sales.csv --attrs branch -n 2
+  constraint pc1 branch = 'Chicago' => utc in [1, 3] and price in [3.02, 18.99], count [0, 2];
+  constraint pc2 branch = 'New York' => utc in [2, 2] and price in [6.71, 6.71], count [0, 1];
+
+a violated constraint is reported and fails the check:
+
+  $ cat > bad.csv <<'TXT'
+  > utc,branch,price
+  > 1,Chicago,500
+  > TXT
+
+  $ ../../bin/pcda.exe check --csv bad.csv -c pcs.txt
+  pcda: constraints violated
+  VIOLATION: chicago_cap: 1 rows violate price in [0, 149.99]
+  [124]
+
+parse errors are reported cleanly:
+
+  $ cat > broken.txt <<'TXT'
+  > constraint oops true => none, count [5, 2];
+  > TXT
+
+  $ ../../bin/pcda.exe bound -c broken.txt --missing-only -q "SELECT COUNT(*)"
+  pcda: parse error: Pc.make: kl > ku
+  [124]

@@ -1,0 +1,17 @@
+The quickstart example reproduces the paper's Section 4.4 numbers
+deterministically.
+
+  $ ../../examples/quickstart.exe
+  Disjoint constraints (one per day):
+    SUM(price)                 [99, 27998]
+    (paper: [99.00, 27998.00])
+  
+  Overlapping constraints (cell decomposition + MILP):
+    SUM(price)                 [74.25, 17748.8]
+    (paper: [74.25, 17748.75])
+    COUNT(*)                   [75, 125]
+    AVG(price)                 [0.99-, 141.99+]
+    MAX(price)                 [0.99-, 149.99+]
+  
+  Restricted to Nov-12 (query-predicate pushdown):
+    SUM(price) on Nov-12       [0, 18748.8]

@@ -1,0 +1,296 @@
+(* Targeted tests for paths the main suites exercise only lightly:
+   file-based CSV I/O, infinite/degenerate bounds, forced-row extremal
+   cases, zero solver budgets, report formatting, and range algebra. *)
+
+module Q = Pc_query.Query
+module Atom = Pc_predicate.Atom
+module I = Pc_interval.Interval
+module V = Pc_data.Value
+open Pc_core
+
+let tc = Alcotest.test_case
+let check_float = Alcotest.(check (float 1e-6))
+
+let schema =
+  Pc_data.Schema.of_names
+    [ ("t", Pc_data.Schema.Numeric); ("v", Pc_data.Schema.Numeric) ]
+
+let mk ?name pred values freq = Pc.make ?name ~pred ~values ~freq ()
+
+(* ----------------------------- csv files ---------------------------- *)
+
+let test_csv_file_roundtrip () =
+  let rel =
+    Pc_data.Relation.create schema
+      [ [| V.Num 1.; V.Num 10. |]; [| V.Num 2.; V.Num 20. |] ]
+  in
+  let path = Filename.temp_file "pcda_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Pc_data.Csv.write_file path rel;
+      let back = Pc_data.Csv.read_file path in
+      Alcotest.(check int) "cardinality" 2 (Pc_data.Relation.cardinality back);
+      check_float "value" 20. (Pc_data.Relation.number back 1 "v"))
+
+let test_csv_missing_file () =
+  Alcotest.(check bool) "missing file raises" true
+    (try
+       ignore (Pc_data.Csv.read_file "/nonexistent/nope.csv");
+       false
+     with Sys_error _ -> true)
+
+(* ------------------------- range algebra ---------------------------- *)
+
+let test_range_algebra () =
+  let a = Range.make 1. 5. and b = Range.make 3. 10. in
+  let j = Range.join a b in
+  check_float "join lo" 1. j.Range.lo;
+  check_float "join hi" 10. j.Range.hi;
+  check_float "width" 4. (Range.width a);
+  let s = Range.shift a 2. in
+  check_float "shift lo" 3. s.Range.lo;
+  Alcotest.(check bool) "over-estimation of nonpositive truth is nan" true
+    (Float.is_nan (Range.over_estimation a ~truth:0.));
+  check_float "over-estimation" 2.5 (Range.over_estimation a ~truth:2.);
+  Alcotest.(check bool) "NaN rejected" true
+    (try
+       ignore (Range.make Float.nan 1.);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "inverted rejected" true
+    (try
+       ignore (Range.make 5. 1.);
+       false
+     with Invalid_argument _ -> true);
+  (* tiny inversions from float noise are tolerated and normalized *)
+  let tiny = Range.make 1.0000000001 1. in
+  Alcotest.(check bool) "normalized" true (tiny.Range.lo <= tiny.Range.hi)
+
+(* -------------------- unbounded value constraints ------------------- *)
+
+let test_unbounded_sum () =
+  (* a frequency-only constraint with no value bounds and a predicate
+     that doesn't constrain v: SUM is genuinely unbounded *)
+  let set = Pc_set.make [ mk [ Atom.between "t" 0. 10. ] [] (0, 5) ] in
+  (match Bounds.bound set (Q.sum "v") with
+  | Bounds.Range r ->
+      Alcotest.(check bool) "hi infinite" true (r.Range.hi = infinity);
+      Alcotest.(check bool) "lo -infinite" true (r.Range.lo = neg_infinity)
+  | _ -> Alcotest.fail "expected range");
+  (* COUNT stays finite: frequency caps always bound it *)
+  match Bounds.bound set (Q.count ()) with
+  | Bounds.Range r ->
+      check_float "count lo" 0. r.Range.lo;
+      check_float "count hi" 5. r.Range.hi
+  | _ -> Alcotest.fail "expected range"
+
+let test_half_bounded_sum () =
+  (* values bounded below only: hi infinite, lo finite *)
+  let set =
+    Pc_set.make [ mk [ Atom.between "t" 0. 10. ] [ ("v", I.at_least 0.) ] (0, 5) ]
+  in
+  match Bounds.bound set (Q.sum "v") with
+  | Bounds.Range r ->
+      check_float "lo zero" 0. r.Range.lo;
+      Alcotest.(check bool) "hi infinite" true (r.Range.hi = infinity)
+  | _ -> Alcotest.fail "expected range"
+
+let test_predicate_bounds_the_aggregate () =
+  (* no value constraint, but the predicate itself pins v: tighten infers
+     the bound *)
+  let set =
+    Pc_set.make
+      [ mk [ Atom.between "t" 0. 10.; Atom.between "v" 2. 7. ] [] (0, 4) ]
+  in
+  match Bounds.bound set (Q.sum "v") with
+  | Bounds.Range r ->
+      check_float "hi from predicate" (4. *. 7.) r.Range.hi;
+      check_float "lo zero (empty instance)" 0. r.Range.lo
+  | _ -> Alcotest.fail "expected range"
+
+(* ------------------------ forced-row extremal ----------------------- *)
+
+let test_forced_min_max () =
+  (* kl = 2 forces rows: the adversary cannot avoid them *)
+  let set =
+    Pc_set.make [ mk [ Atom.between "t" 0. 10. ] [ ("v", I.closed 5. 9.) ] (2, 6) ]
+  in
+  (match Bounds.bound set (Q.max_ "v") with
+  | Bounds.Range r ->
+      (* max possible MAX = 9; min possible MAX = 5 (all forced rows low) *)
+      check_float "max hi" 9. r.Range.hi;
+      check_float "max lo" 5. r.Range.lo
+  | _ -> Alcotest.fail "expected range");
+  match Bounds.bound set (Q.min_ "v") with
+  | Bounds.Range r ->
+      check_float "min lo" 5. r.Range.lo;
+      check_float "min hi" 9. r.Range.hi
+  | _ -> Alcotest.fail "expected range"
+
+let test_forced_sum_lower_bound () =
+  let set =
+    Pc_set.make [ mk [ Atom.between "t" 0. 10. ] [ ("v", I.closed 5. 9.) ] (2, 6) ]
+  in
+  match Bounds.bound set (Q.sum "v") with
+  | Bounds.Range r ->
+      check_float "forced lo" 10. r.Range.lo;
+      check_float "hi" 54. r.Range.hi
+  | _ -> Alcotest.fail "expected range"
+
+(* ----------------------- degenerate budgets ------------------------- *)
+
+let test_zero_node_limit_sound () =
+  let set =
+    Pc_set.make
+      [
+        mk [ Atom.between "t" 0. 6. ] [ ("v", I.closed 0. 10.) ] (1, 4);
+        mk [ Atom.between "t" 4. 10. ] [ ("v", I.closed 0. 20.) ] (1, 4);
+      ]
+  in
+  let exact =
+    match Bounds.bound ~opts:{ Bounds.default_opts with use_greedy = false } set (Q.sum "v") with
+    | Bounds.Range r -> r
+    | _ -> Alcotest.fail "expected range"
+  in
+  match
+    Bounds.bound
+      ~opts:{ Bounds.default_opts with Bounds.node_limit = 0; use_greedy = false }
+      set (Q.sum "v")
+  with
+  | Bounds.Range r ->
+      Alcotest.(check bool) "root bound dominates" true
+        (r.Range.hi >= exact.Range.hi -. 1e-6);
+      Alcotest.(check bool) "root lower bound dominated" true
+        (r.Range.lo <= exact.Range.lo +. 1e-6)
+  | _ -> Alcotest.fail "expected range"
+
+(* --------------------------- report/pp ------------------------------ *)
+
+let capture f =
+  let path = Filename.temp_file "pcda_capture" ".txt" in
+  let oc = open_out path in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 (Unix.descr_of_out_channel oc) Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      close_out_noerr oc)
+    f;
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () ->
+      close_in_noerr ic;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_report_table () =
+  let out =
+    capture (fun () ->
+        Pc_workload.Report.table ~header:[ "a"; "bb" ]
+          [ [ "1"; "2" ]; [ "333" ] ])
+  in
+  Alcotest.(check bool) "header present" true
+    (String.length out > 0
+    && String.index_opt out 'a' <> None
+    && String.index_opt out '3' <> None)
+
+let test_report_fnum () =
+  Alcotest.(check string) "nan" "nan" (Pc_workload.Report.fnum Float.nan);
+  Alcotest.(check string) "inf" "inf" (Pc_workload.Report.fnum infinity);
+  Alcotest.(check string) "plain" "3.5" (Pc_workload.Report.fnum 3.5);
+  Alcotest.(check string) "scientific" "1.200e+07"
+    (Pc_workload.Report.fnum 1.2e7);
+  Alcotest.(check string) "zero" "0" (Pc_workload.Report.fnum 0.)
+
+let test_pp_smoke () =
+  let set =
+    Pc_set.make [ mk ~name:"x" [ Atom.between "t" 0. 1. ] [ ("v", I.closed 0. 1.) ] (0, 1) ]
+  in
+  let s = Format.asprintf "%a" Pc_set.pp set in
+  Alcotest.(check bool) "pc_set pp" true (String.length s > 0);
+  let rel = Pc_data.Relation.create schema [ [| V.Num 1.; V.Num 2. |] ] in
+  let s = Format.asprintf "%a" Pc_data.Relation.pp rel in
+  Alcotest.(check bool) "relation pp" true (String.length s > 0)
+
+(* --------------------- interval/box odds and ends ------------------- *)
+
+let test_interval_sample_unbounded () =
+  let rng = Pc_util.Rng.create 3 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "sample of full line is member" true
+      (I.contains I.full (I.sample rng I.full));
+    Alcotest.(check bool) "sample of ray is member" true
+      (I.contains (I.at_least 5.) (I.sample rng (I.at_least 5.)))
+  done
+
+let test_box_witness_open_universe () =
+  let box =
+    Option.get
+      (Pc_predicate.Box.add_atom Pc_predicate.Box.top
+         (Atom.Cat_not_in ("c", [ "a"; "bb"; "ccc" ])))
+  in
+  let w = Pc_predicate.Box.witness box in
+  let v = V.as_str (List.assoc "c" w) in
+  Alcotest.(check bool) "fresh string avoids exclusions" true
+    (not (List.mem v [ "a"; "bb"; "ccc" ]))
+
+(* --------------------- query evaluation corners --------------------- *)
+
+let test_query_groupby_empty () =
+  let rel = Pc_data.Relation.create schema [] in
+  Alcotest.(check int) "no groups on empty" 0
+    (List.length (Q.eval_group_by rel (Q.count ()) "t"))
+
+let test_effective_emptiness () =
+  (* a PC whose value constraint is unsatisfiable on its own attribute:
+     no rows can live there *)
+  let impossible_values =
+    mk ~name:"imp" [ Atom.between "t" 0. 5. ]
+      [ ("v", I.closed 5. 9.); ("t", I.closed 100. 200.) ]
+      (0, 10)
+  in
+  let set = Pc_set.make [ impossible_values ] in
+  (* rows would need t in [0,5] (predicate) and t in [100,200] (value):
+     with tighten the cell is uninhabitable, so COUNT is 0 *)
+  match Bounds.bound set (Q.count ()) with
+  | Bounds.Range r -> check_float "no inhabitable cells" 0. r.Range.hi
+  | _ -> Alcotest.fail "expected range"
+
+let () =
+  Alcotest.run "pc_coverage"
+    [
+      ( "csv files",
+        [
+          tc "roundtrip" `Quick test_csv_file_roundtrip;
+          tc "missing file" `Quick test_csv_missing_file;
+        ] );
+      ("range", [ tc "algebra" `Quick test_range_algebra ]);
+      ( "unbounded",
+        [
+          tc "no value constraint" `Quick test_unbounded_sum;
+          tc "half bounded" `Quick test_half_bounded_sum;
+          tc "predicate bounds aggregate" `Quick test_predicate_bounds_the_aggregate;
+        ] );
+      ( "forced rows",
+        [
+          tc "min/max" `Quick test_forced_min_max;
+          tc "sum lower bound" `Quick test_forced_sum_lower_bound;
+        ] );
+      ("budgets", [ tc "zero node limit" `Quick test_zero_node_limit_sound ]);
+      ( "report",
+        [
+          tc "table" `Quick test_report_table;
+          tc "fnum" `Quick test_report_fnum;
+          tc "pp smoke" `Quick test_pp_smoke;
+        ] );
+      ( "corners",
+        [
+          tc "unbounded interval sampling" `Quick test_interval_sample_unbounded;
+          tc "open-universe witness" `Quick test_box_witness_open_universe;
+          tc "group-by on empty" `Quick test_query_groupby_empty;
+          tc "uninhabitable cells" `Quick test_effective_emptiness;
+        ] );
+    ]

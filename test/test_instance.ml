@@ -1,0 +1,206 @@
+(* Instance materialization: sampled relations satisfy their constraint
+   set; worst-case witnesses attain the computed upper bounds — the
+   operational form of the paper's §4 tightness claim. *)
+
+module Q = Pc_query.Query
+module Atom = Pc_predicate.Atom
+module I = Pc_interval.Interval
+open Pc_core
+
+let tc = Alcotest.test_case
+let check_float = Alcotest.(check (float 1e-4))
+
+let schema =
+  Pc_data.Schema.of_names
+    [
+      ("t", Pc_data.Schema.Numeric);
+      ("g", Pc_data.Schema.Categorical);
+      ("v", Pc_data.Schema.Numeric);
+    ]
+
+let mk ?name pred values freq = Pc.make ?name ~pred ~values ~freq ()
+
+let paper_set =
+  (* the §4.4 overlapping example *)
+  Pc_set.make
+    [
+      mk ~name:"t1"
+        [ Atom.Num_range ("t", I.make_exn (I.Closed 11.) (I.Open 12.)) ]
+        [ ("v", I.closed 0.99 129.99) ]
+        (50, 100);
+      mk ~name:"t2"
+        [ Atom.Num_range ("t", I.make_exn (I.Closed 11.) (I.Open 13.)) ]
+        [ ("v", I.closed 0.99 149.99) ]
+        (75, 125);
+    ]
+
+let test_sample_satisfies () =
+  let rng = Pc_util.Rng.create 1 in
+  for _ = 1 to 10 do
+    match Instance.sample rng paper_set ~schema with
+    | None -> Alcotest.fail "expected an instance"
+    | Some rel ->
+        Alcotest.(check bool) "instance satisfies the set" true
+          (Pc_set.holds rel paper_set);
+        Alcotest.(check bool) "instance is closed" true
+          (Pc_set.closed_over rel paper_set)
+  done
+
+let test_sample_inside_bounds () =
+  let rng = Pc_util.Rng.create 2 in
+  let sum_range =
+    match Bounds.bound paper_set (Q.sum "v") with
+    | Bounds.Range r -> r
+    | _ -> Alcotest.fail "expected range"
+  in
+  for _ = 1 to 10 do
+    match Instance.sample rng paper_set ~schema with
+    | None -> Alcotest.fail "expected an instance"
+    | Some rel ->
+        let truth = Option.get (Q.eval rel (Q.sum "v")) in
+        Alcotest.(check bool) "sum inside computed range" true
+          (Range.contains sum_range truth)
+  done
+
+let test_sample_infeasible () =
+  let impossible =
+    Pc_set.make
+      [ mk [ Atom.between "t" 0. 1.; Atom.between "t" 5. 6. ] [] (3, 10) ]
+  in
+  let rng = Pc_util.Rng.create 3 in
+  Alcotest.(check bool) "infeasible set has no instance" true
+    (Instance.sample rng impossible ~schema = None);
+  let conflicting =
+    Pc_set.make
+      [
+        mk [ Atom.between "t" 0. 1. ] [] (10, 20);
+        mk [ Atom.between "t" 0. 5. ] [] (0, 2);
+      ]
+  in
+  Alcotest.(check bool) "conflicting frequencies have no instance" true
+    (Instance.sample rng conflicting ~schema = None)
+
+let test_witness_attains_sum () =
+  match
+    ( Instance.witness_max paper_set ~schema (Q.sum "v"),
+      Bounds.bound paper_set (Q.sum "v") )
+  with
+  | Some witness, Bounds.Range r ->
+      Alcotest.(check bool) "witness satisfies the set" true
+        (Pc_set.holds witness paper_set);
+      let attained = Option.get (Q.eval witness (Q.sum "v")) in
+      (* tightness: the computed upper bound is attained (17748.75) *)
+      check_float "upper bound attained" r.Range.hi attained
+  | _ -> Alcotest.fail "expected witness and range"
+
+let test_witness_attains_count () =
+  match
+    ( Instance.witness_max paper_set ~schema (Q.count ()),
+      Bounds.bound paper_set (Q.count ()) )
+  with
+  | Some witness, Bounds.Range r ->
+      check_float "count bound attained" r.Range.hi
+        (float_of_int (Pc_data.Relation.cardinality witness))
+  | _ -> Alcotest.fail "expected witness and range"
+
+let test_witness_rejects_other_aggs () =
+  Alcotest.(check bool) "avg rejected" true
+    (try
+       ignore (Instance.witness_max paper_set ~schema (Q.avg "v"));
+       false
+     with Invalid_argument _ -> true)
+
+(* fuzzing in the converse direction: arbitrary hand-written PC sets ->
+   instance -> the bound computed for the set must contain the instance's
+   aggregates *)
+let prop_converse_soundness =
+  QCheck.Test.make
+    ~name:"sampled instances of arbitrary PC sets stay inside the bounds"
+    ~count:80
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Pc_util.Rng.create seed in
+      let k = 1 + Pc_util.Rng.int rng 4 in
+      let pcs =
+        List.init k (fun i ->
+            let lo = Pc_util.Rng.uniform rng ~lo:0. ~hi:50. in
+            let w = Pc_util.Rng.uniform rng ~lo:5. ~hi:30. in
+            let vlo = Pc_util.Rng.uniform rng ~lo:(-20.) ~hi:20. in
+            let vw = Pc_util.Rng.uniform rng ~lo:1. ~hi:25. in
+            let kl = Pc_util.Rng.int rng 4 in
+            mk
+              ~name:(Printf.sprintf "p%d" i)
+              [ Atom.between "t" lo (lo +. w) ]
+              [ ("v", I.closed vlo (vlo +. vw)) ]
+              (kl, kl + Pc_util.Rng.int rng 10))
+      in
+      let set = Pc_set.make pcs in
+      match Instance.sample rng set ~schema with
+      | None -> true (* randomly conflicting frequencies: fine *)
+      | Some rel ->
+          if not (Pc_set.holds rel set) then
+            QCheck.Test.fail_report "instance violates its own set";
+          let queries =
+            [ Q.count (); Q.sum "v"; Q.avg "v"; Q.min_ "v"; Q.max_ "v" ]
+          in
+          List.for_all
+            (fun q ->
+              match (Bounds.bound set q, Q.eval rel q) with
+              | Bounds.Infeasible, _ ->
+                  QCheck.Test.fail_report "bound infeasible on realizable set"
+              | Bounds.Empty, None -> true
+              | Bounds.Empty, Some _ ->
+                  QCheck.Test.fail_report "bound empty but instance has rows"
+              | Bounds.Range _, None -> true
+              | Bounds.Range r, Some truth ->
+                  Range.contains r truth
+                  || QCheck.Test.fail_reportf "%s: %s misses %g" (Q.to_string q)
+                       (Range.to_string r) truth)
+            queries)
+
+let prop_witness_tightness =
+  QCheck.Test.make
+    ~name:"SUM upper bounds are attained by materialized witnesses" ~count:60
+    QCheck.(int_bound 100_000) (fun seed ->
+      let rng = Pc_util.Rng.create seed in
+      let k = 1 + Pc_util.Rng.int rng 3 in
+      let pcs =
+        List.init k (fun i ->
+            let lo = Pc_util.Rng.uniform rng ~lo:0. ~hi:40. in
+            let w = Pc_util.Rng.uniform rng ~lo:5. ~hi:30. in
+            let vlo = Pc_util.Rng.uniform rng ~lo:0. ~hi:20. in
+            mk
+              ~name:(Printf.sprintf "p%d" i)
+              [ Atom.between "t" lo (lo +. w) ]
+              [ ("v", I.closed vlo (vlo +. 10.)) ]
+              (0, 1 + Pc_util.Rng.int rng 8))
+      in
+      let set = Pc_set.make pcs in
+      match
+        (Instance.witness_max set ~schema (Q.sum "v"), Bounds.bound set (Q.sum "v"))
+      with
+      | Some witness, Bounds.Range r when r.Range.hi_exact ->
+          let attained = Option.get (Q.eval witness (Q.sum "v")) in
+          Float.abs (attained -. r.Range.hi) <= 1e-4 *. Float.max 1. r.Range.hi
+      | Some _, Bounds.Range _ -> true (* inexact search: attainment not promised *)
+      | None, _ | _, (Bounds.Empty | Bounds.Infeasible) -> false)
+
+let () =
+  Alcotest.run "pc_instance"
+    [
+      ( "sampling",
+        [
+          tc "satisfies the set" `Quick test_sample_satisfies;
+          tc "inside computed bounds" `Quick test_sample_inside_bounds;
+          tc "infeasible sets" `Quick test_sample_infeasible;
+        ] );
+      ( "witness",
+        [
+          tc "attains SUM bound" `Quick test_witness_attains_sum;
+          tc "attains COUNT bound" `Quick test_witness_attains_count;
+          tc "rejects AVG/MIN/MAX" `Quick test_witness_rejects_other_aggs;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_converse_soundness; prop_witness_tightness ] );
+    ]

@@ -1,0 +1,165 @@
+open Pc_interval
+module I = Interval
+
+let tc = Alcotest.test_case
+
+let test_make () =
+  Alcotest.(check bool) "valid closed" true (Option.is_some (I.make (I.Closed 1.) (I.Closed 2.)));
+  Alcotest.(check bool) "point" true (Option.is_some (I.make (I.Closed 1.) (I.Closed 1.)));
+  Alcotest.(check bool) "empty open point" false
+    (Option.is_some (I.make (I.Open 1.) (I.Closed 1.)));
+  Alcotest.(check bool) "inverted" false (Option.is_some (I.make (I.Closed 2.) (I.Closed 1.)));
+  Alcotest.(check bool) "wrong-side infinities" false
+    (Option.is_some (I.make I.Pos_inf I.Neg_inf));
+  Alcotest.check_raises "non-finite endpoint"
+    (Invalid_argument "Interval: non-finite endpoint value") (fun () ->
+      ignore (I.make (I.Closed Float.nan) I.Pos_inf))
+
+let test_contains () =
+  let iv = I.make_exn (I.Open 0.) (I.Closed 10.) in
+  Alcotest.(check bool) "excludes open endpoint" false (I.contains iv 0.);
+  Alcotest.(check bool) "includes closed endpoint" true (I.contains iv 10.);
+  Alcotest.(check bool) "interior" true (I.contains iv 5.);
+  Alcotest.(check bool) "outside" false (I.contains iv 10.1);
+  Alcotest.(check bool) "full contains everything" true (I.contains I.full (-1e30))
+
+let test_intersect () =
+  let a = I.closed 0. 10. and b = I.closed 5. 15. in
+  (match I.intersect a b with
+  | Some c ->
+      Alcotest.(check (float 0.)) "lo" 5. (I.lo_float c);
+      Alcotest.(check (float 0.)) "hi" 10. (I.hi_float c)
+  | None -> Alcotest.fail "expected overlap");
+  Alcotest.(check bool) "disjoint" false (I.overlaps (I.closed 0. 1.) (I.closed 2. 3.));
+  (* touching at a point: closed/closed intersect, open/closed do not *)
+  Alcotest.(check bool) "touching closed" true
+    (I.overlaps (I.closed 0. 1.) (I.closed 1. 2.));
+  Alcotest.(check bool) "touching open" false
+    (I.overlaps (I.make_exn (I.Closed 0.) (I.Open 1.)) (I.closed 1. 2.))
+
+let test_complement () =
+  let iv = I.make_exn (I.Closed 2.) (I.Open 5.) in
+  match I.complement iv with
+  | [ below; above ] ->
+      Alcotest.(check bool) "below excludes 2" false (I.contains below 2.);
+      Alcotest.(check bool) "below includes 1.999" true (I.contains below 1.999);
+      Alcotest.(check bool) "above includes 5" true (I.contains above 5.);
+      Alcotest.(check bool) "above excludes 4.999" false (I.contains above 4.999)
+  | other ->
+      Alcotest.failf "expected two pieces, got %d" (List.length other)
+
+let test_complement_rays () =
+  Alcotest.(check int) "full has empty complement" 0
+    (List.length (I.complement I.full));
+  Alcotest.(check int) "ray has one piece" 1
+    (List.length (I.complement (I.at_least 3.)))
+
+let test_subset_hull () =
+  Alcotest.(check bool) "subset" true (I.subset (I.closed 2. 3.) (I.closed 1. 4.));
+  Alcotest.(check bool) "not subset" false (I.subset (I.closed 0. 3.) (I.closed 1. 4.));
+  Alcotest.(check bool) "open within closed at endpoint" true
+    (I.subset (I.make_exn (I.Open 1.) (I.Closed 4.)) (I.closed 1. 4.));
+  Alcotest.(check bool) "closed not within open" false
+    (I.subset (I.closed 1. 4.) (I.make_exn (I.Open 1.) (I.Closed 4.)));
+  let h = I.hull (I.closed 0. 1.) (I.closed 5. 6.) in
+  Alcotest.(check (float 0.)) "hull lo" 0. (I.lo_float h);
+  Alcotest.(check (float 0.)) "hull hi" 6. (I.hi_float h)
+
+let test_width_midpoint () =
+  Alcotest.(check (float 0.)) "width" 3. (I.width (I.closed 1. 4.));
+  Alcotest.(check bool) "unbounded width" true (I.width (I.at_least 0.) = infinity);
+  Alcotest.(check (float 0.)) "midpoint" 2.5 (I.midpoint (I.closed 1. 4.));
+  Alcotest.(check bool) "midpoint inside ray" true
+    (I.contains (I.greater_than 7.) (I.midpoint (I.greater_than 7.)))
+
+let test_pp () =
+  Alcotest.(check string) "closed" "[1, 2]" (I.to_string (I.closed 1. 2.));
+  Alcotest.(check string) "open ray" "(3, +inf)" (I.to_string (I.greater_than 3.))
+
+(* --- properties --- *)
+
+let endpoint_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (8, map (fun x -> I.Closed x) (float_bound_inclusive 100.));
+        (4, map (fun x -> I.Open x) (float_bound_inclusive 100.));
+      ])
+
+let interval_gen =
+  QCheck.Gen.(
+    let lo_gen = frequency [ (1, return I.Neg_inf); (8, endpoint_gen) ] in
+    let hi_gen = frequency [ (1, return I.Pos_inf); (8, endpoint_gen) ] in
+    map2
+      (fun lo hi -> I.make lo hi)
+      lo_gen hi_gen
+    |> map (function Some iv -> iv | None -> I.full))
+
+let arb_interval = QCheck.make ~print:I.to_string interval_gen
+
+let prop_intersect_comm =
+  QCheck.Test.make ~name:"intersection commutes" ~count:500
+    (QCheck.pair arb_interval arb_interval) (fun (a, b) ->
+      match (I.intersect a b, I.intersect b a) with
+      | Some x, Some y -> I.equal x y
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+let prop_intersect_sound =
+  QCheck.Test.make ~name:"point in both iff in intersection" ~count:500
+    (QCheck.triple arb_interval arb_interval (QCheck.float_bound_inclusive 100.))
+    (fun (a, b, x) ->
+      let in_both = I.contains a x && I.contains b x in
+      match I.intersect a b with
+      | Some c -> I.contains c x = in_both
+      | None -> not in_both)
+
+let prop_complement_partition =
+  QCheck.Test.make ~name:"complement partitions the line" ~count:500
+    (QCheck.pair arb_interval (QCheck.float_bound_inclusive 100.))
+    (fun (a, x) ->
+      let in_a = I.contains a x in
+      let in_comp = List.exists (fun c -> I.contains c x) (I.complement a) in
+      in_a <> in_comp)
+
+let prop_subset_via_intersect =
+  QCheck.Test.make ~name:"a subset b iff a ∩ b = a" ~count:500
+    (QCheck.pair arb_interval arb_interval) (fun (a, b) ->
+      let via_int =
+        match I.intersect a b with Some c -> I.equal c a | None -> false
+      in
+      I.subset a b = via_int)
+
+let prop_sample_member =
+  QCheck.Test.make ~name:"samples are members" ~count:300 arb_interval (fun iv ->
+      let rng = Pc_util.Rng.create 42 in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        if not (I.contains iv (I.sample rng iv)) then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "pc_interval"
+    [
+      ( "interval",
+        [
+          tc "make" `Quick test_make;
+          tc "contains" `Quick test_contains;
+          tc "intersect" `Quick test_intersect;
+          tc "complement" `Quick test_complement;
+          tc "complement rays" `Quick test_complement_rays;
+          tc "subset/hull" `Quick test_subset_hull;
+          tc "width/midpoint" `Quick test_width_midpoint;
+          tc "printing" `Quick test_pp;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_intersect_comm;
+            prop_intersect_sound;
+            prop_complement_partition;
+            prop_subset_via_intersect;
+            prop_sample_member;
+          ] );
+    ]

@@ -1,0 +1,220 @@
+open Pc_lp
+module S = Simplex
+
+let tc = Alcotest.test_case
+let check_float = Alcotest.(check (float 1e-5))
+
+let get_opt = function
+  | S.Optimal s -> s
+  | S.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | S.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_basic_max () =
+  (* max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12 *)
+  let p =
+    {
+      S.n_vars = 2;
+      maximize = true;
+      objective = [ (0, 3.); (1, 2.) ];
+      constraints = [ S.c_le [ (0, 1.); (1, 1.) ] 4.; S.c_le [ (0, 1.); (1, 3.) ] 6. ];
+    }
+  in
+  let s = get_opt (S.solve p) in
+  check_float "objective" 12. s.S.objective_value;
+  check_float "x" 4. s.S.values.(0);
+  check_float "y" 0. s.S.values.(1)
+
+let test_basic_min () =
+  (* min x + y s.t. x + 2y >= 6, 3x + y >= 9  -> intersection (2.4, 1.8), obj 4.2 *)
+  let p =
+    {
+      S.n_vars = 2;
+      maximize = false;
+      objective = [ (0, 1.); (1, 1.) ];
+      constraints = [ S.c_ge [ (0, 1.); (1, 2.) ] 6.; S.c_ge [ (0, 3.); (1, 1.) ] 9. ];
+    }
+  in
+  let s = get_opt (S.solve p) in
+  check_float "objective" 4.2 s.S.objective_value
+
+let test_equality () =
+  (* max x s.t. x + y = 5, x <= 3 -> x=3 *)
+  let p =
+    {
+      S.n_vars = 2;
+      maximize = true;
+      objective = [ (0, 1.) ];
+      constraints = [ S.c_eq [ (0, 1.); (1, 1.) ] 5.; S.c_le [ (0, 1.) ] 3. ];
+    }
+  in
+  let s = get_opt (S.solve p) in
+  check_float "x" 3. s.S.values.(0);
+  check_float "y" 2. s.S.values.(1)
+
+let test_infeasible () =
+  let p =
+    {
+      S.n_vars = 1;
+      maximize = true;
+      objective = [ (0, 1.) ];
+      constraints = [ S.c_ge [ (0, 1.) ] 5.; S.c_le [ (0, 1.) ] 3. ];
+    }
+  in
+  (match S.solve p with
+  | S.Infeasible -> ()
+  | S.Optimal _ | S.Unbounded -> Alcotest.fail "expected infeasible");
+  Alcotest.(check bool) "feasible fn" false (S.feasible p)
+
+let test_unbounded () =
+  let p =
+    { S.n_vars = 1; maximize = true; objective = [ (0, 1.) ]; constraints = [] }
+  in
+  match S.solve p with
+  | S.Unbounded -> ()
+  | S.Optimal _ | S.Infeasible -> Alcotest.fail "expected unbounded"
+
+let test_negative_rhs () =
+  (* constraint with negative rhs exercises row normalization:
+     max x s.t. -x <= -2 (i.e. x >= 2), x <= 5 *)
+  let p =
+    {
+      S.n_vars = 1;
+      maximize = true;
+      objective = [ (0, 1.) ];
+      constraints = [ S.c_le [ (0, -1.) ] (-2.); S.c_le [ (0, 1.) ] 5. ];
+    }
+  in
+  let s = get_opt (S.solve p) in
+  check_float "x" 5. s.S.values.(0);
+  (* and minimization hits the lower side *)
+  let s2 = get_opt (S.solve { p with maximize = false }) in
+  check_float "min x" 2. s2.S.values.(0)
+
+let test_degenerate () =
+  (* redundant constraints and degenerate vertices should not cycle *)
+  let p =
+    {
+      S.n_vars = 2;
+      maximize = true;
+      objective = [ (0, 1.); (1, 1.) ];
+      constraints =
+        [
+          S.c_le [ (0, 1.) ] 1.;
+          S.c_le [ (0, 1.) ] 1.;
+          S.c_le [ (1, 1.) ] 1.;
+          S.c_le [ (0, 1.); (1, 1.) ] 2.;
+          S.c_eq [ (0, 1.); (1, 1.) ] 2.;
+        ];
+    }
+  in
+  let s = get_opt (S.solve p) in
+  check_float "objective" 2. s.S.objective_value
+
+let test_pc_shaped () =
+  (* The MILP-relaxation shape used by the PC framework: interval row
+     constraints over 0/1 coefficients.
+     Paper's worked example (Section 4.4, overlapping case):
+     cells c1 (covered by t1,t2) and c2 (covered by t2 only);
+     t1: 50 <= x1 <= 100, t2: 75 <= x1 + x2 <= 125;
+     max 129.99 x1 + 149.99 x2 = 50*129.99 + 75*149.99 = 17748.75 *)
+  let cons =
+    [
+      S.c_ge [ (0, 1.) ] 50.;
+      S.c_le [ (0, 1.) ] 100.;
+      S.c_ge [ (0, 1.); (1, 1.) ] 75.;
+      S.c_le [ (0, 1.); (1, 1.) ] 125.;
+    ]
+  in
+  let p =
+    {
+      S.n_vars = 2;
+      maximize = true;
+      objective = [ (0, 129.99); (1, 149.99) ];
+      constraints = cons;
+    }
+  in
+  let s = get_opt (S.solve p) in
+  check_float "paper upper bound" 17748.75 s.S.objective_value;
+  let p_min =
+    { p with maximize = false; objective = [ (0, 0.99); (1, 0.99) ] }
+  in
+  let s_min = get_opt (S.solve p_min) in
+  check_float "paper lower bound" 74.25 s_min.S.objective_value
+
+let test_validation () =
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Simplex: variable index out of range") (fun () ->
+      ignore
+        (S.solve
+           { S.n_vars = 1; maximize = true; objective = [ (3, 1.) ]; constraints = [] }))
+
+(* --- randomized cross-check against brute-force vertex enumeration on a
+   grid: for small problems with x in {0..6}^2 and <= constraints with
+   non-negative coefficients, LP optimum must dominate every feasible
+   integer point and be attained within the (continuous) polytope. --- *)
+
+let random_problem rng =
+  let module R = Pc_util.Rng in
+  let n_cons = 1 + R.int rng 3 in
+  let constraints =
+    List.init n_cons (fun _ ->
+        let c0 = float_of_int (R.int rng 4) and c1 = float_of_int (R.int rng 4) in
+        let rhs = float_of_int (1 + R.int rng 12) in
+        S.c_le [ (0, c0); (1, c1) ] rhs)
+  in
+  let objective = [ (0, float_of_int (R.int rng 5)); (1, float_of_int (R.int rng 5)) ] in
+  { S.n_vars = 2; maximize = true; objective; constraints }
+
+let prop_dominates_grid =
+  QCheck.Test.make ~name:"LP optimum dominates all feasible grid points" ~count:300
+    QCheck.small_int (fun seed ->
+      let rng = Pc_util.Rng.create seed in
+      let p = random_problem rng in
+      match S.solve p with
+      | S.Unbounded -> true
+      | S.Infeasible -> false (* x=0 is always feasible for <= with rhs>0 *)
+      | S.Optimal s ->
+          let obj x y =
+            List.fold_left
+              (fun acc (j, c) -> acc +. (c *. if j = 0 then x else y))
+              0. p.S.objective
+          in
+          let feasible x y =
+            List.for_all
+              (fun (c : S.constr) ->
+                let lhs =
+                  List.fold_left
+                    (fun acc (j, v) -> acc +. (v *. if j = 0 then x else y))
+                    0. c.S.coeffs
+                in
+                lhs <= c.S.rhs +. 1e-9)
+              p.S.constraints
+          in
+          let ok = ref true in
+          for i = 0 to 12 do
+            for j = 0 to 12 do
+              let x = float_of_int i and y = float_of_int j in
+              if feasible x y && obj x y > s.S.objective_value +. 1e-5 then
+                ok := false
+            done
+          done;
+          (* solution itself must be feasible *)
+          !ok && feasible s.S.values.(0) s.S.values.(1))
+
+let () =
+  Alcotest.run "pc_lp"
+    [
+      ( "simplex",
+        [
+          tc "basic max" `Quick test_basic_max;
+          tc "basic min" `Quick test_basic_min;
+          tc "equality" `Quick test_equality;
+          tc "infeasible" `Quick test_infeasible;
+          tc "unbounded" `Quick test_unbounded;
+          tc "negative rhs" `Quick test_negative_rhs;
+          tc "degenerate" `Quick test_degenerate;
+          tc "paper example shape" `Quick test_pc_shaped;
+          tc "validation" `Quick test_validation;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_dominates_grid ]);
+    ]

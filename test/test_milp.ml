@@ -1,0 +1,228 @@
+open Pc_lp
+open Pc_milp
+module S = Simplex
+
+let tc = Alcotest.test_case
+let check_float = Alcotest.(check (float 1e-5))
+
+let get_opt = function
+  | Milp.Optimal r -> r
+  | Milp.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Milp.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_knapsack () =
+  (* max 5x + 4y s.t. 6x + 5y <= 10, integer -> LP gives fractional,
+     integer optimum is x=0,y=2 (8) or x=1,y=0 (5): 8 *)
+  let p =
+    {
+      S.n_vars = 2;
+      maximize = true;
+      objective = [ (0, 5.); (1, 4.) ];
+      constraints = [ S.c_le [ (0, 6.); (1, 5.) ] 10. ];
+    }
+  in
+  let r = get_opt (Milp.solve p) in
+  Alcotest.(check bool) "exact" true r.Milp.exact;
+  check_float "optimum" 8. r.Milp.bound;
+  match r.Milp.incumbent with
+  | Some s ->
+      check_float "x" 0. s.S.values.(0);
+      check_float "y" 2. s.S.values.(1)
+  | None -> Alcotest.fail "expected incumbent"
+
+let test_fractional_lp_gap () =
+  (* max x + y s.t. 2x + 2y <= 3: LP gives 1.5, MILP 1 *)
+  let p =
+    {
+      S.n_vars = 2;
+      maximize = true;
+      objective = [ (0, 1.); (1, 1.) ];
+      constraints = [ S.c_le [ (0, 2.); (1, 2.) ] 3. ];
+    }
+  in
+  let r = get_opt (Milp.solve p) in
+  check_float "integer optimum" 1. r.Milp.bound;
+  Alcotest.(check bool) "exact" true r.Milp.exact
+
+let test_minimization () =
+  (* min 3x + 4y s.t. x + y >= 2.5 (integers) -> (x,y) sums to >= 2.5 so
+     best integers: x=3,y=0 -> 9? check x=2,y=1 -> 10; x=3 y=0 -> 9;
+     actually x + y >= 2.5 means x+y >= 3 in integers: min cost 9. *)
+  let p =
+    {
+      S.n_vars = 2;
+      maximize = false;
+      objective = [ (0, 3.); (1, 4.) ];
+      constraints = [ S.c_ge [ (0, 1.); (1, 1.) ] 2.5 ];
+    }
+  in
+  let r = get_opt (Milp.solve p) in
+  check_float "min" 9. r.Milp.bound;
+  Alcotest.(check bool) "exact" true r.Milp.exact
+
+let test_integer_infeasible () =
+  (* 0.4 <= x <= 0.6 has no integer point *)
+  let p =
+    {
+      S.n_vars = 1;
+      maximize = true;
+      objective = [ (0, 1.) ];
+      constraints = [ S.c_ge [ (0, 1.) ] 0.4; S.c_le [ (0, 1.) ] 0.6 ];
+    }
+  in
+  match Milp.solve p with
+  | Milp.Infeasible -> ()
+  | Milp.Optimal _ | Milp.Unbounded -> Alcotest.fail "expected infeasible"
+
+let test_node_limit_sound () =
+  (* With node_limit 1 the solver cannot close the search, but its bound
+     must still dominate the true optimum. *)
+  let p =
+    {
+      S.n_vars = 3;
+      maximize = true;
+      objective = [ (0, 5.); (1, 4.); (2, 3.) ];
+      constraints =
+        [
+          S.c_le [ (0, 2.); (1, 3.); (2, 1.) ] 5.;
+          S.c_le [ (0, 4.); (1, 1.); (2, 2.) ] 11.;
+          S.c_le [ (0, 3.); (1, 4.); (2, 2.) ] 8.;
+        ];
+    }
+  in
+  let exact = get_opt (Milp.solve p) in
+  let truncated = get_opt (Milp.solve ~node_limit:1 p) in
+  Alcotest.(check bool) "truncated bound dominates optimum" true
+    (truncated.Milp.bound >= exact.Milp.bound -. 1e-6)
+
+let test_partial_integrality () =
+  (* x integer, y continuous: max x + y, x <= 1.5, y <= 0.5, x+y <= 1.8 *)
+  let p =
+    {
+      S.n_vars = 2;
+      maximize = true;
+      objective = [ (0, 1.); (1, 1.) ];
+      constraints =
+        [ S.c_le [ (0, 1.) ] 1.5; S.c_le [ (1, 1.) ] 0.5; S.c_le [ (0, 1.); (1, 1.) ] 1.8 ];
+    }
+  in
+  let r = get_opt (Milp.solve ~integrality:(fun j -> j = 0) p) in
+  (* x=1, y=0.5 -> 1.5 *)
+  check_float "mixed optimum" 1.5 r.Milp.bound
+
+let test_pc_interval_milp () =
+  (* Interval constraints with overlapping coverage; brute-force verified:
+     PC1 covers cells {0,1}: 1 <= x0+x1 <= 3
+     PC2 covers cells {1,2}: 2 <= x1+x2 <= 4
+     max 10 x0 + 1 x1 + 8 x2 -> x0=3, x1=0, x2=4 -> 62 *)
+  let p =
+    {
+      S.n_vars = 3;
+      maximize = true;
+      objective = [ (0, 10.); (1, 1.); (2, 8.) ];
+      constraints =
+        [
+          S.c_ge [ (0, 1.); (1, 1.) ] 1.;
+          S.c_le [ (0, 1.); (1, 1.) ] 3.;
+          S.c_ge [ (1, 1.); (2, 1.) ] 2.;
+          S.c_le [ (1, 1.); (2, 1.) ] 4.;
+        ];
+    }
+  in
+  let r = get_opt (Milp.solve p) in
+  check_float "optimum" 62. r.Milp.bound
+
+(* --- randomized cross-check against exhaustive enumeration --- *)
+
+let random_ip rng =
+  let module R = Pc_util.Rng in
+  let n_cons = 1 + R.int rng 3 in
+  let constraints =
+    List.concat
+      (List.init n_cons (fun _ ->
+           let c0 = float_of_int (R.int rng 3)
+           and c1 = float_of_int (R.int rng 3)
+           and c2 = float_of_int (R.int rng 3) in
+           let hi = float_of_int (2 + R.int rng 10) in
+           let lo = float_of_int (R.int rng 2) in
+           [
+             S.c_le [ (0, c0); (1, c1); (2, c2) ] hi;
+             S.c_ge [ (0, c0); (1, c1); (2, c2) ] lo;
+           ]))
+  in
+  let objective =
+    [
+      (0, float_of_int (R.int rng 7 - 2));
+      (1, float_of_int (R.int rng 7 - 2));
+      (2, float_of_int (R.int rng 7 - 2));
+    ]
+  in
+  { S.n_vars = 3; maximize = true; objective; constraints }
+
+let brute_force p =
+  (* enumerate x in {0..8}^3 *)
+  let best = ref neg_infinity in
+  let feasible = ref false in
+  for x = 0 to 8 do
+    for y = 0 to 8 do
+      for z = 0 to 8 do
+        let v = [| float_of_int x; float_of_int y; float_of_int z |] in
+        let ok =
+          List.for_all
+            (fun (c : S.constr) ->
+              let lhs =
+                List.fold_left (fun acc (j, coef) -> acc +. (coef *. v.(j))) 0. c.S.coeffs
+              in
+              match c.S.op with
+              | S.Le -> lhs <= c.S.rhs +. 1e-9
+              | S.Ge -> lhs >= c.S.rhs -. 1e-9
+              | S.Eq -> Float.abs (lhs -. c.S.rhs) <= 1e-9)
+            p.S.constraints
+        in
+        if ok then begin
+          feasible := true;
+          let obj =
+            List.fold_left (fun acc (j, coef) -> acc +. (coef *. v.(j))) 0. p.S.objective
+          in
+          if obj > !best then best := obj
+        end
+      done
+    done
+  done;
+  if !feasible then Some !best else None
+
+let prop_matches_bruteforce =
+  QCheck.Test.make ~name:"MILP matches exhaustive enumeration" ~count:150
+    QCheck.small_int (fun seed ->
+      let rng = Pc_util.Rng.create (seed + 1000) in
+      let p = random_ip rng in
+      (* cap the search space so brute force is complete *)
+      let p =
+        {
+          p with
+          S.constraints =
+            p.S.constraints
+            @ [ S.c_le [ (0, 1.) ] 8.; S.c_le [ (1, 1.) ] 8.; S.c_le [ (2, 1.) ] 8. ];
+        }
+      in
+      match (Milp.solve p, brute_force p) with
+      | Milp.Infeasible, None -> true
+      | Milp.Optimal r, Some best ->
+          r.Milp.exact && Float.abs (r.Milp.bound -. best) < 1e-4
+      | Milp.Optimal _, None | Milp.Infeasible, Some _ | Milp.Unbounded, _ -> false)
+
+let () =
+  Alcotest.run "pc_milp"
+    [
+      ( "milp",
+        [
+          tc "knapsack" `Quick test_knapsack;
+          tc "fractional gap" `Quick test_fractional_lp_gap;
+          tc "minimization" `Quick test_minimization;
+          tc "integer infeasible" `Quick test_integer_infeasible;
+          tc "node limit soundness" `Quick test_node_limit_sound;
+          tc "partial integrality" `Quick test_partial_integrality;
+          tc "pc interval shape" `Quick test_pc_interval_milp;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_matches_bruteforce ]);
+    ]

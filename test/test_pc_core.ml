@@ -1,0 +1,644 @@
+open Pc_core
+module I = Pc_interval.Interval
+module Atom = Pc_predicate.Atom
+module Pred = Pc_predicate.Pred
+module V = Pc_data.Value
+module Q = Pc_query.Query
+
+let tc = Alcotest.test_case
+let check_float = Alcotest.(check (float 1e-4))
+
+let schema =
+  Pc_data.Schema.of_names
+    [
+      ("utc", Pc_data.Schema.Numeric);
+      ("branch", Pc_data.Schema.Categorical);
+      ("price", Pc_data.Schema.Numeric);
+    ]
+
+let row utc branch price = [| V.Num utc; V.Str branch; V.Num price |]
+
+let mk ?name pred values freq = Pc.make ?name ~pred ~values ~freq ()
+
+(* ----------------------------- Pc ---------------------------------- *)
+
+let test_pc_validation () =
+  Alcotest.check_raises "kl > ku" (Invalid_argument "Pc.make: kl > ku") (fun () ->
+      ignore (mk Pred.tt [] (5, 2)));
+  Alcotest.check_raises "negative kl"
+    (Invalid_argument "Pc.make: negative frequency lower bound") (fun () ->
+      ignore (mk Pred.tt [] (-1, 2)));
+  Alcotest.check_raises "duplicate values"
+    (Invalid_argument "Pc.make: duplicate value-constraint attribute") (fun () ->
+      ignore (mk Pred.tt [ ("p", I.closed 0. 1.); ("p", I.closed 0. 2.) ] (0, 2)))
+
+let chicago_pc =
+  mk ~name:"c1"
+    [ Atom.cat_eq "branch" "Chicago" ]
+    [ ("price", I.closed 0. 149.99) ]
+    (0, 5)
+
+let test_pc_holds () =
+  let ok =
+    Pc_data.Relation.create schema
+      [ row 1. "Chicago" 100.; row 2. "Chicago" 10.; row 3. "NY" 9999. ]
+  in
+  Alcotest.(check bool) "holds" true (Pc.holds ok chicago_pc);
+  let too_many =
+    Pc_data.Relation.create schema
+      (List.init 6 (fun i -> row (float_of_int i) "Chicago" 1.))
+  in
+  Alcotest.(check bool) "frequency violated" false (Pc.holds too_many chicago_pc);
+  let bad_value =
+    Pc_data.Relation.create schema [ row 1. "Chicago" 200. ]
+  in
+  Alcotest.(check bool) "value violated" false (Pc.holds bad_value chicago_pc);
+  Alcotest.(check int) "one violation reported" 1
+    (List.length (Pc.violations bad_value chicago_pc))
+
+let test_pc_value_interval () =
+  Alcotest.(check bool) "constrained" true
+    (I.equal (Pc.value_interval chicago_pc "price") (I.closed 0. 149.99));
+  Alcotest.(check bool) "unconstrained is full" true
+    (I.equal (Pc.value_interval chicago_pc "utc") I.full)
+
+(* --------------------------- Pc_set -------------------------------- *)
+
+let test_set_closure_disjoint () =
+  let ny =
+    mk ~name:"c3"
+      [ Atom.cat_eq "branch" "New York" ]
+      [ ("price", I.closed 0. 100.) ]
+      (0, 10)
+  in
+  let set = Pc_set.make [ chicago_pc; ny ] in
+  Alcotest.(check bool) "disjoint" true (Pc_set.is_disjoint set);
+  let rel = Pc_data.Relation.create schema [ row 1. "Chicago" 1.; row 2. "New York" 2. ] in
+  Alcotest.(check bool) "closed over" true (Pc_set.closed_over rel set);
+  let rel2 = Pc_data.Relation.create schema [ row 1. "Trenton" 1. ] in
+  Alcotest.(check bool) "not closed" false (Pc_set.closed_over rel2 set);
+  let overlap =
+    mk ~name:"c2" Pred.tt [ ("price", I.closed 0. 149.99) ] (0, 100)
+  in
+  Alcotest.(check bool) "tautology overlaps" false
+    (Pc_set.is_disjoint (Pc_set.make [ chicago_pc; overlap ]))
+
+(* ---------------------------- Cells -------------------------------- *)
+
+let t1 =
+  mk ~name:"t1"
+    [ Atom.Num_range ("utc", I.make_exn (I.Closed 11.) (I.Open 12.)) ]
+    [ ("price", I.closed 0.99 129.99) ]
+    (50, 100)
+
+let t2_overlapping =
+  mk ~name:"t2"
+    [ Atom.Num_range ("utc", I.make_exn (I.Closed 11.) (I.Open 13.)) ]
+    [ ("price", I.closed 0.99 149.99) ]
+    (75, 125)
+
+let overlapping_set = Pc_set.make [ t1; t2_overlapping ]
+
+let test_cells_paper_example () =
+  (* Section 4.4: 3 possible non-empty cells, c3 = t1 ∧ ¬t2 unsatisfiable *)
+  let cells, stats = Cells.decompose ~strategy:Cells.Naive overlapping_set in
+  Alcotest.(check int) "two satisfiable cells" 2 (List.length cells);
+  Alcotest.(check int) "naive evaluates 2^n - 1 cells" 3 stats.Cells.sat_calls;
+  let actives = List.map (fun c -> c.Cells.active) cells in
+  Alcotest.(check bool) "c1 = {t1,t2}" true (List.mem [ 0; 1 ] actives);
+  Alcotest.(check bool) "c2 = {t2}" true (List.mem [ 1 ] actives);
+  Alcotest.(check bool) "c3 pruned" false (List.mem [ 0 ] actives)
+
+let test_cells_strategies_agree () =
+  let same_cells a b =
+    let norm cells =
+      List.map (fun c -> c.Cells.active) cells |> List.sort compare
+    in
+    norm a = norm b
+  in
+  let naive, _ = Cells.decompose ~strategy:Cells.Naive overlapping_set in
+  let dfs, _ = Cells.decompose ~strategy:Cells.Dfs overlapping_set in
+  let rewrite, _ = Cells.decompose ~strategy:Cells.Dfs_rewrite overlapping_set in
+  Alcotest.(check bool) "naive = dfs" true (same_cells naive dfs);
+  Alcotest.(check bool) "dfs = rewrite" true (same_cells dfs rewrite)
+
+let random_pc_set rng k =
+  let pcs =
+    List.init k (fun i ->
+        let lo = Pc_util.Rng.uniform rng ~lo:0. ~hi:80. in
+        let w = Pc_util.Rng.uniform rng ~lo:5. ~hi:40. in
+        let lo2 = Pc_util.Rng.uniform rng ~lo:0. ~hi:80. in
+        let w2 = Pc_util.Rng.uniform rng ~lo:5. ~hi:40. in
+        mk
+          ~name:(Printf.sprintf "p%d" i)
+          [ Atom.between "utc" lo (lo +. w); Atom.between "price" lo2 (lo2 +. w2) ]
+          [ ("price", I.closed lo2 (lo2 +. w2)) ]
+          (0, 1 + Pc_util.Rng.int rng 20))
+  in
+  Pc_set.make pcs
+
+let prop_strategies_agree =
+  QCheck.Test.make ~name:"all strategies find the same cells" ~count:60
+    QCheck.(int_bound 10_000) (fun seed ->
+      let rng = Pc_util.Rng.create seed in
+      let set = random_pc_set rng (2 + Pc_util.Rng.int rng 5) in
+      let norm cells = List.map (fun c -> c.Cells.active) cells |> List.sort compare in
+      let naive = norm (fst (Cells.decompose ~strategy:Cells.Naive set)) in
+      let dfs = norm (fst (Cells.decompose ~strategy:Cells.Dfs set)) in
+      let rewrite = norm (fst (Cells.decompose ~strategy:Cells.Dfs_rewrite set)) in
+      naive = dfs && dfs = rewrite)
+
+let prop_early_stop_superset =
+  QCheck.Test.make ~name:"early stop admits a superset of true cells" ~count:60
+    QCheck.(int_bound 10_000) (fun seed ->
+      let rng = Pc_util.Rng.create seed in
+      let k = 3 + Pc_util.Rng.int rng 4 in
+      let set = random_pc_set rng k in
+      let norm cells = List.map (fun c -> c.Cells.active) cells |> List.sort compare in
+      let exact = norm (fst (Cells.decompose ~strategy:Cells.Dfs set)) in
+      let approx =
+        norm (fst (Cells.decompose ~strategy:(Cells.Early_stop (k / 2)) set))
+      in
+      List.for_all (fun c -> List.mem c approx) exact)
+
+let prop_rewrite_fewer_calls =
+  QCheck.Test.make ~name:"rewriting never uses more solver calls than DFS"
+    ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Pc_util.Rng.create seed in
+      let set = random_pc_set rng (2 + Pc_util.Rng.int rng 6) in
+      let _, s_dfs = Cells.decompose ~strategy:Cells.Dfs set in
+      let _, s_rw = Cells.decompose ~strategy:Cells.Dfs_rewrite set in
+      s_rw.Cells.sat_calls <= s_dfs.Cells.sat_calls)
+
+(* --------------------------- Bounds -------------------------------- *)
+
+let range_of = function
+  | Bounds.Range r -> r
+  | Bounds.Empty -> Alcotest.fail "unexpected Empty"
+  | Bounds.Infeasible -> Alcotest.fail "unexpected Infeasible"
+
+let test_paper_disjoint_example () =
+  (* Section 4.4, disjoint case: [99.00, 27998.00] *)
+  let t2 =
+    mk ~name:"t2"
+      [ Atom.Num_range ("utc", I.make_exn (I.Closed 12.) (I.Open 13.)) ]
+      [ ("price", I.closed 0.99 149.99) ]
+      (50, 100)
+  in
+  let set = Pc_set.make [ t1; t2 ] in
+  Alcotest.(check bool) "disjoint" true (Pc_set.is_disjoint set);
+  let r = range_of (Bounds.bound set (Q.sum "price")) in
+  check_float "lo" 99.00 r.Range.lo;
+  check_float "hi" 27998.00 r.Range.hi;
+  (* greedy and general paths agree *)
+  let opts = { Bounds.default_opts with Bounds.use_greedy = false } in
+  let r' = range_of (Bounds.bound ~opts set (Q.sum "price")) in
+  check_float "general lo" 99.00 r'.Range.lo;
+  check_float "general hi" 27998.00 r'.Range.hi
+
+let test_paper_overlapping_example () =
+  (* Section 4.4, overlapping case: [74.25, 17748.75] *)
+  let r = range_of (Bounds.bound overlapping_set (Q.sum "price")) in
+  check_float "lo" 74.25 r.Range.lo;
+  check_float "hi" 17748.75 r.Range.hi
+
+let test_count_bounds () =
+  let r = range_of (Bounds.bound overlapping_set (Q.count ())) in
+  (* min rows: x1=50, x2=25 -> 75; max: x1=100, x2=25 -> 125 *)
+  check_float "count lo" 75. r.Range.lo;
+  check_float "count hi" 125. r.Range.hi
+
+let test_query_pushdown () =
+  (* query restricted to utc in [12, 13): only cell c2 (t2 alone) remains;
+     t2's kl is not enforceable inside the window (rows may hide in
+     [11,12)), so the count ranges from 0 to 125. *)
+  let where_ = [ Atom.Num_range ("utc", I.make_exn (I.Closed 12.) (I.Open 13.)) ] in
+  let r = range_of (Bounds.bound overlapping_set (Q.count ~where_ ())) in
+  check_float "pushdown lo" 0. r.Range.lo;
+  check_float "pushdown hi" 125. r.Range.hi;
+  (* and values: SUM can reach 125 * 149.99 *)
+  let r = range_of (Bounds.bound overlapping_set (Q.sum ~where_ "price")) in
+  check_float "pushdown sum hi" (125. *. 149.99) r.Range.hi
+
+let test_non_overlapping_query () =
+  let where_ = [ Atom.between "utc" 50. 60. ] in
+  let r = range_of (Bounds.bound overlapping_set (Q.sum ~where_ "price")) in
+  check_float "no overlap lo" 0. r.Range.lo;
+  check_float "no overlap hi" 0. r.Range.hi;
+  Alcotest.(check bool) "avg empty" true
+    (Bounds.bound overlapping_set (Q.avg ~where_ "price") = Bounds.Empty)
+
+let test_infeasible () =
+  (* frequency lower bound on an unsatisfiable predicate *)
+  let impossible =
+    mk
+      [ Atom.between "utc" 0. 1.; Atom.between "utc" 5. 6. ]
+      []
+      (3, 10)
+  in
+  Alcotest.(check bool) "infeasible" true
+    (Bounds.bound (Pc_set.make [ impossible ]) (Q.count ()) = Bounds.Infeasible);
+  (* conflicting overlapping constraints: a sub-region must hold >= 10 rows
+     but a covering constraint allows at most 2 *)
+  let inner = mk [ Atom.between "utc" 0. 1. ] [] (10, 20) in
+  let outer = mk [ Atom.between "utc" 0. 5. ] [] (0, 2) in
+  Alcotest.(check bool) "conflicting freq" true
+    (Bounds.bound (Pc_set.make [ inner; outer ]) (Q.count ()) = Bounds.Infeasible)
+
+let test_conflict_most_restrictive () =
+  (* Interacting constraints (paper §3.1 c1/c2 example): Chicago rows are
+     capped at 5 and 149.99 by c1 even though c2 alone would allow 100. *)
+  let c1 = chicago_pc in
+  let c2 = mk ~name:"c2" Pred.tt [ ("price", I.closed 0. 200.) ] (0, 100) in
+  let set = Pc_set.make [ c1; c2 ] in
+  let where_ = [ Atom.cat_eq "branch" "Chicago" ] in
+  let r = range_of (Bounds.bound set (Q.sum ~where_ "price")) in
+  (* 5 rows at min(149.99, 200) *)
+  check_float "restrictive hi" (5. *. 149.99) r.Range.hi
+
+let test_min_max () =
+  (match Bounds.bound overlapping_set (Q.max_ "price") with
+  | Bounds.Range r ->
+      check_float "max hi" 149.99 r.Range.hi;
+      (* forced rows exist; adversary can keep everything at 0.99 *)
+      check_float "max lo" 0.99 r.Range.lo
+  | _ -> Alcotest.fail "expected range");
+  match Bounds.bound overlapping_set (Q.min_ "price") with
+  | Bounds.Range r -> check_float "min lo" 0.99 r.Range.lo
+  | _ -> Alcotest.fail "expected range"
+
+let test_avg () =
+  match Bounds.bound overlapping_set (Q.avg "price") with
+  | Bounds.Range r ->
+      (* max avg: 50 rows at 129.99 + 75 at 149.99 / 125 ≈ 141.99;
+         actually placing extra t2 rows at 149.99 dominates: with x1=50
+         (at 129.99) forced and x2 up to 75 at 149.99: avg <= (50*129.99 +
+         75*149.99)/125 = 141.99. *)
+      Alcotest.(check bool) "avg hi sane" true
+        (r.Range.hi <= 149.99 +. 1e-6 && r.Range.hi >= 141.98);
+      Alcotest.(check bool) "avg lo sane" true
+        (r.Range.lo >= 0.98 && r.Range.lo <= 1.0)
+  | _ -> Alcotest.fail "expected range"
+
+let test_bound_with_certain () =
+  let certain =
+    Pc_data.Relation.create schema [ row 11.5 "Chicago" 10.; row 12.5 "NY" 20. ]
+  in
+  let r =
+    range_of (Bounds.bound_with_certain overlapping_set ~certain (Q.sum "price"))
+  in
+  check_float "shifted lo" (74.25 +. 30.) r.Range.lo;
+  check_float "shifted hi" (17748.75 +. 30.) r.Range.hi;
+  let r =
+    range_of (Bounds.bound_with_certain overlapping_set ~certain (Q.count ()))
+  in
+  check_float "count shifted" 77. r.Range.lo;
+  (* MAX with certain: the union max is at least the certain max *)
+  let r =
+    range_of (Bounds.bound_with_certain overlapping_set ~certain (Q.max_ "price"))
+  in
+  Alcotest.(check bool) "max lo >= certain max" true (r.Range.lo >= 20. -. 1e-9);
+  check_float "max hi" 149.99 r.Range.hi
+
+let test_generate_corr_partition () =
+  let rng = Pc_util.Rng.create 1 in
+  let rows =
+    List.init 500 (fun i ->
+        let utc = float_of_int (i mod 50) in
+        let price = (10. *. utc) +. Pc_util.Rng.uniform rng ~lo:0. ~hi:5. in
+        row utc (if i mod 2 = 0 then "A" else "B") price)
+  in
+  let rel = Pc_data.Relation.create schema rows in
+  let pcs = Generate.corr_partition rel ~attrs:[ "utc" ] ~n:10 () in
+  let set = Pc_set.make pcs in
+  Alcotest.(check bool) "holds on source" true (Pc_set.holds rel set);
+  Alcotest.(check bool) "closed over source" true (Pc_set.closed_over rel set);
+  Alcotest.(check bool) "disjoint" true (Pc_set.is_disjoint set);
+  Alcotest.(check bool) "about 10 buckets" true
+    (List.length pcs >= 8 && List.length pcs <= 12)
+
+let test_generate_rand_pcs () =
+  let rng = Pc_util.Rng.create 2 in
+  let rows = List.init 200 (fun i -> row (float_of_int i) "A" (float_of_int (i * 2))) in
+  let rel = Pc_data.Relation.create schema rows in
+  let pcs = Generate.rand_pcs rng rel ~attrs:[ "utc" ] ~n:15 () in
+  Alcotest.(check int) "count includes catch-all" 15 (List.length pcs);
+  let set = Pc_set.make pcs in
+  Alcotest.(check bool) "holds on source" true (Pc_set.holds rel set);
+  Alcotest.(check bool) "closed (catch-all)" true (Pc_set.closed_over rel set)
+
+let test_generate_correlated_attrs () =
+  let rng = Pc_util.Rng.create 3 in
+  let rows =
+    List.init 300 (fun i ->
+        let utc = float_of_int i in
+        (* price strongly correlated with utc, not with noise *)
+        row utc (if i mod 3 = 0 then "X" else "Y") (utc +. Pc_util.Rng.uniform rng ~lo:0. ~hi:1.))
+  in
+  let rel = Pc_data.Relation.create schema rows in
+  let top =
+    Generate.correlated_attrs rel ~agg:"price" ~candidates:[ "utc"; "branch" ] ~k:1
+  in
+  Alcotest.(check (list string)) "utc most correlated" [ "utc" ] top
+
+let test_advisor () =
+  (* v is a pure function of t (plus tiny noise) and independent of a
+     useless uniform attribute u: the advisor must pick t *)
+  let adv_schema =
+    Pc_data.Schema.of_names
+      [
+        ("t", Pc_data.Schema.Numeric);
+        ("u", Pc_data.Schema.Numeric);
+        ("v", Pc_data.Schema.Numeric);
+      ]
+  in
+  let rng = Pc_util.Rng.create 5 in
+  let rel =
+    Pc_data.Relation.create adv_schema
+      (List.init 600 (fun _ ->
+           let t = Pc_util.Rng.uniform rng ~lo:0. ~hi:100. in
+           [|
+             V.Num t;
+             V.Num (Pc_util.Rng.uniform rng ~lo:0. ~hi:100.);
+             V.Num ((2. *. t) +. Pc_util.Rng.uniform rng ~lo:0. ~hi:1.);
+           |]))
+  in
+  let queries =
+    List.init 30 (fun i ->
+        let lo = float_of_int (i mod 10) *. 8. in
+        Q.sum ~where_:[ Atom.between "t" lo (lo +. 20.) ] "v")
+  in
+  let winner = Advisor.best ~max_attrs:1 rel ~candidates:[ "t"; "u" ] ~queries in
+  Alcotest.(check (list string)) "picks the correlated attribute" [ "t" ] winner;
+  let ranked = Advisor.rank ~max_attrs:2 rel ~candidates:[ "t"; "u" ] ~queries in
+  Alcotest.(check int) "three scored subsets" 3 (List.length ranked);
+  Alcotest.(check bool) "scores sorted ascending" true
+    (let rec sorted = function
+       | a :: (b :: _ as rest) ->
+           a.Advisor.median_over_estimation <= b.Advisor.median_over_estimation
+           && sorted rest
+       | _ -> true
+     in
+     sorted ranked);
+  Alcotest.(check bool) "no candidates rejected" true
+    (try
+       ignore (Advisor.rank rel ~candidates:[] ~queries);
+       false
+     with Invalid_argument _ -> true)
+
+let test_noise () =
+  let rng = Pc_util.Rng.create 4 in
+  let pcs = [ chicago_pc ] in
+  let noisy = Noise.corrupt_values rng ~sigma:[ ("price", 10.) ] pcs in
+  Alcotest.(check int) "same count" 1 (List.length noisy);
+  let pc = List.hd noisy in
+  Alcotest.(check bool) "interval still valid" true
+    (I.lo_float (Pc.value_interval pc "price") <= I.hi_float (Pc.value_interval pc "price"));
+  (* zero noise is identity *)
+  let same = Noise.corrupt_values rng ~sigma:[ ("price", 0.) ] pcs in
+  Alcotest.(check bool) "zero noise unchanged" true
+    (I.equal
+       (Pc.value_interval (List.hd same) "price")
+       (Pc.value_interval chicago_pc "price"))
+
+(* ------------------- end-to-end soundness property ------------------ *)
+
+(* Build a random "missing" relation, summarize it with PCs that hold by
+   construction, fire random queries, and check the hard range contains
+   the true answer. This is the paper's central guarantee. *)
+
+let sound_schema =
+  Pc_data.Schema.of_names
+    [ ("t", Pc_data.Schema.Numeric); ("v", Pc_data.Schema.Numeric) ]
+
+let random_missing_relation rng n =
+  let rows =
+    List.init n (fun _ ->
+        let t = Pc_util.Rng.uniform rng ~lo:0. ~hi:100. in
+        let v =
+          match Pc_util.Rng.int rng 3 with
+          | 0 -> Pc_util.Rng.uniform rng ~lo:(-50.) ~hi:50.
+          | 1 -> t *. 2.
+          | _ -> Pc_util.Rng.pareto rng ~scale:1. ~shape:1.5
+        in
+        [| V.Num t; V.Num v |])
+  in
+  Pc_data.Relation.create sound_schema rows
+
+let random_query rng =
+  let lo = Pc_util.Rng.uniform rng ~lo:0. ~hi:90. in
+  let w = Pc_util.Rng.uniform rng ~lo:5. ~hi:50. in
+  let where_ = [ Atom.between "t" lo (lo +. w) ] in
+  match Pc_util.Rng.int rng 5 with
+  | 0 -> Q.count ~where_ ()
+  | 1 -> Q.sum ~where_ "v"
+  | 2 -> Q.avg ~where_ "v"
+  | 3 -> Q.min_ ~where_ "v"
+  | _ -> Q.max_ ~where_ "v"
+
+let soundness_check ~make_pcs seed =
+  let rng = Pc_util.Rng.create seed in
+  let missing = random_missing_relation rng (30 + Pc_util.Rng.int rng 100) in
+  let pcs = make_pcs rng missing in
+  let set = Pc_set.make pcs in
+  if not (Pc_set.holds missing set) then
+    QCheck.Test.fail_report "generated PCs do not hold";
+  let query = random_query rng in
+  let truth = Q.eval missing query in
+  match (Bounds.bound set query, truth) with
+  | Bounds.Infeasible, _ -> QCheck.Test.fail_report "infeasible on satisfiable data"
+  | Bounds.Empty, None -> true
+  | Bounds.Empty, Some v ->
+      QCheck.Test.fail_reportf "Empty but truth = %g (%s)" v (Q.to_string query)
+  | Bounds.Range _, None -> true (* a wider range than needed is sound *)
+  | Bounds.Range r, Some v ->
+      if Range.contains r v then true
+      else
+        QCheck.Test.fail_reportf "range %s misses truth %g for %s"
+          (Range.to_string r) v (Q.to_string query)
+
+let prop_sound_corr =
+  QCheck.Test.make ~name:"bounds contain truth (Corr-PC partitions)" ~count:120
+    QCheck.(int_bound 100_000)
+    (soundness_check ~make_pcs:(fun _rng missing ->
+         Generate.corr_partition missing ~attrs:[ "t" ] ~n:8 ()))
+
+let prop_sound_rand =
+  QCheck.Test.make ~name:"bounds contain truth (random overlapping PCs)" ~count:120
+    QCheck.(int_bound 100_000)
+    (soundness_check ~make_pcs:(fun rng missing ->
+         Generate.rand_pcs rng missing ~attrs:[ "t" ] ~n:7 ()))
+
+let prop_greedy_matches_general =
+  QCheck.Test.make ~name:"greedy equals general on disjoint sets" ~count:60
+    QCheck.(int_bound 100_000) (fun seed ->
+      let rng = Pc_util.Rng.create seed in
+      let missing = random_missing_relation rng 60 in
+      let pcs = Generate.corr_partition missing ~attrs:[ "t" ] ~n:6 () in
+      let set = Pc_set.make pcs in
+      let query = random_query rng in
+      let greedy = Bounds.bound set query in
+      let general =
+        Bounds.bound
+          ~opts:{ Bounds.default_opts with Bounds.use_greedy = false }
+          set query
+      in
+      match (greedy, general) with
+      | Bounds.Range a, Bounds.Range b ->
+          Float.abs (a.Range.lo -. b.Range.lo) < 1e-3 *. Float.max 1. (Float.abs b.Range.lo)
+          && Float.abs (a.Range.hi -. b.Range.hi) < 1e-3 *. Float.max 1. (Float.abs b.Range.hi)
+      | Bounds.Empty, Bounds.Empty -> true
+      | Bounds.Infeasible, Bounds.Infeasible -> true
+      | _, _ -> false)
+
+let prop_combined_sound =
+  (* bound_with_certain must contain the full-relation truth *)
+  QCheck.Test.make ~name:"combined bounds contain the full truth" ~count:120
+    QCheck.(int_bound 100_000) (fun seed ->
+      let rng = Pc_util.Rng.create seed in
+      let full = random_missing_relation rng (60 + Pc_util.Rng.int rng 120) in
+      let split =
+        Pc_synth.Missing.top_values full ~attr:"v"
+          ~fraction:(Pc_util.Rng.uniform rng ~lo:0.2 ~hi:0.8)
+      in
+      let observed = split.Pc_synth.Missing.observed in
+      let missing = split.Pc_synth.Missing.missing in
+      if Pc_data.Relation.is_empty missing then true
+      else begin
+        let set =
+          Pc_set.make (Generate.corr_partition missing ~attrs:[ "t" ] ~n:6 ())
+        in
+        let query = random_query rng in
+        match
+          (Bounds.bound_with_certain set ~certain:observed query, Q.eval full query)
+        with
+        | Bounds.Infeasible, _ -> false
+        | Bounds.Empty, None -> true
+        | Bounds.Empty, Some _ -> false
+        | Bounds.Range _, None -> true
+        | Bounds.Range r, Some truth -> Range.contains r truth
+      end)
+
+let group_schema =
+  Pc_data.Schema.of_names
+    [
+      ("t", Pc_data.Schema.Numeric);
+      ("g", Pc_data.Schema.Categorical);
+      ("v", Pc_data.Schema.Numeric);
+    ]
+
+let prop_group_by_sound =
+  (* each per-group range contains the per-group truth of the full data *)
+  QCheck.Test.make ~name:"group-by ranges contain per-group truths" ~count:80
+    QCheck.(int_bound 100_000) (fun seed ->
+      let rng = Pc_util.Rng.create seed in
+      let groups = [| "a"; "b"; "c" |] in
+      let full =
+        Pc_data.Relation.create group_schema
+          (List.init (60 + Pc_util.Rng.int rng 120) (fun _ ->
+               [|
+                 V.Num (Pc_util.Rng.uniform rng ~lo:0. ~hi:100.);
+                 V.Str groups.(Pc_util.Rng.int rng 3);
+                 V.Num (Pc_util.Rng.uniform rng ~lo:0. ~hi:50.);
+               |]))
+      in
+      let split = Pc_synth.Missing.top_values full ~attr:"v" ~fraction:0.5 in
+      let observed = split.Pc_synth.Missing.observed in
+      let missing = split.Pc_synth.Missing.missing in
+      let set =
+        Pc_set.make (Generate.corr_partition missing ~attrs:[ "g" ] ~n:3 ())
+      in
+      let query = Q.sum "v" in
+      let result = Group_by.bound set ~certain:observed ~by:"g" query in
+      List.for_all
+        (fun (key, answer) ->
+          let key_s = Pc_data.Value.as_str key in
+          let truth =
+            Q.eval full
+              { query with Q.where_ = [ Atom.cat_eq "g" key_s ] }
+          in
+          match (answer, truth) with
+          | Bounds.Range r, Some v -> Range.contains r v
+          | Bounds.Range _, None -> true
+          | Bounds.Empty, None -> true
+          | Bounds.Empty, Some v -> v = 0.
+          | Bounds.Infeasible, _ -> false)
+        result.Group_by.groups)
+
+let prop_tightness_sum =
+  (* On disjoint partitions derived from data with freq (0, count) and
+     exact value ranges, the SUM upper bound is attained by the instance
+     that pins every row at its bucket max — so the bound must not exceed
+     count * max over buckets. This checks bounds are tight, not just
+     sound. *)
+  QCheck.Test.make ~name:"disjoint SUM bound is attainable" ~count:80
+    QCheck.(int_bound 100_000) (fun seed ->
+      let rng = Pc_util.Rng.create seed in
+      let missing = random_missing_relation rng 50 in
+      let pcs = Generate.corr_partition missing ~attrs:[ "t" ] ~n:5 () in
+      let set = Pc_set.make pcs in
+      let expected_hi =
+        List.fold_left
+          (fun acc (pc : Pc.t) ->
+            let hi = I.hi_float (Pc.value_interval pc "v") in
+            let contrib =
+              if hi >= 0. then float_of_int pc.Pc.freq_hi *. hi else 0.
+            in
+            acc +. contrib)
+          0. pcs
+      in
+      match Bounds.bound set (Q.sum "v") with
+      | Bounds.Range r -> Float.abs (r.Range.hi -. expected_hi) < 1e-6 *. Float.max 1. expected_hi
+      | _ -> false)
+
+let () =
+  Alcotest.run "pc_core"
+    [
+      ( "pc",
+        [
+          tc "validation" `Quick test_pc_validation;
+          tc "holds/violations" `Quick test_pc_holds;
+          tc "value intervals" `Quick test_pc_value_interval;
+        ] );
+      ("pc_set", [ tc "closure and disjointness" `Quick test_set_closure_disjoint ]);
+      ( "cells",
+        [
+          tc "paper example" `Quick test_cells_paper_example;
+          tc "strategies agree" `Quick test_cells_strategies_agree;
+          QCheck_alcotest.to_alcotest prop_strategies_agree;
+          QCheck_alcotest.to_alcotest prop_early_stop_superset;
+          QCheck_alcotest.to_alcotest prop_rewrite_fewer_calls;
+        ] );
+      ( "bounds",
+        [
+          tc "paper disjoint example" `Quick test_paper_disjoint_example;
+          tc "paper overlapping example" `Quick test_paper_overlapping_example;
+          tc "count" `Quick test_count_bounds;
+          tc "query pushdown" `Quick test_query_pushdown;
+          tc "non-overlapping query" `Quick test_non_overlapping_query;
+          tc "infeasible systems" `Quick test_infeasible;
+          tc "most-restrictive reconciliation" `Quick test_conflict_most_restrictive;
+          tc "min/max" `Quick test_min_max;
+          tc "avg" `Quick test_avg;
+          tc "with certain partition" `Quick test_bound_with_certain;
+        ] );
+      ( "generate",
+        [
+          tc "corr partition" `Quick test_generate_corr_partition;
+          tc "rand pcs" `Quick test_generate_rand_pcs;
+          tc "correlated attrs" `Quick test_generate_correlated_attrs;
+        ] );
+      ("advisor", [ tc "attribute selection" `Quick test_advisor ]);
+      ("noise", [ tc "corruption" `Quick test_noise ]);
+      ( "soundness",
+        [
+          QCheck_alcotest.to_alcotest prop_sound_corr;
+          QCheck_alcotest.to_alcotest prop_sound_rand;
+          QCheck_alcotest.to_alcotest prop_greedy_matches_general;
+          QCheck_alcotest.to_alcotest prop_combined_sound;
+          QCheck_alcotest.to_alcotest prop_group_by_sound;
+          QCheck_alcotest.to_alcotest prop_tightness_sum;
+        ] );
+    ]

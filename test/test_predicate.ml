@@ -1,0 +1,247 @@
+open Pc_predicate
+module I = Pc_interval.Interval
+module V = Pc_data.Value
+
+let tc = Alcotest.test_case
+
+let schema =
+  Pc_data.Schema.of_names
+    [
+      ("utc", Pc_data.Schema.Numeric);
+      ("branch", Pc_data.Schema.Categorical);
+      ("price", Pc_data.Schema.Numeric);
+    ]
+
+let row utc branch price = [| V.Num utc; V.Str branch; V.Num price |]
+
+let test_atom_eval () =
+  let r = row 5. "Chicago" 10. in
+  Alcotest.(check bool) "range in" true (Atom.eval schema (Atom.between "utc" 0. 10.) r);
+  Alcotest.(check bool) "range out" false (Atom.eval schema (Atom.between "utc" 6. 10.) r);
+  Alcotest.(check bool) "cat eq" true (Atom.eval schema (Atom.cat_eq "branch" "Chicago") r);
+  Alcotest.(check bool) "cat neq" false
+    (Atom.eval schema (Atom.Cat_neq ("branch", "Chicago")) r);
+  Alcotest.(check bool) "cat in" true
+    (Atom.eval schema (Atom.Cat_in ("branch", [ "NY"; "Chicago" ])) r);
+  Alcotest.(check bool) "cat not in" false
+    (Atom.eval schema (Atom.Cat_not_in ("branch", [ "Chicago" ])) r)
+
+let test_atom_negate_semantics () =
+  let atoms =
+    [
+      Atom.between "utc" 2. 8.;
+      Atom.greater_than "price" 5.;
+      Atom.cat_eq "branch" "Chicago";
+      Atom.Cat_in ("branch", [ "A"; "B" ]);
+    ]
+  in
+  let rows =
+    [ row 1. "Chicago" 4.; row 5. "A" 5.; row 8. "B" 6.; row 9. "X" 100. ]
+  in
+  List.iter
+    (fun atom ->
+      List.iter
+        (fun r ->
+          let direct = Atom.eval schema atom r in
+          let negated = List.exists (fun a -> Atom.eval schema a r) (Atom.negate atom) in
+          Alcotest.(check bool)
+            (Printf.sprintf "negation flips %s" (Atom.to_string atom))
+            (not direct) negated)
+        rows)
+    atoms
+
+let test_box_num () =
+  let box =
+    Box.add_pred Box.top [ Atom.between "utc" 0. 10.; Atom.at_least "utc" 5. ]
+  in
+  match box with
+  | None -> Alcotest.fail "expected nonempty"
+  | Some b ->
+      let iv = Box.num_interval b "utc" in
+      Alcotest.(check (float 0.)) "lo" 5. (I.lo_float iv);
+      Alcotest.(check (float 0.)) "hi" 10. (I.hi_float iv);
+      Alcotest.(check bool) "conflict is empty" true
+        (Box.add_atom b (Atom.less_than "utc" 5.) = None)
+
+let test_box_cat () =
+  let b = Option.get (Box.add_atom Box.top (Atom.Cat_in ("branch", [ "A"; "B" ]))) in
+  let b = Option.get (Box.add_atom b (Atom.Cat_neq ("branch", "A"))) in
+  (match Box.cat_constraint b "branch" with
+  | Some (Box.In [ "B" ]) -> ()
+  | _ -> Alcotest.fail "expected {B}");
+  Alcotest.(check bool) "excluding B empties" true
+    (Box.add_atom b (Atom.Cat_neq ("branch", "B")) = None)
+
+let test_box_universe () =
+  let b = Box.with_universe [ ("branch", [ "A"; "B" ]) ] in
+  let b = Option.get (Box.add_atom b (Atom.Cat_neq ("branch", "A"))) in
+  Alcotest.(check bool) "excluding whole universe empties" true
+    (Box.add_atom b (Atom.Cat_neq ("branch", "B")) = None);
+  (* without a universe the same exclusions stay satisfiable *)
+  let open_box = Option.get (Box.add_atom Box.top (Atom.Cat_neq ("branch", "A"))) in
+  Alcotest.(check bool) "open universe survives" true
+    (Option.is_some (Box.add_atom open_box (Atom.Cat_neq ("branch", "B"))))
+
+let test_box_kind_conflict () =
+  let b = Option.get (Box.add_atom Box.top (Atom.between "utc" 0. 1.)) in
+  Alcotest.check_raises "mixed kinds"
+    (Invalid_argument "Box: attribute utc used as both kinds") (fun () ->
+      ignore (Box.add_atom b (Atom.cat_eq "utc" "x")))
+
+let test_box_witness () =
+  let b =
+    Option.get
+      (Box.add_pred Box.top
+         [ Atom.between "price" 2. 4.; Atom.Cat_not_in ("branch", [ "A" ]) ])
+  in
+  let w = Box.witness b in
+  let price = List.assoc "price" w and branch = List.assoc "branch" w in
+  Alcotest.(check bool) "price in range" true
+    (V.as_num price >= 2. && V.as_num price <= 4.);
+  Alcotest.(check bool) "branch avoids exclusion" true (V.as_str branch <> "A")
+
+let test_pred_eval () =
+  let p = Pred.conj [ Atom.between "utc" 0. 10.; Atom.cat_eq "branch" "Chicago" ] in
+  Alcotest.(check bool) "matches" true (Pred.eval schema p (row 5. "Chicago" 1.));
+  Alcotest.(check bool) "branch mismatch" false (Pred.eval schema p (row 5. "NY" 1.));
+  Alcotest.(check bool) "tautology" true (Pred.eval schema Pred.tt (row 0. "X" 0.));
+  Alcotest.(check (list string)) "attrs" [ "branch"; "utc" ] (Pred.attrs p)
+
+let test_pred_satisfiable () =
+  Alcotest.(check bool) "consistent" true
+    (Pred.satisfiable [ Atom.between "utc" 0. 10.; Atom.at_least "utc" 3. ]);
+  Alcotest.(check bool) "inconsistent" false
+    (Pred.satisfiable [ Atom.between "utc" 0. 1.; Atom.at_least "utc" 3. ])
+
+let test_sat_basic () =
+  Sat.reset_calls ();
+  (* (utc in [0,10]) AND (NOT utc in [2,8]) is satisfiable *)
+  let cnf =
+    Cnf.conj
+      (Cnf.of_pred [ Atom.between "utc" 0. 10. ])
+      (Cnf.of_neg_pred [ Atom.between "utc" 2. 8. ])
+  in
+  Alcotest.(check bool) "sat" true (Sat.check cnf);
+  (* (utc in [2,8]) AND (NOT utc in [0,10]) is unsatisfiable *)
+  let cnf2 =
+    Cnf.conj
+      (Cnf.of_pred [ Atom.between "utc" 2. 8. ])
+      (Cnf.of_neg_pred [ Atom.between "utc" 0. 10. ])
+  in
+  Alcotest.(check bool) "unsat" false (Sat.check cnf2);
+  Alcotest.(check int) "calls counted" 2 (Sat.calls ())
+
+let test_sat_multi_clause () =
+  (* utc in [0,10] ∧ ¬(utc in [0,5] ∧ price in [0,5]) ∧ ¬(utc in [5,10] ∧ price in [5,9])
+     satisfiable e.g. utc=3, price=7 *)
+  let cnf =
+    Cnf.of_pred [ Atom.between "utc" 0. 10.; Atom.between "price" 0. 9. ]
+    |> Cnf.conj (Cnf.of_neg_pred [ Atom.between "utc" 0. 5.; Atom.between "price" 0. 5. ])
+    |> Cnf.conj (Cnf.of_neg_pred [ Atom.between "utc" 5. 10.; Atom.between "price" 5. 9. ])
+  in
+  (match Sat.solve cnf with
+  | Some box ->
+      let w = Box.witness box in
+      let get a = V.as_num (List.assoc a w) in
+      let utc = get "utc" and price = get "price" in
+      Alcotest.(check bool) "witness satisfies cnf" true
+        (Cnf.eval schema cnf (row utc "x" price))
+  | None -> Alcotest.fail "expected satisfiable");
+  (* covering the whole box with the two negated regions -> unsat *)
+  let cnf_unsat =
+    Cnf.of_pred [ Atom.between "utc" 0. 10. ]
+    |> Cnf.conj (Cnf.of_neg_pred [ Atom.between "utc" 0. 5. ])
+    |> Cnf.conj (Cnf.of_neg_pred [ Atom.between "utc" 5. 10. ])
+  in
+  Alcotest.(check bool) "covered is unsat" false (Sat.check cnf_unsat)
+
+let test_implies_box () =
+  let box = Option.get (Box.of_pred [ Atom.between "utc" 3. 4. ]) in
+  Alcotest.(check bool) "implied range" true
+    (Pred.implies_box box [ Atom.between "utc" 0. 10. ]);
+  Alcotest.(check bool) "not implied" false
+    (Pred.implies_box box [ Atom.between "utc" 3.5 10. ]);
+  Alcotest.(check bool) "tautology implied" true (Pred.implies_box box Pred.tt)
+
+(* --- properties: SAT solver agrees with brute-force evaluation --- *)
+
+let atom_gen attr_pool =
+  QCheck.Gen.(
+    let* attr = oneofl attr_pool in
+    let* lo = float_bound_inclusive 10. in
+    let* w = float_bound_inclusive 5. in
+    return (Atom.between attr lo (lo +. w)))
+
+let pred_gen =
+  QCheck.Gen.(list_size (1 -- 3) (atom_gen [ "x"; "y" ]))
+
+let cnf_gen =
+  QCheck.Gen.(
+    let* pos = pred_gen in
+    let* negs = list_size (0 -- 3) pred_gen in
+    return
+      (List.fold_left
+         (fun acc p -> Cnf.conj acc (Cnf.of_neg_pred p))
+         (Cnf.of_pred pos) negs))
+
+let grid_schema =
+  Pc_data.Schema.of_names [ ("x", Pc_data.Schema.Numeric); ("y", Pc_data.Schema.Numeric) ]
+
+let prop_sat_complete =
+  (* If a grid point satisfies the CNF, the solver must report SAT. *)
+  QCheck.Test.make ~name:"solver finds satisfiable grids" ~count:300
+    (QCheck.make cnf_gen) (fun cnf ->
+      let grid_hit = ref false in
+      let steps = 31 in
+      for i = 0 to steps - 1 do
+        for j = 0 to steps - 1 do
+          let x = 15.5 *. float_of_int i /. float_of_int (steps - 1) in
+          let y = 15.5 *. float_of_int j /. float_of_int (steps - 1) in
+          if Cnf.eval grid_schema cnf [| V.Num x; V.Num y |] then grid_hit := true
+        done
+      done;
+      (* solver SAT must be implied by a grid hit (soundness direction:
+         grid hit -> SAT). The converse can fail because the grid is
+         coarse, so we only check the implication. *)
+      (not !grid_hit) || Sat.check cnf)
+
+let prop_sat_witness =
+  QCheck.Test.make ~name:"witness satisfies the formula" ~count:300
+    (QCheck.make cnf_gen) (fun cnf ->
+      match Sat.solve cnf with
+      | None -> true
+      | Some box ->
+          let w = Box.witness box in
+          let get a = try V.as_num (List.assoc a w) with Not_found -> 0. in
+          Cnf.eval grid_schema cnf [| V.Num (get "x"); V.Num (get "y") |])
+
+let () =
+  Alcotest.run "pc_predicate"
+    [
+      ( "atom",
+        [
+          tc "eval" `Quick test_atom_eval;
+          tc "negation semantics" `Quick test_atom_negate_semantics;
+        ] );
+      ( "box",
+        [
+          tc "numeric" `Quick test_box_num;
+          tc "categorical" `Quick test_box_cat;
+          tc "universe" `Quick test_box_universe;
+          tc "kind conflict" `Quick test_box_kind_conflict;
+          tc "witness" `Quick test_box_witness;
+        ] );
+      ( "pred",
+        [
+          tc "eval" `Quick test_pred_eval;
+          tc "satisfiable" `Quick test_pred_satisfiable;
+          tc "implies_box" `Quick test_implies_box;
+        ] );
+      ( "sat",
+        [
+          tc "basic" `Quick test_sat_basic;
+          tc "multi-clause" `Quick test_sat_multi_clause;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_sat_complete; prop_sat_witness ] );
+    ]

@@ -1,0 +1,107 @@
+open Pc_query
+module V = Pc_data.Value
+module Atom = Pc_predicate.Atom
+
+let tc = Alcotest.test_case
+
+let schema =
+  Pc_data.Schema.of_names
+    [
+      ("utc", Pc_data.Schema.Numeric);
+      ("branch", Pc_data.Schema.Categorical);
+      ("price", Pc_data.Schema.Numeric);
+    ]
+
+let row utc branch price = [| V.Num utc; V.Str branch; V.Num price |]
+
+let sales =
+  Pc_data.Relation.create schema
+    [
+      row 1. "Chicago" 10.;
+      row 2. "Chicago" 20.;
+      row 3. "NY" 30.;
+      row 4. "NY" 40.;
+      row 5. "Trenton" 50.;
+    ]
+
+let check_eval name expected q =
+  match Query.eval sales q with
+  | Some v -> Alcotest.(check (float 1e-9)) name expected v
+  | None -> Alcotest.failf "%s: unexpected empty" name
+
+let test_aggregates () =
+  check_eval "count" 5. (Query.count ());
+  check_eval "sum" 150. (Query.sum "price");
+  check_eval "avg" 30. (Query.avg "price");
+  check_eval "min" 10. (Query.min_ "price");
+  check_eval "max" 50. (Query.max_ "price")
+
+let test_where () =
+  let where_ = [ Atom.cat_eq "branch" "Chicago" ] in
+  check_eval "filtered sum" 30. (Query.sum ~where_ "price");
+  check_eval "filtered count" 2. (Query.count ~where_ ());
+  let where_ = [ Atom.between "utc" 2. 4. ] in
+  check_eval "range avg" 30. (Query.avg ~where_ "price")
+
+let test_empty_selection () =
+  let where_ = [ Atom.cat_eq "branch" "Nowhere" ] in
+  check_eval "empty count" 0. (Query.count ~where_ ());
+  check_eval "empty sum" 0. (Query.sum ~where_ "price");
+  Alcotest.(check bool) "empty avg none" true
+    (Query.eval sales (Query.avg ~where_ "price") = None);
+  Alcotest.(check bool) "empty min none" true
+    (Query.eval sales (Query.min_ ~where_ "price") = None)
+
+let test_group_by () =
+  let results = Query.eval_group_by sales (Query.sum "price") "branch" in
+  Alcotest.(check int) "three groups" 3 (List.length results);
+  let chicago = List.assoc (V.Str "Chicago") results in
+  Alcotest.(check (float 0.)) "chicago sum" 30. (Option.get chicago);
+  (* group-by respects the outer predicate *)
+  let filtered =
+    Query.eval_group_by sales (Query.count ~where_:[ Atom.at_least "utc" 3. ] ()) "branch"
+  in
+  Alcotest.(check int) "filtered groups" 2 (List.length filtered)
+
+let test_agg_attr_and_pp () =
+  Alcotest.(check (option string)) "sum attr" (Some "price")
+    (Query.agg_attr (Query.sum "price"));
+  Alcotest.(check (option string)) "count attr" None (Query.agg_attr (Query.count ()));
+  Alcotest.(check string) "pp" "SELECT COUNT(*) WHERE TRUE"
+    (Query.to_string (Query.count ()))
+
+let prop_sum_matches_manual =
+  QCheck.Test.make ~name:"query SUM equals manual fold" ~count:200
+    QCheck.(list (pair (float_bound_inclusive 10.) (float_bound_inclusive 100.)))
+    (fun rows ->
+      let schema =
+        Pc_data.Schema.of_names
+          [ ("t", Pc_data.Schema.Numeric); ("v", Pc_data.Schema.Numeric) ]
+      in
+      let rel =
+        Pc_data.Relation.create schema
+          (List.map (fun (t, v) -> [| V.Num t; V.Num v |]) rows)
+      in
+      let where_ = [ Atom.between "t" 2. 7. ] in
+      let expected =
+        List.fold_left
+          (fun acc (t, v) -> if t >= 2. && t <= 7. then acc +. v else acc)
+          0. rows
+      in
+      match Query.eval rel (Query.sum ~where_ "v") with
+      | Some s -> Float.abs (s -. expected) < 1e-6
+      | None -> false)
+
+let () =
+  Alcotest.run "pc_query"
+    [
+      ( "query",
+        [
+          tc "aggregates" `Quick test_aggregates;
+          tc "where" `Quick test_where;
+          tc "empty selection" `Quick test_empty_selection;
+          tc "group by" `Quick test_group_by;
+          tc "agg_attr/pp" `Quick test_agg_attr_and_pp;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_sum_matches_manual ]);
+    ]

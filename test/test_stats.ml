@@ -1,0 +1,258 @@
+open Pc_stats
+module Q = Pc_query.Query
+module Relation = Pc_data.Relation
+module V = Pc_data.Value
+module Range = Pc_core.Range
+
+let tc = Alcotest.test_case
+
+let schema =
+  Pc_data.Schema.of_names
+    [ ("t", Pc_data.Schema.Numeric); ("v", Pc_data.Schema.Numeric) ]
+
+let make_relation rng n f =
+  Relation.create schema
+    (List.init n (fun i ->
+         let t = float_of_int i in
+         [| V.Num t; V.Num (f rng t) |]))
+
+let uniform_relation rng n =
+  make_relation rng n (fun rng _ -> Pc_util.Rng.uniform rng ~lo:0. ~hi:100.)
+
+(* ----------------------------- Sample ------------------------------ *)
+
+let test_uniform_sample () =
+  let rng = Pc_util.Rng.create 1 in
+  let rel = uniform_relation rng 500 in
+  let s = Sample.uniform rng rel ~m:50 in
+  Alcotest.(check int) "size" 50 (Relation.cardinality s);
+  let s_all = Sample.uniform rng rel ~m:10_000 in
+  Alcotest.(check int) "clipped" 500 (Relation.cardinality s_all)
+
+let test_stratified_sample () =
+  let rng = Pc_util.Rng.create 2 in
+  let rel = uniform_relation rng 600 in
+  let strata_of = Sample.strata_by_quantiles rel ~attr:"t" ~buckets:4 in
+  let strata = Sample.stratified rng rel ~strata_of ~m:80 in
+  Alcotest.(check int) "four strata" 4 (List.length strata);
+  List.iter
+    (fun (s : Sample.stratum) ->
+      Alcotest.(check bool) "population recorded" true (s.Sample.population > 0);
+      Alcotest.(check bool) "proportional share" true
+        (Relation.cardinality s.Sample.rows >= 1))
+    strata;
+  let total_pop =
+    List.fold_left (fun acc (s : Sample.stratum) -> acc + s.Sample.population) 0 strata
+  in
+  Alcotest.(check int) "partitions the population" 600 total_pop
+
+(* ------------------------------- Ci -------------------------------- *)
+
+let test_ci_count_covers () =
+  (* with the full relation as "sample", the interval must contain the
+     exact answer *)
+  let rng = Pc_util.Rng.create 3 in
+  let rel = uniform_relation rng 400 in
+  let est =
+    Ci.uniform_estimator ~name:"US" ~method_:Ci.Nonparametric ~confidence:0.99
+      ~sample:rel ~n_total:400
+  in
+  let q = Q.count ~where_:[ Pc_predicate.Atom.between "t" 100. 199. ] () in
+  match est.Estimator.estimate q with
+  | Some r ->
+      let truth = Option.get (Q.eval rel q) in
+      Alcotest.(check bool) "covers exact count" true (Range.contains r truth)
+  | None -> Alcotest.fail "expected estimate"
+
+let test_ci_failure_rate_reasonable () =
+  (* CLT intervals at 95% should cover the truth most of the time on
+     benign uniform data *)
+  let rng = Pc_util.Rng.create 4 in
+  let rel = uniform_relation rng 2_000 in
+  let failures = ref 0 and trials = 60 in
+  for i = 1 to trials do
+    let sample = Sample.uniform rng rel ~m:200 in
+    let est =
+      Ci.uniform_estimator ~name:"US" ~method_:Ci.Parametric ~confidence:0.95
+        ~sample ~n_total:2_000
+    in
+    let lo = 10. *. float_of_int (i mod 5) in
+    let q = Q.sum ~where_:[ Pc_predicate.Atom.between "t" (lo *. 20.) ((lo *. 20.) +. 500.) ] "v" in
+    match (est.Estimator.estimate q, Q.eval rel q) with
+    | Some r, Some truth -> if not (Range.contains r truth) then incr failures
+    | _ -> incr failures
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "failure rate %d/%d below 25%%" !failures trials)
+    true
+    (float_of_int !failures /. float_of_int trials < 0.25)
+
+let test_ci_nonparametric_wider () =
+  let rng = Pc_util.Rng.create 5 in
+  let rel = uniform_relation rng 1_000 in
+  let sample = Sample.uniform rng rel ~m:100 in
+  let q = Q.sum "v" in
+  let width method_ =
+    let est =
+      Ci.uniform_estimator ~name:"x" ~method_ ~confidence:0.99 ~sample ~n_total:1_000
+    in
+    match est.Estimator.estimate q with
+    | Some r -> Range.width r
+    | None -> Alcotest.fail "expected estimate"
+  in
+  Alcotest.(check bool) "nonparametric at least as wide" true
+    (width Ci.Nonparametric >= width Ci.Parametric)
+
+let test_ci_empty_sample_abstains () =
+  let rng = Pc_util.Rng.create 6 in
+  let rel = uniform_relation rng 100 in
+  let sample = Sample.uniform rng rel ~m:10 in
+  let est =
+    Ci.uniform_estimator ~name:"x" ~method_:Ci.Parametric ~confidence:0.99 ~sample
+      ~n_total:100
+  in
+  (* AVG over a region the sample cannot hit *)
+  let q = Q.avg ~where_:[ Pc_predicate.Atom.between "t" 1e6 2e6 ] "v" in
+  Alcotest.(check bool) "abstains" true (est.Estimator.estimate q = None)
+
+let test_stratified_estimator () =
+  let rng = Pc_util.Rng.create 7 in
+  let rel = uniform_relation rng 1_000 in
+  let strata_of = Sample.strata_by_quantiles rel ~attr:"t" ~buckets:5 in
+  let strata = Sample.stratified rng rel ~strata_of ~m:200 in
+  let est =
+    Ci.stratified_estimator ~name:"ST" ~method_:Ci.Nonparametric ~confidence:0.99
+      ~strata
+  in
+  match (est.Estimator.estimate (Q.sum "v"), Q.eval rel (Q.sum "v")) with
+  | Some r, Some truth ->
+      Alcotest.(check bool) "covers the total" true (Range.contains r truth)
+  | _ -> Alcotest.fail "expected estimate"
+
+(* ------------------------------- Gmm -------------------------------- *)
+
+let bimodal_relation rng n =
+  make_relation rng n (fun rng _ ->
+      if Pc_util.Rng.bool rng then Pc_util.Rng.gaussian rng ~mu:10. ~sigma:1.
+      else Pc_util.Rng.gaussian rng ~mu:50. ~sigma:2.)
+
+let test_gmm_fit_improves () =
+  let rng = Pc_util.Rng.create 8 in
+  let rel = bimodal_relation rng 500 in
+  let m1 = Gmm.fit ~iters:1 ~k:2 (Pc_util.Rng.create 9) rel ~attrs:[ "v" ] in
+  let m30 = Gmm.fit ~iters:40 ~k:2 (Pc_util.Rng.create 9) rel ~attrs:[ "v" ] in
+  Alcotest.(check bool) "EM improves likelihood" true
+    (Gmm.log_likelihood m30 rel >= Gmm.log_likelihood m1 rel -. 1e-6)
+
+let test_gmm_recovers_modes () =
+  let rng = Pc_util.Rng.create 10 in
+  let rel = bimodal_relation rng 1_000 in
+  let m = Gmm.fit ~iters:50 ~k:2 (Pc_util.Rng.create 11) rel ~attrs:[ "v" ] in
+  let samples = Gmm.sample (Pc_util.Rng.create 12) m ~n:2_000 in
+  let vs = Relation.column samples "v" in
+  let near mu = Array.exists (fun v -> Float.abs (v -. mu) < 5.) vs in
+  Alcotest.(check bool) "samples near mode 10" true (near 10.);
+  Alcotest.(check bool) "samples near mode 50" true (near 50.);
+  Alcotest.(check int) "sample size" 2_000 (Array.length vs)
+
+let test_gmm_estimator () =
+  let rng = Pc_util.Rng.create 13 in
+  let rel = bimodal_relation rng 500 in
+  let m = Gmm.fit ~iters:30 ~k:2 (Pc_util.Rng.create 14) rel ~attrs:[ "t"; "v" ] in
+  let est = Gmm.estimator (Pc_util.Rng.create 15) m ~n_missing:500 ~trials:8 in
+  match est.Estimator.estimate (Q.sum "v") with
+  | Some r -> Alcotest.(check bool) "nonempty interval" true (Range.width r >= 0.)
+  | None -> Alcotest.fail "expected estimate"
+
+let test_gmm_validation () =
+  Alcotest.(check bool) "empty relation rejected" true
+    (try
+       ignore
+         (Gmm.fit (Pc_util.Rng.create 1) (Relation.create schema []) ~attrs:[ "v" ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------------------- Histogram ----------------------------- *)
+
+let test_histogram_never_fails () =
+  let rng = Pc_util.Rng.create 16 in
+  let rel =
+    make_relation rng 800 (fun rng _ -> Pc_util.Rng.pareto rng ~scale:1. ~shape:1.5)
+  in
+  let est = Histogram.estimator rel ~attrs:[ "t" ] ~bins:10 in
+  let rng_q = Pc_util.Rng.create 17 in
+  for _ = 1 to 40 do
+    let lo = Pc_util.Rng.uniform rng_q ~lo:0. ~hi:700. in
+    let q = Q.sum ~where_:[ Pc_predicate.Atom.between "t" lo (lo +. 80.) ] "v" in
+    match (est.Estimator.estimate q, Q.eval rel q) with
+    | Some r, Some truth ->
+        Alcotest.(check bool) "histogram bound holds" true (Range.contains r truth)
+    | None, _ -> Alcotest.fail "histogram abstained"
+    | _, None -> ()
+  done
+
+(* --------------------------- Extrapolate ---------------------------- *)
+
+let test_extrapolate () =
+  let rng = Pc_util.Rng.create 18 in
+  let rel = uniform_relation rng 100 in
+  let observed = Relation.take 50 rel and missing = Relation.drop 50 rel in
+  (match Extrapolate.estimate ~observed ~n_missing:50 (Q.count ()) with
+  | Some est -> Alcotest.(check (float 1e-9)) "count scales" 100. est
+  | None -> Alcotest.fail "expected estimate");
+  (* unbiased missingness -> small relative error on SUM *)
+  (match Extrapolate.relative_error ~observed ~missing (Q.sum "v") with
+  | Some e -> Alcotest.(check bool) "error small when missing at random" true (e < 0.5)
+  | None -> Alcotest.fail "expected error");
+  (* adversarial missingness -> large error *)
+  let split = Pc_synth.Missing.top_values rel ~attr:"v" ~fraction:0.5 in
+  match
+    Extrapolate.relative_error ~observed:split.Pc_synth.Missing.observed
+      ~missing:split.Pc_synth.Missing.missing (Q.sum "v")
+  with
+  | Some e -> Alcotest.(check bool) "error large when correlated" true (e > 0.2)
+  | None -> Alcotest.fail "expected error"
+
+let prop_nonparametric_covers_with_full_sample =
+  QCheck.Test.make ~name:"full-population sample always covers COUNT/SUM" ~count:50
+    QCheck.(int_bound 10_000) (fun seed ->
+      let rng = Pc_util.Rng.create seed in
+      let rel = uniform_relation rng (50 + Pc_util.Rng.int rng 200) in
+      let n = Relation.cardinality rel in
+      let est =
+        Ci.uniform_estimator ~name:"x" ~method_:Ci.Nonparametric ~confidence:0.9
+          ~sample:rel ~n_total:n
+      in
+      let lo = Pc_util.Rng.uniform rng ~lo:0. ~hi:(float_of_int (n / 2)) in
+      let q = Q.sum ~where_:[ Pc_predicate.Atom.between "t" lo (lo +. 50.) ] "v" in
+      match (est.Estimator.estimate q, Q.eval rel q) with
+      | Some r, Some truth -> Range.contains r truth
+      | _ -> false)
+
+let () =
+  Alcotest.run "pc_stats"
+    [
+      ( "sample",
+        [
+          tc "uniform" `Quick test_uniform_sample;
+          tc "stratified" `Quick test_stratified_sample;
+        ] );
+      ( "ci",
+        [
+          tc "count coverage" `Quick test_ci_count_covers;
+          tc "failure rate sane" `Quick test_ci_failure_rate_reasonable;
+          tc "nonparametric wider" `Quick test_ci_nonparametric_wider;
+          tc "abstains on empty" `Quick test_ci_empty_sample_abstains;
+          tc "stratified" `Quick test_stratified_estimator;
+          QCheck_alcotest.to_alcotest prop_nonparametric_covers_with_full_sample;
+        ] );
+      ( "gmm",
+        [
+          tc "EM improves likelihood" `Quick test_gmm_fit_improves;
+          tc "recovers modes" `Quick test_gmm_recovers_modes;
+          tc "estimator" `Quick test_gmm_estimator;
+          tc "validation" `Quick test_gmm_validation;
+        ] );
+      ("histogram", [ tc "hard bounds" `Quick test_histogram_never_fails ]);
+      ("extrapolate", [ tc "scaling and bias" `Quick test_extrapolate ]);
+    ]

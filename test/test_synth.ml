@@ -1,0 +1,185 @@
+open Pc_synth
+module Relation = Pc_data.Relation
+module Rng = Pc_util.Rng
+
+let tc = Alcotest.test_case
+
+let test_sensor () =
+  let rel = Sensor.generate (Rng.create 1) ~rows:5_000 in
+  Alcotest.(check int) "rows" 5_000 (Relation.cardinality rel);
+  Alcotest.(check bool) "schema" true
+    (Pc_data.Schema.equal (Relation.schema rel) Sensor.schema);
+  let light = Relation.column rel "light" in
+  Alcotest.(check bool) "light nonnegative" true
+    (Pc_util.Stat.minimum light >= 0.);
+  (* daily periodicity: midday light beats midnight light *)
+  let mean_in lo hi =
+    let vals =
+      Relation.fold
+        (fun acc row ->
+          let h = Float.rem (Pc_data.Value.as_num row.(1)) 24. in
+          if h >= lo && h < hi then Pc_data.Value.as_num row.(2) :: acc else acc)
+        [] rel
+    in
+    Pc_util.Stat.mean (Array.of_list vals)
+  in
+  Alcotest.(check bool) "midday brighter than midnight" true
+    (mean_in 11. 15. > mean_in 0. 4.);
+  (* reproducibility *)
+  let rel2 = Sensor.generate (Rng.create 1) ~rows:5_000 in
+  Alcotest.(check (float 0.)) "same seed same data"
+    (Pc_util.Stat.sum light)
+    (Pc_util.Stat.sum (Relation.column rel2 "light"))
+
+let test_listings () =
+  let rel = Listings.generate (Rng.create 2) ~rows:4_000 in
+  Alcotest.(check int) "rows" 4_000 (Relation.cardinality rel);
+  let price = Relation.column rel "price" in
+  Alcotest.(check bool) "prices positive" true (Pc_util.Stat.minimum price > 0.);
+  (* log-normal prices are right-skewed: mean well above median *)
+  Alcotest.(check bool) "price skew" true
+    (Pc_util.Stat.mean price > Pc_util.Stat.median price);
+  let lat = Relation.column rel "latitude" in
+  Alcotest.(check bool) "lat plausible" true
+    (Pc_util.Stat.minimum lat > 40. && Pc_util.Stat.maximum lat < 41.2);
+  Alcotest.(check bool) "room types present" true
+    (List.length (Relation.distinct_strings rel "room_type") >= 2)
+
+let test_border () =
+  let rel = Border.generate (Rng.create 3) ~rows:4_000 ~ports:30 in
+  Alcotest.(check int) "rows" 4_000 (Relation.cardinality rel);
+  let value = Relation.column rel "value" in
+  Alcotest.(check bool) "values nonnegative" true (Pc_util.Stat.minimum value >= 0.);
+  (* Zipfian ports: the busiest port should hold a large share of rows *)
+  let port = Relation.column rel "port" in
+  let count_port p =
+    Array.fold_left (fun acc x -> if x = p then acc + 1 else acc) 0 port
+  in
+  Alcotest.(check bool) "port skew" true
+    (count_port 0. > 4_000 / 30 * 3)
+
+let test_graphs () =
+  let rng = Rng.create 4 in
+  let r = Graphs.random_edges rng ~a:"a" ~b:"b" ~n:200 ~vertices:20 in
+  Alcotest.(check int) "edge count" 200 (Relation.cardinality r);
+  (* triangle counting cross-checked against brute force *)
+  let s = Graphs.random_edges rng ~a:"b" ~b:"c" ~n:100 ~vertices:10 in
+  let t = Graphs.random_edges rng ~a:"c" ~b:"a" ~n:100 ~vertices:10 in
+  let r = Graphs.random_edges rng ~a:"a" ~b:"b" ~n:100 ~vertices:10 in
+  let brute =
+    let tuples rel =
+      Array.to_list (Relation.tuples rel)
+      |> List.map (fun row ->
+             ( int_of_float (Pc_data.Value.as_num row.(0)),
+               int_of_float (Pc_data.Value.as_num row.(1)) ))
+    in
+    let rs = tuples r and ss = tuples s and ts = tuples t in
+    List.fold_left
+      (fun acc (a, b) ->
+        List.fold_left
+          (fun acc (b', c) ->
+            if b' <> b then acc
+            else
+              List.fold_left
+                (fun acc (c', a') -> if c' = c && a' = a then acc + 1 else acc)
+                acc ts)
+          acc ss)
+      0 rs
+  in
+  Alcotest.(check int) "triangle count matches brute force" brute
+    (Graphs.triangle_count ~r ~s ~t)
+
+let test_chain_join_count () =
+  let rng = Rng.create 5 in
+  let r1 = Graphs.random_edges rng ~a:"x1" ~b:"x2" ~n:50 ~vertices:8 in
+  let r2 = Graphs.random_edges rng ~a:"x2" ~b:"x3" ~n:50 ~vertices:8 in
+  (* 2-chain equals join size computed by nested loops *)
+  let tuples rel =
+    Array.to_list (Relation.tuples rel)
+    |> List.map (fun row ->
+           ( int_of_float (Pc_data.Value.as_num row.(0)),
+             int_of_float (Pc_data.Value.as_num row.(1)) ))
+  in
+  let brute =
+    List.fold_left
+      (fun acc (_, b) ->
+        acc + List.length (List.filter (fun (a, _) -> a = b) (tuples r2)))
+      0 (tuples r1)
+  in
+  Alcotest.(check int) "2-chain matches brute force" brute
+    (Graphs.chain_join_count [ r1; r2 ]);
+  Alcotest.(check int) "empty chain is 0" 0 (Graphs.chain_join_count [])
+
+let test_missing_random () =
+  let rel = Sensor.generate (Rng.create 6) ~rows:1_000 in
+  let split = Missing.random (Rng.create 7) rel ~fraction:0.3 in
+  Alcotest.(check int) "missing size" 300
+    (Relation.cardinality split.Missing.missing);
+  Alcotest.(check int) "partition complete" 1_000
+    (Relation.cardinality split.Missing.observed
+    + Relation.cardinality split.Missing.missing);
+  Alcotest.check_raises "bad fraction"
+    (Invalid_argument "Missing: fraction outside [0, 1]") (fun () ->
+      ignore (Missing.random (Rng.create 1) rel ~fraction:1.5))
+
+let test_missing_top_values () =
+  let rel = Sensor.generate (Rng.create 8) ~rows:1_000 in
+  let split = Missing.top_values rel ~attr:"light" ~fraction:0.25 in
+  Alcotest.(check int) "exactly a quarter" 250
+    (Relation.cardinality split.Missing.missing);
+  let min_missing = Pc_util.Stat.minimum (Relation.column split.Missing.missing "light") in
+  let max_observed = Pc_util.Stat.maximum (Relation.column split.Missing.observed "light") in
+  Alcotest.(check bool) "missing rows dominate observed" true
+    (min_missing >= max_observed -. 1e-9);
+  (* degenerate fractions *)
+  let none = Missing.top_values rel ~attr:"light" ~fraction:0. in
+  Alcotest.(check int) "zero fraction" 0 (Relation.cardinality none.Missing.missing);
+  let all = Missing.top_values rel ~attr:"light" ~fraction:1. in
+  Alcotest.(check int) "full fraction" 1_000 (Relation.cardinality all.Missing.missing)
+
+let test_missing_by_predicate () =
+  let rel = Sensor.generate (Rng.create 9) ~rows:500 in
+  let pred = [ Pc_predicate.Atom.between "time" 0. 100. ] in
+  let split = Missing.by_predicate rel pred in
+  Relation.iter
+    (fun row ->
+      Alcotest.(check bool) "missing satisfies predicate" true
+        (Pc_predicate.Pred.eval Sensor.schema pred row))
+    split.Missing.missing;
+  Relation.iter
+    (fun row ->
+      Alcotest.(check bool) "observed violates predicate" false
+        (Pc_predicate.Pred.eval Sensor.schema pred row))
+    split.Missing.observed
+
+let prop_top_values_exact_count =
+  QCheck.Test.make ~name:"top_values removes exactly the requested count" ~count:60
+    QCheck.(pair (int_bound 10_000) (float_bound_inclusive 1.))
+    (fun (seed, fraction) ->
+      let rel = Sensor.generate (Rng.create seed) ~rows:337 in
+      let split = Missing.top_values rel ~attr:"voltage" ~fraction in
+      let expected = int_of_float (Float.round (fraction *. 337.)) in
+      Relation.cardinality split.Missing.missing = expected)
+
+let () =
+  Alcotest.run "pc_synth"
+    [
+      ( "generators",
+        [
+          tc "sensor" `Quick test_sensor;
+          tc "listings" `Quick test_listings;
+          tc "border" `Quick test_border;
+        ] );
+      ( "graphs",
+        [
+          tc "triangles" `Quick test_graphs;
+          tc "chain join" `Quick test_chain_join_count;
+        ] );
+      ( "missing",
+        [
+          tc "random" `Quick test_missing_random;
+          tc "top values" `Quick test_missing_top_values;
+          tc "by predicate" `Quick test_missing_by_predicate;
+          QCheck_alcotest.to_alcotest prop_top_values_exact_count;
+        ] );
+    ]
