@@ -47,6 +47,64 @@ let strategy_arg =
   let doc = "Cell decomposition strategy: dfs, dfs-rewrite, naive, or early:<k>." in
   Arg.(value & opt string "dfs-rewrite" & info [ "strategy" ] ~docv:"S" ~doc)
 
+let timeout_arg =
+  let doc =
+    "Wall-clock deadline in seconds for the bound computation. On expiry \
+     the answer degrades down the soundness ladder (exact, relaxed, \
+     early-stopped, trivial) instead of failing; the rung used is printed."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
+
+let budget_arg =
+  let doc =
+    "Resource caps as comma-separated key=N pairs; keys: cells (cell \
+     decomposition), sat (satisfiability checks), nodes (branch-and-bound \
+     nodes), iters (simplex pivots). Example: --budget cells=500,nodes=100. \
+     Exhaustion degrades the answer like --timeout."
+  in
+  Arg.(value & opt (some string) None & info [ "budget" ] ~docv:"SPEC" ~doc)
+
+let parse_budget_spec ~timeout s =
+  let items =
+    match s with
+    | None -> Ok (None, None, None, None)
+    | Some s ->
+        List.fold_left
+          (fun acc part ->
+            Result.bind acc (fun (cells, sat, nodes, iters) ->
+                let part = String.trim part in
+                match String.index_opt part '=' with
+                | None ->
+                    Error
+                      (Printf.sprintf "bad budget item %S (want key=N)" part)
+                | Some i -> (
+                    let k = String.trim (String.sub part 0 i) in
+                    let v =
+                      String.trim
+                        (String.sub part (i + 1) (String.length part - i - 1))
+                    in
+                    match int_of_string_opt v with
+                    | None ->
+                        Error
+                          (Printf.sprintf "budget %s: %S is not an integer" k v)
+                    | Some n when n < 0 ->
+                        Error
+                          (Printf.sprintf "budget %s: %d is negative" k n)
+                    | Some n -> (
+                        match k with
+                        | "cells" -> Ok (Some n, sat, nodes, iters)
+                        | "sat" -> Ok (cells, Some n, nodes, iters)
+                        | "nodes" -> Ok (cells, sat, Some n, iters)
+                        | "iters" -> Ok (cells, sat, nodes, Some n)
+                        | _ -> Error (Printf.sprintf "unknown budget key %S" k)))))
+          (Ok (None, None, None, None))
+          (String.split_on_char ',' s)
+  in
+  Result.map
+    (fun (cells, sat_calls, nodes, iters) ->
+      Pc_budget.Budget.spec ?timeout ?cells ?sat_calls ?nodes ?iters ())
+    items
+
 let parse_strategy s =
   match String.lowercase_ascii s with
   | "dfs" -> Ok Pc_core.Cells.Dfs
@@ -92,7 +150,7 @@ let short_answer = function
   | Pc_core.Bounds.Infeasible -> "(infeasible)"
 
 let bound_cmd =
-  let run csv constraints query missing_only strategy group_by =
+  let run csv constraints query missing_only strategy group_by timeout budget =
     with_errors (fun () ->
         let ( let* ) = Result.bind in
         let* set = load_constraints constraints in
@@ -101,18 +159,33 @@ let bound_cmd =
           try Ok (Pc_parse.Query_parser.parse query) with Failure m -> Error m
         in
         let opts = { Pc_core.Bounds.default_opts with Pc_core.Bounds.strategy } in
-        let* answer =
+        let budgeted = timeout <> None || budget <> None in
+        let* spec = parse_budget_spec ~timeout budget in
+        let* outcome =
           try
+            let b = Pc_budget.Budget.start spec in
             match (csv, missing_only) with
             | Some path, false ->
                 let certain = Pc_data.Csv.read_file path in
-                Ok (Pc_core.Bounds.bound_with_certain ~opts set ~certain query)
-            | _, _ -> Ok (Pc_core.Bounds.bound ~opts set query)
+                Ok
+                  (Pc_core.Bounds.bound_budgeted ~opts ~budget:b ~certain set
+                     query)
+            | _, _ -> Ok (Pc_core.Bounds.bound_budgeted ~opts ~budget:b set query)
           with
           | Failure m -> Error m
           | Invalid_argument m -> Error m
         in
+        let answer = outcome.Pc_core.Bounds.answer in
         print_answer answer;
+        if budgeted then begin
+          let s = outcome.Pc_core.Bounds.stats in
+          Printf.printf
+            "  provenance: %s (cells=%d sat=%d nodes=%d iters=%d%s)\n"
+            (Pc_core.Bounds.provenance_name s.Pc_core.Bounds.provenance)
+            s.Pc_core.Bounds.cells s.Pc_core.Bounds.sat_calls
+            s.Pc_core.Bounds.milp_nodes s.Pc_core.Bounds.lp_iterations
+            (if s.Pc_core.Bounds.deadline_hit then ", deadline hit" else "")
+        end;
         (match (group_by, csv) with
         | None, _ -> ()
         | Some _, None ->
@@ -132,15 +205,27 @@ let bound_cmd =
             match result.Pc_core.Group_by.residual with
             | Some a -> Printf.printf "  %-20s %s\n" "(other keys)" (short_answer a)
             | None -> ());
+        (match answer with
+        | Pc_core.Bounds.Infeasible ->
+            (* distinct exit code so scripts can tell "constraints admit no
+               relation" (3) from usage/parse errors (124) *)
+            flush stdout;
+            exit 3
+        | Pc_core.Bounds.Range _ | Pc_core.Bounds.Empty -> ());
         Ok ())
   in
   let doc = "Compute the hard result range of an aggregate query." in
+  let exits =
+    Cmd.Exit.info 3 ~doc:"the constraint set is infeasible (no relation satisfies it)."
+    :: Cmd.Exit.defaults
+  in
   Cmd.v
-    (Cmd.info "bound" ~doc)
+    (Cmd.info "bound" ~doc ~exits)
     Term.(
       ret
         (const run $ csv_opt_arg $ constraints_arg $ query_arg
-       $ missing_only_arg $ strategy_arg $ group_by_arg))
+       $ missing_only_arg $ strategy_arg $ group_by_arg $ timeout_arg
+       $ budget_arg))
 
 (* ---- check ---- *)
 

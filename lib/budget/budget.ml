@@ -1,0 +1,149 @@
+type resource = Deadline | Cells | Sat_calls | Nodes | Iterations
+
+let resource_name = function
+  | Deadline -> "deadline"
+  | Cells -> "cells"
+  | Sat_calls -> "sat-calls"
+  | Nodes -> "nodes"
+  | Iterations -> "iterations"
+
+exception Exhausted of resource
+
+type spec = {
+  timeout : float option;
+  max_cells : int option;
+  max_sat_calls : int option;
+  max_nodes : int option;
+  max_iters : int option;
+}
+
+let spec ?timeout ?cells ?sat_calls ?nodes ?iters () =
+  {
+    timeout;
+    max_cells = cells;
+    max_sat_calls = sat_calls;
+    max_nodes = nodes;
+    max_iters = iters;
+  }
+
+let unlimited_spec = spec ()
+
+type t = {
+  spec : spec;
+  deadline : float option;  (* absolute Unix.gettimeofday *)
+  t0 : float;
+  mutable cells : int;
+  mutable sat_calls : int;
+  mutable nodes : int;
+  mutable iters : int;
+  mutable deadline_hit : bool;
+  mutable dead : resource option;
+}
+
+let now () = Unix.gettimeofday ()
+
+let start spec =
+  let t0 = now () in
+  {
+    spec;
+    deadline = Option.map (fun s -> t0 +. Float.max 0. s) spec.timeout;
+    t0;
+    cells = 0;
+    sat_calls = 0;
+    nodes = 0;
+    iters = 0;
+    deadline_hit = false;
+    dead = None;
+  }
+
+let unlimited () = start unlimited_spec
+
+let limits t = t.spec
+
+(* A non-positive timeout means "already expired": callers crushing the
+   budget to zero must see immediate exhaustion even within the clock's
+   resolution. *)
+let out_of_time t =
+  match t.dead with
+  | Some _ -> true
+  | None -> (
+      match t.deadline with
+      | None -> false
+      | Some d ->
+          if now () >= d then begin
+            t.deadline_hit <- true;
+            t.dead <- Some Deadline;
+            true
+          end
+          else false)
+
+let take counter limit bump resource t =
+  match t.dead with
+  | Some _ -> false
+  | None -> (
+      match limit with
+      | Some cap when counter t >= cap ->
+          ignore resource;
+          false
+      | _ ->
+          bump t;
+          true)
+
+let take_cell t =
+  take (fun t -> t.cells) t.spec.max_cells (fun t -> t.cells <- t.cells + 1) Cells t
+
+let take_sat t =
+  take
+    (fun t -> t.sat_calls)
+    t.spec.max_sat_calls
+    (fun t -> t.sat_calls <- t.sat_calls + 1)
+    Sat_calls t
+
+let take_node t =
+  take (fun t -> t.nodes) t.spec.max_nodes (fun t -> t.nodes <- t.nodes + 1) Nodes t
+
+let take_iter t =
+  if
+    not
+      (take (fun t -> t.iters) t.spec.max_iters (fun t -> t.iters <- t.iters + 1)
+         Iterations t)
+  then begin
+    (* the global pivot pool starves every downstream solve *)
+    if t.dead = None then t.dead <- Some Iterations;
+    false
+  end
+  else true
+
+let is_dead t = t.dead <> None
+
+let exhaust t resource = if t.dead = None then t.dead <- Some resource
+
+let check t =
+  ignore (out_of_time t);
+  match t.dead with Some r -> raise (Exhausted r) | None -> ()
+
+type usage = {
+  cells : int;
+  sat_calls : int;
+  nodes : int;
+  iters : int;
+  elapsed : float;
+  deadline_hit : bool;
+  dead : resource option;
+}
+
+let usage (t : t) =
+  {
+    cells = t.cells;
+    sat_calls = t.sat_calls;
+    nodes = t.nodes;
+    iters = t.iters;
+    elapsed = now () -. t.t0;
+    deadline_hit = t.deadline_hit;
+    dead = t.dead;
+  }
+
+let pp_usage ppf u =
+  Format.fprintf ppf "cells=%d sat=%d nodes=%d iters=%d%s" u.cells u.sat_calls
+    u.nodes u.iters
+    (if u.deadline_hit then " deadline-hit" else "")

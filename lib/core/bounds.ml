@@ -5,9 +5,39 @@ module Sat = Pc_predicate.Sat
 module Box = Pc_predicate.Box
 module S = Pc_lp.Simplex
 module M = Pc_milp.Milp
+module B = Pc_budget.Budget
 module Q = Pc_query.Query
 
 type answer = Range of Range.t | Empty | Infeasible
+
+type provenance = Exact | Relaxed | Early_stopped | Trivial
+
+let provenance_name = function
+  | Exact -> "exact"
+  | Relaxed -> "relaxed"
+  | Early_stopped -> "early-stopped"
+  | Trivial -> "trivial"
+
+let provenance_order = function
+  | Exact -> 0
+  | Relaxed -> 1
+  | Early_stopped -> 2
+  | Trivial -> 3
+
+let worst_provenance a b = if provenance_order a >= provenance_order b then a else b
+
+type stats = {
+  provenance : provenance;
+  cells : int;
+  sat_calls : int;
+  admitted_unchecked : int;
+  milp_nodes : int;
+  lp_iterations : int;
+  elapsed : float;
+  deadline_hit : bool;
+}
+
+type outcome = { answer : answer; stats : stats }
 
 type opts = {
   strategy : Cells.strategy;
@@ -18,6 +48,22 @@ type opts = {
 
 let default_opts =
   { strategy = Cells.Dfs_rewrite; node_limit = 2_000; tighten = true; use_greedy = true }
+
+(* Degradation events observed while a ladder run is in flight. The worst
+   event determines the answer's provenance. *)
+type trace = {
+  mutable relaxed : bool;  (** some MILP truncated: dual bounds, not optima *)
+  mutable early : bool;  (** decomposition admitted cells unchecked *)
+  mutable trivial : bool;  (** fell to the decomposition-free floor *)
+  mutable admitted : int;
+}
+
+type ctx = { opts : opts; budget : B.t; trace : trace }
+
+(* Raised when a stage cannot produce any sound value within budget (the
+   LP/MILP underneath was starved before a dual bound existed). Caught by
+   the ladder driver, which steps down to the trivial rung. *)
+exception Degrade
 
 (* ------------------------------------------------------------------ *)
 (* Preparation: cells, per-cell value bounds, frequency constraints    *)
@@ -110,7 +156,8 @@ exception Found_infeasible
 (* Build the allocation problem for a query. [agg_attr = None] is COUNT
    (unit coefficients). Returns [Error Infeasible] when the constraint
    system provably admits no instance. *)
-let prepare ~opts set (query : Q.t) : (prepared, answer) result =
+let prepare ~ctx set (query : Q.t) : (prepared, answer) result =
+  let opts = ctx.opts in
   let qpred = query.Q.where_ in
   try
     (* A frequency lower bound on an unsatisfiable predicate is
@@ -133,9 +180,14 @@ let prepare ~opts set (query : Q.t) : (prepared, answer) result =
                | Some b -> Option.is_some (Box.add_pred b qpred))
              (Pc_set.pcs set))
     in
-    let cells, _stats =
-      Cells.decompose ~strategy:opts.strategy ~query_pred:qpred set
+    let cells, cstats =
+      Cells.decompose ~budget:ctx.budget ~strategy:opts.strategy
+        ~query_pred:qpred set
     in
+    if cstats.Cells.admitted_unchecked > 0 then begin
+      ctx.trace.early <- true;
+      ctx.trace.admitted <- ctx.trace.admitted + cstats.Cells.admitted_unchecked
+    end;
     let cells =
       List.filter
         (fun (c : Cells.cell) ->
@@ -186,43 +238,56 @@ let prepare ~opts set (query : Q.t) : (prepared, answer) result =
 (* MILP plumbing                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let milp ~node_limit ~maximize ~objective cons n_vars =
-  M.solve ~node_limit
-    { S.n_vars; maximize; objective; constraints = cons }
+let milp ~ctx ~maximize ~objective cons n_vars =
+  let r =
+    M.solve ~budget:ctx.budget ~node_limit:ctx.opts.node_limit
+      { S.n_vars; maximize; objective; constraints = cons }
+  in
+  (match r with
+  | M.Optimal res when res.M.truncated -> ctx.trace.relaxed <- true
+  | _ -> ());
+  r
 
 (* Can the system place at least [k] rows in cell [i]? Conservative on
-   node-limit truncation (answers [true]). *)
-let cell_can_host ~node_limit prep i k =
+   truncation and starvation (answers [true]: a maybe-host only loosens). *)
+let cell_can_host ~ctx prep i k =
   let cons = S.c_ge [ (i, 1.) ] (float_of_int k) :: prep.cons in
-  match milp ~node_limit ~maximize:true ~objective:[] cons (Array.length prep.infos) with
+  match milp ~ctx ~maximize:true ~objective:[] cons (Array.length prep.infos) with
   | M.Infeasible -> false
   | M.Optimal r -> r.M.incumbent <> None || not r.M.exact
   | M.Unbounded -> true
+  | M.Stopped _ ->
+      ctx.trace.relaxed <- true;
+      true
 
-(* Any row at all in the query region? *)
-let some_row_feasible ~node_limit prep =
+(* Any row at all in the query region? Unknown-within-budget counts as
+   yes: claiming Empty requires proof. *)
+let some_row_feasible ~ctx prep =
   let n = Array.length prep.infos in
   if n = 0 then false
   else begin
     let all = List.init n (fun i -> (i, 1.)) in
     let cons = S.c_ge all 1. :: prep.cons in
-    match milp ~node_limit ~maximize:true ~objective:[] cons n with
+    match milp ~ctx ~maximize:true ~objective:[] cons n with
     | M.Infeasible -> false
     | M.Optimal r -> r.M.incumbent <> None || not r.M.exact
     | M.Unbounded -> true
+    | M.Stopped _ ->
+        ctx.trace.relaxed <- true;
+        true
   end
 
 (* Replace infinite objective coefficients: a cell with an unbounded
    value that can actually host a row makes the bound infinite; one that
    cannot host a row contributes nothing. *)
-let resolve_infinite ~node_limit prep coeff_of =
+let resolve_infinite ~ctx prep coeff_of =
   let n = Array.length prep.infos in
   let coeffs = Array.init n (fun i -> coeff_of prep.infos.(i)) in
   let unbounded = ref false in
   Array.iteri
     (fun i c ->
       if Float.is_finite c then ()
-      else if cell_can_host ~node_limit prep i 1 then unbounded := true
+      else if cell_can_host ~ctx prep i 1 then unbounded := true
       else coeffs.(i) <- 0.)
     coeffs;
   (coeffs, !unbounded)
@@ -230,34 +295,35 @@ let resolve_infinite ~node_limit prep coeff_of =
 type side = { value : float; exact : bool }
 
 (* Optimize Σ coeffs·x over the frequency polytope. [maximize] selects
-   the direction; infinities in coefficients must be resolved first. *)
-let optimize ~node_limit ~maximize cons coeffs =
+   the direction; infinities in coefficients must be resolved first.
+   A starved solve (not even a dual bound) degrades the whole ladder. *)
+let optimize ~ctx ~maximize cons coeffs =
   let n = Array.length coeffs in
   let objective =
     Array.to_list (Array.mapi (fun i c -> (i, c)) coeffs)
     |> List.filter (fun (_, c) -> c <> 0.)
   in
-  match milp ~node_limit ~maximize ~objective cons n with
+  match milp ~ctx ~maximize ~objective cons n with
   | M.Infeasible -> Error Infeasible
   | M.Unbounded ->
       Ok { value = (if maximize then infinity else neg_infinity); exact = true }
   | M.Optimal r -> Ok { value = r.M.bound; exact = r.M.exact }
+  | M.Stopped _ -> raise Degrade
 
 (* ------------------------------------------------------------------ *)
 (* COUNT and SUM                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let sum_like ~opts prep ~is_count =
-  let node_limit = opts.node_limit in
+let sum_like ~ctx prep ~is_count =
   let n = Array.length prep.infos in
   if n = 0 then
     (* no cell overlaps the query: the aggregate over missing rows is 0 *)
     Range (Range.make ~lo_exact:true ~hi_exact:true 0. 0.)
   else begin
     let hi_result =
-      let coeffs, unbounded = resolve_infinite ~node_limit prep (fun inf -> inf.u) in
+      let coeffs, unbounded = resolve_infinite ~ctx prep (fun inf -> inf.u) in
       if unbounded then Ok { value = infinity; exact = true }
-      else optimize ~node_limit ~maximize:true prep.cons coeffs
+      else optimize ~ctx ~maximize:true prep.cons coeffs
     in
     let lo_result =
       if
@@ -266,10 +332,10 @@ let sum_like ~opts prep ~is_count =
       then (* the empty instance minimizes *) Ok { value = 0.; exact = true }
       else begin
         let coeffs, unbounded =
-          resolve_infinite ~node_limit prep (fun inf -> inf.l)
+          resolve_infinite ~ctx prep (fun inf -> inf.l)
         in
         if unbounded then Ok { value = neg_infinity; exact = true }
-        else optimize ~node_limit ~maximize:false prep.cons coeffs
+        else optimize ~ctx ~maximize:false prep.cons coeffs
       end
     in
     match (lo_result, hi_result) with
@@ -287,12 +353,11 @@ let sum_like ~opts prep ~is_count =
    per-cell upper bound among cells that can host a row (paper §4.2); the
    bottom is what an adversary minimizing the maximum can reach — every
    forced constraint still pins rows somewhere. *)
-let extremal ~opts (query : Q.t) prep ~is_max =
+let extremal ~ctx (query : Q.t) prep ~is_max =
   let set = prep.sub in
-  let node_limit = opts.node_limit in
   let hosts =
     Array.to_list (Array.mapi (fun i inf -> (i, inf)) prep.infos)
-    |> List.filter (fun (i, _) -> cell_can_host ~node_limit prep i 1)
+    |> List.filter (fun (i, _) -> cell_can_host ~ctx prep i 1)
   in
   match hosts with
   | [] -> Empty
@@ -356,25 +421,25 @@ let extremal ~opts (query : Q.t) prep ~is_max =
    instance may be combined with a certain partition contributing
    [c_count] rows and [c_sum] total. Uses the MILP upper bound, which is
    sound (can only overstate reachability, widening the range). *)
-let avg_reachable_above ~node_limit prep ~c_count ~c_sum r =
+let avg_reachable_above ~ctx prep ~c_count ~c_sum r =
   let n = Array.length prep.infos in
   let coeffs = Array.map (fun inf -> inf.u -. r) prep.infos in
   let cons =
     if c_count >= 1. then prep.cons
     else S.c_ge (List.init n (fun i -> (i, 1.))) 1. :: prep.cons
   in
-  match optimize ~node_limit ~maximize:true cons coeffs with
+  match optimize ~ctx ~maximize:true cons coeffs with
   | Error _ -> false
   | Ok { value; _ } -> value >= (r *. c_count) -. c_sum -. 1e-9
 
-let avg_reachable_below ~node_limit prep ~c_count ~c_sum r =
+let avg_reachable_below ~ctx prep ~c_count ~c_sum r =
   let n = Array.length prep.infos in
   let coeffs = Array.map (fun inf -> inf.l -. r) prep.infos in
   let cons =
     if c_count >= 1. then prep.cons
     else S.c_ge (List.init n (fun i -> (i, 1.))) 1. :: prep.cons
   in
-  match optimize ~node_limit ~maximize:false cons coeffs with
+  match optimize ~ctx ~maximize:false cons coeffs with
   | Error _ -> false
   | Ok { value; _ } -> value <= (r *. c_count) -. c_sum +. 1e-9
 
@@ -397,10 +462,9 @@ let binary_search ~reachable ~lo ~hi ~dir =
   in
   go lo hi 60
 
-let avg_bounds ~opts prep ~c_count ~c_sum =
-  let node_limit = opts.node_limit in
+let avg_bounds ~ctx prep ~c_count ~c_sum =
   let n = Array.length prep.infos in
-  let no_missing_rows_possible = n = 0 || not (some_row_feasible ~node_limit prep) in
+  let no_missing_rows_possible = n = 0 || not (some_row_feasible ~ctx prep) in
   if no_missing_rows_possible && c_count < 1. then Empty
   else if no_missing_rows_possible then
     (* only the certain partition contributes *)
@@ -408,10 +472,10 @@ let avg_bounds ~opts prep ~c_count ~c_sum =
   else begin
     (* Unbounded value ranges that can host rows yield infinite ends. *)
     let u_coeffs, u_unbounded =
-      resolve_infinite ~node_limit prep (fun inf -> inf.u)
+      resolve_infinite ~ctx prep (fun inf -> inf.u)
     in
     let l_coeffs, l_unbounded =
-      resolve_infinite ~node_limit prep (fun inf -> inf.l)
+      resolve_infinite ~ctx prep (fun inf -> inf.l)
     in
     let finite_u = Pc_util.Stat.maximum u_coeffs in
     let finite_l = Pc_util.Stat.minimum l_coeffs in
@@ -429,13 +493,13 @@ let avg_bounds ~opts prep ~c_count ~c_sum =
       if u_unbounded then infinity
       else
         binary_search
-          ~reachable:(avg_reachable_above ~node_limit prep ~c_count ~c_sum)
+          ~reachable:(avg_reachable_above ~ctx prep ~c_count ~c_sum)
           ~lo:search_lo0 ~hi:(search_hi0 +. 1e-6) ~dir:`Up
     and lo =
       if l_unbounded then neg_infinity
       else
         binary_search
-          ~reachable:(avg_reachable_below ~node_limit prep ~c_count ~c_sum)
+          ~reachable:(avg_reachable_below ~ctx prep ~c_count ~c_sum)
           ~lo:(search_lo0 -. 1e-6) ~hi:search_hi0 ~dir:`Down
     in
     if lo > hi +. 1e-6 then
@@ -654,37 +718,159 @@ module Greedy = struct
 end
 
 (* ------------------------------------------------------------------ *)
-(* Public interface                                                    *)
+(* Trivial rung: a decomposition- and solver-free interval computed    *)
+(* directly from frequency caps × value bounds. The ladder's floor —   *)
+(* O(n), allocation-free, cannot be starved. Soundness per aggregate:  *)
+(*   COUNT  in-region rows each satisfy ≥1 overlapping PC (closure),   *)
+(*          each PC holds ≤ ku rows, so COUNT ≤ Σ ku; with no query    *)
+(*          predicate every kl is enforceable and distinct rows ≥ any  *)
+(*          single kl, so COUNT ≥ max kl.                              *)
+(*   SUM    a row assigned to one covering PC contributes ≤ max(0,u)   *)
+(*          within its ≤ ku peers; dropping negative terms on the hi   *)
+(*          side (and positive ones on the lo side) only loosens.      *)
+(*   AVG    every row's value lies in [min l, max u] over hosting PCs, *)
+(*          hence so does any average of them (certain rows widen the  *)
+(*          bracket to include their exact average).                   *)
+(*   MIN/MAX the extremum is one row's value, bracketed the same way.  *)
+(* Overlap with the query region is tested by boxes only; a predicate  *)
+(* that cannot be boxed is kept (possibly-overlapping loosens, never   *)
+(* invalidates).                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Trivial = struct
+  type tcell = { u : float; l : float; ku : int; kl : int }
+
+  let cells set (query : Q.t) =
+    let qpred = query.Q.where_ in
+    let agg_attr = Q.agg_attr query in
+    List.filter_map
+      (fun (pc : Pc.t) ->
+        let overlaps =
+          match Box.of_pred pc.Pc.pred with
+          | None -> true
+          | Some b -> Option.is_some (Box.add_pred b qpred)
+        in
+        if not overlaps then None
+        else begin
+          let l, u =
+            match agg_attr with
+            | None -> (1., 1.)
+            | Some a ->
+                let iv = Pc.value_interval pc a in
+                (I.lo_float iv, I.hi_float iv)
+          in
+          (* kl is only enforceable without a query predicate; testing
+             containment would need the solver this rung must not touch *)
+          let kl = if qpred = Pred.tt then pc.Pc.freq_lo else 0 in
+          Some { u; l; ku = pc.Pc.freq_hi; kl }
+        end)
+      (Pc_set.pcs set)
+
+  let range lo hi = Range (Range.make ~lo_exact:false ~hi_exact:false (Float.min lo hi) hi)
+
+  let bound set (query : Q.t) ~c_count ~c_sum =
+    let cells = cells set query in
+    let hosts = List.filter (fun c -> c.ku >= 1) cells in
+    match query.Q.agg with
+    | Q.Count ->
+        let hi = List.fold_left (fun acc c -> acc +. float_of_int c.ku) 0. hosts in
+        let lo = List.fold_left (fun acc c -> Float.max acc (float_of_int c.kl)) 0. hosts in
+        range (c_count +. lo) (c_count +. hi)
+    | Q.Sum _ ->
+        let hi =
+          List.fold_left
+            (fun acc c -> acc +. (float_of_int c.ku *. Float.max 0. c.u))
+            0. hosts
+        in
+        let lo =
+          List.fold_left
+            (fun acc c -> acc +. (float_of_int c.ku *. Float.min 0. c.l))
+            0. hosts
+        in
+        range (c_sum +. lo) (c_sum +. hi)
+    | Q.Avg _ -> (
+        match hosts with
+        | [] when c_count < 1. -> Empty
+        | [] -> Range (Range.point (c_sum /. c_count))
+        | _ ->
+            let lo = List.fold_left (fun acc c -> Float.min acc c.l) infinity hosts in
+            let hi = List.fold_left (fun acc c -> Float.max acc c.u) neg_infinity hosts in
+            let lo, hi =
+              if c_count >= 1. then begin
+                let a = c_sum /. c_count in
+                (Float.min lo a, Float.max hi a)
+              end
+              else (lo, hi)
+            in
+            range lo hi)
+    | Q.Min _ | Q.Max _ -> (
+        (* certain combination is handled by the caller, as in Greedy *)
+        match hosts with
+        | [] -> Empty
+        | _ ->
+            let lo = List.fold_left (fun acc c -> Float.min acc c.l) infinity hosts in
+            let hi = List.fold_left (fun acc c -> Float.max acc c.u) neg_infinity hosts in
+            range lo hi)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Ladder driver                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let use_greedy_path ~opts set = opts.use_greedy && Pc_set.is_disjoint set
 
-let bound ?(opts = default_opts) set (query : Q.t) =
+(* Full-strength bound over the missing partition (exact MILP, degrading
+   in place to dual bounds / admitted cells). Raises on starvation. *)
+let missing_bound_exn ~ctx set (query : Q.t) =
+  let opts = ctx.opts in
   if use_greedy_path ~opts set then
     Greedy.bound ~opts set query ~c_count:0. ~c_sum:0.
   else begin
-    match prepare ~opts set query with
+    match prepare ~ctx set query with
     | Error a -> a
     | Ok prep -> (
         match query.Q.agg with
-        | Q.Count -> sum_like ~opts prep ~is_count:true
-        | Q.Sum _ -> sum_like ~opts prep ~is_count:false
-        | Q.Avg _ -> avg_bounds ~opts prep ~c_count:0. ~c_sum:0.
-        | Q.Max _ -> extremal ~opts query prep ~is_max:true
-        | Q.Min _ -> extremal ~opts query prep ~is_max:false)
+        | Q.Count -> sum_like ~ctx prep ~is_count:true
+        | Q.Sum _ -> sum_like ~ctx prep ~is_count:false
+        | Q.Avg _ -> avg_bounds ~ctx prep ~c_count:0. ~c_sum:0.
+        | Q.Max _ -> extremal ~ctx query prep ~is_max:true
+        | Q.Min _ -> extremal ~ctx query prep ~is_max:false)
   end
+
+let is_decompose_guard msg =
+  String.length msg >= 16 && String.sub msg 0 16 = "Cells.decompose:"
+
+(* Run [f]; when the budget starves it (or the configured strategy cannot
+   even enumerate), step down to the trivial rung instead of raising. *)
+let with_floor ~ctx f floor =
+  try f () with
+  | B.Exhausted _ | Degrade ->
+      ctx.trace.trivial <- true;
+      floor ()
+  | Invalid_argument msg when is_decompose_guard msg ->
+      ctx.trace.trivial <- true;
+      floor ()
+
+let missing_answer ~ctx set query =
+  with_floor ~ctx
+    (fun () -> missing_bound_exn ~ctx set query)
+    (fun () -> Trivial.bound set query ~c_count:0. ~c_sum:0.)
 
 let can_be_empty set (query : Q.t) =
   List.for_all
     (fun pc -> effective_kl query.Q.where_ pc = 0)
     (Pc_set.pcs set)
 
-let bound_with_certain ?(opts = default_opts) set ~certain (query : Q.t) =
+(* Combined R* ∪ R? bound (§6.2's partial-ground-truth protocol): the
+   certain partition is evaluated exactly; only the missing-data side is
+   subject to the ladder. *)
+let combined_answer ~ctx set ~certain (query : Q.t) =
+  let opts = ctx.opts in
   let certain_sel = Q.selection certain query in
   let c_count = float_of_int (Pc_data.Relation.cardinality certain_sel) in
   match query.Q.agg with
   | Q.Count -> (
-      match bound ~opts set query with
+      match missing_answer ~ctx set query with
       | Range r -> Range (Range.shift r c_count)
       | (Empty | Infeasible) as a -> a)
   | Q.Sum a -> (
@@ -692,7 +878,7 @@ let bound_with_certain ?(opts = default_opts) set ~certain (query : Q.t) =
         if c_count = 0. then 0.
         else Pc_util.Stat.sum (Pc_data.Relation.column certain_sel a)
       in
-      match bound ~opts set query with
+      match missing_answer ~ctx set query with
       | Range r -> Range (Range.shift r c_sum)
       | (Empty | Infeasible) as ans -> ans)
   | Q.Avg a -> (
@@ -702,11 +888,13 @@ let bound_with_certain ?(opts = default_opts) set ~certain (query : Q.t) =
       in
       if use_greedy_path ~opts set then
         Greedy.bound ~opts set query ~c_count ~c_sum
-      else begin
-        match prepare ~opts set query with
-        | Error ans -> ans
-        | Ok prep -> avg_bounds ~opts prep ~c_count ~c_sum
-      end)
+      else
+        with_floor ~ctx
+          (fun () ->
+            match prepare ~ctx set query with
+            | Error ans -> ans
+            | Ok prep -> avg_bounds ~ctx prep ~c_count ~c_sum)
+          (fun () -> Trivial.bound set query ~c_count ~c_sum))
   | Q.Min a | Q.Max a -> (
       let is_max = match query.Q.agg with Q.Max _ -> true | _ -> false in
       let certain_extreme =
@@ -717,7 +905,7 @@ let bound_with_certain ?(opts = default_opts) set ~certain (query : Q.t) =
             (if is_max then Pc_util.Stat.maximum col else Pc_util.Stat.minimum col)
         end
       in
-      let missing = bound ~opts set query in
+      let missing = missing_answer ~ctx set query in
       match (missing, certain_extreme) with
       | Infeasible, _ -> Infeasible
       | Empty, None -> Empty
@@ -737,3 +925,45 @@ let bound_with_certain ?(opts = default_opts) set ~certain (query : Q.t) =
             let lo = Float.min m r.Range.lo in
             Range (Range.make ~lo_exact:false ~hi_exact:false lo (Float.max lo hi))
           end)
+
+(* ------------------------------------------------------------------ *)
+(* Public interface                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bound_budgeted ?(opts = default_opts) ?budget ?certain set (query : Q.t) =
+  let budget = match budget with Some b -> b | None -> B.unlimited () in
+  let u0 = B.usage budget in
+  let t0 = Sys.time () in
+  let trace = { relaxed = false; early = false; trivial = false; admitted = 0 } in
+  let ctx = { opts; budget; trace } in
+  let answer =
+    match certain with
+    | None -> missing_answer ~ctx set query
+    | Some certain -> combined_answer ~ctx set ~certain query
+  in
+  let u1 = B.usage budget in
+  let provenance =
+    if trace.trivial then Trivial
+    else if trace.early then Early_stopped
+    else if trace.relaxed then Relaxed
+    else Exact
+  in
+  {
+    answer;
+    stats =
+      {
+        provenance;
+        cells = u1.B.cells - u0.B.cells;
+        sat_calls = u1.B.sat_calls - u0.B.sat_calls;
+        admitted_unchecked = trace.admitted;
+        milp_nodes = u1.B.nodes - u0.B.nodes;
+        lp_iterations = u1.B.iters - u0.B.iters;
+        elapsed = Sys.time () -. t0;
+        deadline_hit = u1.B.deadline_hit;
+      };
+  }
+
+let bound ?opts set query = (bound_budgeted ?opts set query).answer
+
+let bound_with_certain ?opts set ~certain query =
+  (bound_budgeted ?opts ~certain set query).answer

@@ -15,9 +15,59 @@
       otherwise the range is over consistent instances with at least one
       qualifying row.
     - [Infeasible] signals a constraint system no relation satisfies
-      (e.g. a frequency lower bound on an unsatisfiable predicate). *)
+      (e.g. a frequency lower bound on an unsatisfiable predicate).
+
+    {2 Degradation ladder}
+
+    Every entry point is total under resource pressure: when a
+    {!Pc_budget.Budget.t} (or the solvers' internal caps) cuts a stage
+    short, the computation steps down a ladder of sound
+    over-approximations instead of raising —
+
+    + exact MILP allocation ({!Exact}),
+    + truncated branch-and-bound whose open-node dual bound stands in for
+      the optimum ({!Relaxed}),
+    + decomposition with unchecked admitted cells, as in
+      [Cells.Early_stop] ({!Early_stopped}),
+    + a decomposition- and solver-free interval from PC frequency caps ×
+      value bounds ({!Trivial}).
+
+    Each rung only loosens the range (see DESIGN.md, "Degradation ladder
+    & budgets" for the per-rung soundness argument). {!bound_budgeted}
+    reports which rung produced the answer, together with consumption
+    stats. Provenance tracks budget-driven degradation relative to the
+    configured {!opts}: an explicitly requested [Early_stop] strategy or
+    small [node_limit] is the caller's chosen baseline and still reports
+    [Exact] when the budget itself never intervened — except that a
+    truncated MILP always reports at least [Relaxed]. *)
 
 type answer = Range of Range.t | Empty | Infeasible
+
+type provenance =
+  | Exact  (** full-strength pipeline, optima proved *)
+  | Relaxed  (** some MILP truncated: dual bounds, not proved optima *)
+  | Early_stopped  (** decomposition admitted cells without checking *)
+  | Trivial  (** frequency-caps × value-bounds floor *)
+
+val provenance_name : provenance -> string
+
+val provenance_order : provenance -> int
+(** [Exact] = 0 … [Trivial] = 3; higher is more degraded. *)
+
+val worst_provenance : provenance -> provenance -> provenance
+
+type stats = {
+  provenance : provenance;
+  cells : int;  (** decomposition cells materialized *)
+  sat_calls : int;  (** budget-charged satisfiability checks *)
+  admitted_unchecked : int;  (** cells admitted after SAT-pool exhaustion *)
+  milp_nodes : int;  (** branch-and-bound nodes expanded *)
+  lp_iterations : int;  (** simplex pivots *)
+  elapsed : float;  (** CPU seconds for this call *)
+  deadline_hit : bool;  (** the budget's deadline expired at some point *)
+}
+
+type outcome = { answer : answer; stats : stats }
 
 type opts = {
   strategy : Cells.strategy;
@@ -33,8 +83,23 @@ type opts = {
 
 val default_opts : opts
 
+val bound_budgeted :
+  ?opts:opts ->
+  ?budget:Pc_budget.Budget.t ->
+  ?certain:Pc_data.Relation.t ->
+  Pc_set.t ->
+  Pc_query.Query.t ->
+  outcome
+(** Range of the aggregate with provenance and consumption stats. With
+    [certain], ranges over R* ∪ R? as {!bound_with_certain}; without,
+    over R? only. [budget] defaults to an unlimited one; budgets are
+    single-shot, so pass a freshly {!Pc_budget.Budget.start}ed context per
+    call unless deliberately capping a batch. Never raises on budget
+    exhaustion — the answer degrades down the ladder instead. *)
+
 val bound : ?opts:opts -> Pc_set.t -> Pc_query.Query.t -> answer
-(** Range of the aggregate over the missing partition only. *)
+(** Range of the aggregate over the missing partition only
+    ([{(bound_budgeted set q)} .answer] with an unlimited budget). *)
 
 val bound_with_certain :
   ?opts:opts ->

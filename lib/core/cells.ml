@@ -1,12 +1,18 @@
 module Pred = Pc_predicate.Pred
 module Cnf = Pc_predicate.Cnf
 module Sat = Pc_predicate.Sat
+module B = Pc_budget.Budget
 
 type cell = { active : int list; expr : Cnf.t }
 
 type strategy = Naive | Dfs | Dfs_rewrite | Early_stop of int
 
-type stats = { sat_calls : int; n_cells : int; elapsed : float }
+type stats = {
+  sat_calls : int;
+  n_cells : int;
+  admitted_unchecked : int;
+  elapsed : float;
+}
 
 let strategy_name = function
   | Naive -> "naive"
@@ -24,7 +30,65 @@ let guard_enumeration n =
           enumerate 2^%d cells"
          n n)
 
-let naive preds base =
+(* Budget adapter shared by all strategies. [check] answers true without
+   consulting the solver once the SAT budget or deadline is exhausted
+   (dynamic early stop: admitted cells can only loosen the bounds, never
+   invalidate them — same soundness argument as [Early_stop]). [emit]
+   enforces the hard cell cap: past it there is no sound way to continue
+   (dropping cells would tighten), so it raises {!B.Exhausted} for the
+   ladder driver to catch. *)
+type budgeted = {
+  check : Cnf.t -> bool;
+  emit : cell list ref -> cell -> unit;
+  admitting : unit -> bool;
+  admitted : int ref;
+}
+
+(* Admission only degrades (false-positive cells loosen the bounds), so a
+   SAT-cap overrun switches to admit mode; but it must not become a memory
+   bomb on deep predicate sets, hence a hard ceiling on cells emitted
+   after the switch. A deadline overrun raises instead: there is no time
+   left to even enumerate, and the ladder's trivial rung needs none. *)
+let max_admitted = 4096
+
+let budgeted budget =
+  let admit = ref false in
+  let admitted = ref 0 in
+  let check expr =
+    if !admit then true
+    else begin
+      match budget with
+      | None -> Sat.check expr
+      | Some b ->
+          if B.out_of_time b then raise (B.Exhausted B.Deadline)
+          else if not (B.take_sat b) then begin
+            admit := true;
+            true
+          end
+          else Sat.check expr
+    end
+  in
+  let emit cells cell =
+    (match budget with
+    | None -> ()
+    | Some b ->
+        if B.out_of_time b then raise (B.Exhausted B.Deadline);
+        if not (B.take_cell b) then begin
+          B.exhaust b B.Cells;
+          raise (B.Exhausted B.Cells)
+        end);
+    if !admit then begin
+      incr admitted;
+      if !admitted > max_admitted then begin
+        Option.iter (fun b -> B.exhaust b B.Cells) budget;
+        raise (B.Exhausted B.Cells)
+      end
+    end;
+    cells := cell :: !cells
+  in
+  { check; emit; admitting = (fun () -> !admit); admitted }
+
+let naive bg preds base =
   let n = Array.length preds in
   guard_enumeration n;
   let cells = ref [] in
@@ -35,11 +99,11 @@ let naive preds base =
         expr := Cnf.conj (Cnf.of_pred preds.(i)) !expr
       else expr := Cnf.conj (Cnf.of_neg_pred preds.(i)) !expr
     done;
-    if Sat.check !expr then begin
+    if bg.check !expr then begin
       let active =
         List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id)
       in
-      cells := { active; expr = !expr } :: !cells
+      bg.emit cells { active; expr = !expr }
     end
   done;
   List.rev !cells
@@ -50,33 +114,33 @@ let naive preds base =
    prefix is always known satisfiable and every extension costs a solver
    call. With rewriting, a failed positive extension certifies the
    negative one for free. *)
-let dfs ~rewrite preds base =
+let dfs bg ~rewrite preds base =
   let n = Array.length preds in
   let cells = ref [] in
   let rec go i expr active =
     if i = n then begin
       match active with
       | [] -> () (* closure excludes the all-negative region *)
-      | _ -> cells := { active = List.rev active; expr } :: !cells
+      | _ -> bg.emit cells { active = List.rev active; expr }
     end
     else begin
       let pos = Cnf.conj expr (Cnf.of_pred preds.(i)) in
       let neg = Cnf.conj expr (Cnf.of_neg_pred preds.(i)) in
-      let pos_sat = Sat.check pos in
+      let pos_sat = bg.check pos in
       if pos_sat then go (i + 1) pos (i :: active);
       if rewrite && not pos_sat then
         (* X sat ∧ X∧ψ unsat ⟹ X∧¬ψ sat: skip the solver call *)
         go (i + 1) neg active
-      else if Sat.check neg then go (i + 1) neg active
+      else if bg.check neg then go (i + 1) neg active
     end
   in
-  if Sat.check base then go 0 base [];
+  if bg.check base then go 0 base [];
   List.rev !cells
 
 (* Optimization 4: verify prefixes only down to depth [k]; admit every
    deeper completion as satisfiable (sound for bounding: false positives
    only relax the optimization problem). *)
-let early_stop ~k preds base =
+let early_stop bg ~k preds base =
   let n = Array.length preds in
   if n - k > max_enum_bits then guard_enumeration n;
   let cells = ref [] in
@@ -84,16 +148,16 @@ let early_stop ~k preds base =
     if i = n then begin
       match active with
       | [] -> ()
-      | _ -> cells := { active = List.rev active; expr } :: !cells
+      | _ -> bg.emit cells { active = List.rev active; expr }
     end
     else begin
       let pos = Cnf.conj expr (Cnf.of_pred preds.(i)) in
       let neg = Cnf.conj expr (Cnf.of_neg_pred preds.(i)) in
       if i < k then begin
-        let pos_sat = Sat.check pos in
+        let pos_sat = bg.check pos in
         if pos_sat then go (i + 1) pos (i :: active);
         if not pos_sat then go (i + 1) neg active
-        else if Sat.check neg then go (i + 1) neg active
+        else if bg.check neg then go (i + 1) neg active
       end
       else begin
         (* beyond the verified prefix: admit both branches *)
@@ -102,23 +166,30 @@ let early_stop ~k preds base =
       end
     end
   in
-  if k <= 0 || Sat.check base then go 0 base [];
+  if k <= 0 || bg.check base then go 0 base [];
   List.rev !cells
 
-let decompose ?(strategy = Dfs_rewrite) ?(query_pred = Pred.tt) set =
+let decompose ?budget ?(strategy = Dfs_rewrite) ?(query_pred = Pred.tt) set =
   let preds =
     Array.of_list (List.map (fun (pc : Pc.t) -> pc.Pc.pred) (Pc_set.pcs set))
   in
   let base = Cnf.of_pred query_pred in
   let calls_before = Sat.calls () in
   let t0 = Sys.time () in
+  let bg = budgeted budget in
   let cells =
     match strategy with
-    | Naive -> naive preds base
-    | Dfs -> dfs ~rewrite:false preds base
-    | Dfs_rewrite -> dfs ~rewrite:true preds base
-    | Early_stop k -> early_stop ~k preds base
+    | Naive -> naive bg preds base
+    | Dfs -> dfs bg ~rewrite:false preds base
+    | Dfs_rewrite -> dfs bg ~rewrite:true preds base
+    | Early_stop k -> early_stop bg ~k preds base
   in
   let elapsed = Sys.time () -. t0 in
   let sat_calls = Sat.calls () - calls_before in
-  (cells, { sat_calls; n_cells = List.length cells; elapsed })
+  ( cells,
+    {
+      sat_calls;
+      n_cells = List.length cells;
+      admitted_unchecked = !(bg.admitted);
+      elapsed;
+    } )

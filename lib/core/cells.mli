@@ -26,15 +26,24 @@ type strategy = Naive | Dfs | Dfs_rewrite | Early_stop of int
 type stats = {
   sat_calls : int;  (** satisfiability-solver invocations *)
   n_cells : int;  (** satisfiable (or admitted) cells *)
+  admitted_unchecked : int;
+      (** cells admitted without a solver check after the budget's
+          SAT-call pool ran dry (dynamic early stop — same soundness as
+          [Early_stop]: only loosens) *)
   elapsed : float;  (** CPU seconds *)
 }
 
 val decompose :
+  ?budget:Pc_budget.Budget.t ->
   ?strategy:strategy ->
   ?query_pred:Pc_predicate.Pred.t ->
   Pc_set.t ->
   cell list * stats
-(** Raises [Invalid_argument] when [Naive] or [Early_stop] would enumerate
-    more than 2²⁴ cells. *)
+(** Budget semantics: exhausting the SAT-call pool switches to admitting
+    cells unchecked (bounded by an internal ceiling); exhausting the cell
+    cap or the deadline raises {!Pc_budget.Budget.Exhausted} — past those
+    there is no sound way to keep enumerating, and the caller is expected
+    to degrade to a decomposition-free bound. Raises [Invalid_argument]
+    when [Naive] or [Early_stop] would enumerate more than 2²⁴ cells. *)
 
 val strategy_name : strategy -> string

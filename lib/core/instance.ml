@@ -92,7 +92,10 @@ let solve_allocation ~opts ~objective cells cons =
   match M.solve ~node_limit:opts.Bounds.node_limit problem with
   | M.Optimal { M.incumbent = Some sol; _ } ->
       Some (Array.map (fun x -> Pc_util.Float_eps.round_to_int x) sol.S.values)
-  | M.Optimal { M.incumbent = None; _ } | M.Infeasible | M.Unbounded -> None
+  | M.Optimal { M.incumbent = None; _ }
+  | M.Infeasible | M.Unbounded
+  | M.Stopped _ ->
+      None
 
 let materialize rng ~schema cells allocation ~num_value =
   let rows = ref [] in
@@ -173,3 +176,40 @@ let witness_max ?(opts = Bounds.default_opts) set ~schema (query : Q.t) =
                   else I.sample rng iv
               | _ -> I.sample rng iv))
         (solve_allocation ~opts ~objective cells cons)
+
+(* Witness-based self-audit: any concrete instance satisfying the
+   constraint set is a lower bound on what the range must cover, so a
+   sampled instance whose aggregate escapes the reported range is a
+   soundness bug — in the bound, the sampler, or both. *)
+let audit ?(opts = Bounds.default_opts) ?(samples = 5) rng set ~schema
+    (query : Q.t) =
+  match Bounds.bound ~opts set query with
+  | Bounds.Infeasible ->
+      (* infeasibility must mean: no instance exists at all *)
+      (match sample ~opts rng set ~schema with
+      | None -> Ok ()
+      | Some _ -> Error "reported Infeasible but a satisfying instance exists")
+  | Bounds.Empty | Bounds.Range _ as answer ->
+      let check i =
+        match sample ~opts rng set ~schema with
+        | None -> Error (Printf.sprintf "sample %d: set became unsatisfiable" i)
+        | Some rel -> (
+            match (Q.eval rel query, answer) with
+            | None, _ -> Ok () (* empty selection: consistent with any range *)
+            | Some v, Bounds.Range r ->
+                if Range.contains r v then Ok ()
+                else
+                  Error
+                    (Printf.sprintf
+                       "sample %d: aggregate %g escapes reported range %s" i v
+                       (Format.asprintf "%a" Range.pp r))
+            | Some v, _ ->
+                Error
+                  (Printf.sprintf
+                     "sample %d: aggregate %g exists but range is Empty" i v))
+      in
+      let rec go i =
+        if i > samples then Ok ()
+        else match check i with Ok () -> go (i + 1) | Error _ as e -> e
+      in
+      go 1

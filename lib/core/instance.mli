@@ -38,3 +38,17 @@ val witness_max :
     suprema are attained). Raises [Invalid_argument] for AVG/MIN/MAX —
     their extremal instances are the per-cell constructions already
     implied by {!Bounds}. *)
+
+val audit :
+  ?opts:Bounds.opts ->
+  ?samples:int ->
+  Pc_util.Rng.t ->
+  Pc_set.t ->
+  schema:Pc_data.Schema.t ->
+  Pc_query.Query.t ->
+  (unit, string) result
+(** Witness-based self-audit of {!Bounds.bound}: materializes up to
+    [samples] (default 5) random instances of the constraint set and
+    checks each instance's actual aggregate lands inside the reported
+    range (and that [Infeasible] really means no instance exists). Any
+    escape is a soundness bug and is reported with the offending value. *)

@@ -81,6 +81,7 @@ let read_string ?schema text =
         | None -> infer_schema (List.map String.trim header) rows
       in
       let kinds = Array.of_list (List.map (fun (a : Schema.attr) -> a.kind) (Schema.attrs schema)) in
+      let names = Array.of_list (Schema.names schema) in
       let arity = Schema.arity schema in
       let tuples =
         List.mapi
@@ -95,7 +96,15 @@ let read_string ?schema text =
                    match kinds.(i) with
                    | Schema.Numeric -> (
                        match float_of_string_opt (String.trim field) with
-                       | Some x -> Value.Num x
+                       | Some x when Float.is_finite x -> Value.Num x
+                       | Some _ ->
+                           (* NaN/±inf would silently poison every bound
+                              computed downstream; reject at the door *)
+                           failwith
+                             (Printf.sprintf
+                                "Csv: record %d column %S: non-finite numeric \
+                                 value %S"
+                                (lineno + 2) names.(i) field)
                        | None ->
                            failwith
                              (Printf.sprintf

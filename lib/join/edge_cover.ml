@@ -2,7 +2,7 @@ module S = Pc_lp.Simplex
 
 type cover = (string * float) list
 
-let solve ?(fixed = []) ~weights hg =
+let solve ?budget ?(fixed = []) ~weights hg =
   let rels = Hypergraph.rels hg in
   let n = List.length rels in
   let index =
@@ -44,7 +44,7 @@ let solve ?(fixed = []) ~weights hg =
       constraints = cover_cons @ fixed_cons;
     }
   in
-  match S.solve problem with
+  match S.solve ?budget problem with
   | S.Optimal sol ->
       Some
         (List.map
@@ -52,6 +52,10 @@ let solve ?(fixed = []) ~weights hg =
              (r.Hypergraph.name, sol.S.values.(List.assoc r.Hypergraph.name index)))
            rels)
   | S.Infeasible | S.Unbounded -> None
+  | S.Stopped _ ->
+      (* starved before optimality: no cover — callers fall back to the
+         (sound, looser) plain product bound *)
+      None
 
 let product_bound ~weights cover =
   List.fold_left

@@ -9,6 +9,7 @@ type cover = (string * float) list
 (** Relation name → cᵢ. *)
 
 val solve :
+  ?budget:Pc_budget.Budget.t ->
   ?fixed:(string * float) list ->
   weights:(string * float) list ->
   Hypergraph.t ->
@@ -18,7 +19,9 @@ val solve :
     SUM-bearing relation). Weights must be ≥ 1 — entries below 1 are
     clamped to 1, which can only loosen the bound. [None] when no cover
     exists (an attribute not covered even with every cᵢ free, which
-    cannot happen for well-formed hypergraphs) or the LP fails. *)
+    cannot happen for well-formed hypergraphs), when the LP fails, or
+    when [budget] starves the LP before optimality — callers must fall
+    back to a cover-free product bound. *)
 
 val product_bound : weights:(string * float) list -> cover -> float
 (** [Π wᵢ^cᵢ]. *)

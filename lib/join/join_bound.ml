@@ -2,6 +2,7 @@ module Q = Pc_query.Query
 module Bounds = Pc_core.Bounds
 module Pc_set = Pc_core.Pc_set
 module Pc = Pc_core.Pc
+module B = Pc_budget.Budget
 
 type table = {
   name : string;
@@ -12,6 +13,8 @@ type table = {
           query has no predicate on this table *)
 }
 
+type bounded = { value : float; provenance : Bounds.provenance }
+
 let table ?(where_ = Pc_predicate.Pred.tt) ~name ~join_attrs pcs =
   { name; join_attrs; pcs; where_ }
 
@@ -20,11 +23,20 @@ let hi_of = function
   | Bounds.Empty -> 0.
   | Bounds.Infeasible -> 0.
 
-let count_upper ?opts t =
-  hi_of (Bounds.bound ?opts t.pcs (Q.count ~where_:t.where_ ()))
+let count_upper_b ?opts ?budget t =
+  let o = Bounds.bound_budgeted ?opts ?budget t.pcs (Q.count ~where_:t.where_ ()) in
+  { value = hi_of o.Bounds.answer; provenance = o.Bounds.stats.Bounds.provenance }
 
-let sum_upper ?opts t ~attr =
-  Float.max 0. (hi_of (Bounds.bound ?opts t.pcs (Q.sum ~where_:t.where_ attr)))
+let sum_upper_b ?opts ?budget t ~attr =
+  let o = Bounds.bound_budgeted ?opts ?budget t.pcs (Q.sum ~where_:t.where_ attr) in
+  {
+    value = Float.max 0. (hi_of o.Bounds.answer);
+    provenance = o.Bounds.stats.Bounds.provenance;
+  }
+
+let count_upper ?opts ?budget t = (count_upper_b ?opts ?budget t).value
+
+let sum_upper ?opts ?budget t ~attr = (sum_upper_b ?opts ?budget t ~attr).value
 
 let hypergraph_of tables =
   Hypergraph.make
@@ -32,36 +44,56 @@ let hypergraph_of tables =
        (fun t -> { Hypergraph.name = t.name; attrs = t.join_attrs })
        tables)
 
-let count_bound ?opts tables =
-  let counts = List.map (fun t -> (t.name, count_upper ?opts t)) tables in
-  if List.exists (fun (_, c) -> c <= 0.) counts then 0.
+let worst_of bs =
+  List.fold_left
+    (fun acc b -> Bounds.worst_provenance acc b.provenance)
+    Bounds.Exact bs
+
+(* Combine per-table weights through the edge-cover LP; a starved or
+   failed LP falls back to the plain product (a cover of all-ones is
+   always valid, just looser). The shared [budget] caps the whole join
+   bound: per-table ladders plus the cover LP draw from one pool. *)
+let combine ?budget ?fixed ~weights tables =
+  if List.exists (fun (_, c) -> c <= 0.) weights then 0.
   else begin
     let hg = hypergraph_of tables in
-    match Edge_cover.solve ~weights:counts hg with
-    | Some cover -> Edge_cover.product_bound ~weights:counts cover
-    | None -> List.fold_left (fun acc (_, c) -> acc *. c) 1. counts
+    match Edge_cover.solve ?budget ?fixed ~weights hg with
+    | Some cover -> Edge_cover.product_bound ~weights cover
+    | None -> List.fold_left (fun acc (_, c) -> acc *. c) 1. weights
   end
 
-let sum_bound ?opts tables ~agg:(agg_table, attr) =
+let count_bound_budgeted ?opts ?budget tables =
+  let per = List.map (fun t -> (t.name, count_upper_b ?opts ?budget t)) tables in
+  let weights = List.map (fun (n, b) -> (n, b.value)) per in
+  {
+    value = combine ?budget ~weights tables;
+    provenance = worst_of (List.map snd per);
+  }
+
+let count_bound ?opts ?budget tables =
+  (count_bound_budgeted ?opts ?budget tables).value
+
+let sum_bound_budgeted ?opts ?budget tables ~agg:(agg_table, attr) =
   if not (List.exists (fun t -> t.name = agg_table) tables) then
     invalid_arg "Join_bound.sum_bound: unknown aggregate table";
-  let sums_and_counts =
+  let per =
     List.map
       (fun t ->
-        if t.name = agg_table then (t.name, sum_upper ?opts t ~attr)
-        else (t.name, count_upper ?opts t))
+        if t.name = agg_table then (t.name, sum_upper_b ?opts ?budget t ~attr)
+        else (t.name, count_upper_b ?opts ?budget t))
       tables
   in
-  if List.exists (fun (_, c) -> c <= 0.) sums_and_counts then 0.
-  else begin
-    let hg = hypergraph_of tables in
-    match Edge_cover.solve ~fixed:[ (agg_table, 1.) ] ~weights:sums_and_counts hg with
-    | Some cover -> Edge_cover.product_bound ~weights:sums_and_counts cover
-    | None -> List.fold_left (fun acc (_, c) -> acc *. c) 1. sums_and_counts
-  end
+  let weights = List.map (fun (n, b) -> (n, b.value)) per in
+  {
+    value = combine ?budget ~fixed:[ (agg_table, 1.) ] ~weights tables;
+    provenance = worst_of (List.map snd per);
+  }
 
-let naive_count_bound ?opts tables =
-  List.fold_left (fun acc t -> acc *. count_upper ?opts t) 1. tables
+let sum_bound ?opts ?budget tables ~agg =
+  (sum_bound_budgeted ?opts ?budget tables ~agg).value
+
+let naive_count_bound ?opts ?budget tables =
+  List.fold_left (fun acc t -> acc *. count_upper ?opts ?budget t) 1. tables
 
 let product_pc_set a b =
   let shared =

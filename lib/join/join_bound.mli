@@ -8,7 +8,14 @@
     SUM(A) over the join ≤ SUM_ub(R_a) × Π_{i≠a} COUNT_ub(R_i)^cᵢ
 
     where c is a fractional edge cover with c_a = 1 (equation (**)).
-    COUNT uses the plain AGM form Π COUNT_ub(R_i)^cᵢ. *)
+    COUNT uses the plain AGM form Π COUNT_ub(R_i)^cᵢ.
+
+    All entry points accept an optional {!Pc_budget.Budget.t}. One budget
+    caps the whole join bound: every per-table degradation ladder and the
+    edge-cover LP draw from the same pool, and starvation only loosens
+    the result (per-table bounds step down their ladder; a starved cover
+    LP falls back to the plain product bound). The [_budgeted] variants
+    additionally report the worst per-table provenance. *)
 
 type table = {
   name : string;  (** must match a hypergraph relation *)
@@ -19,6 +26,10 @@ type table = {
           single-table bounds; [Pred.tt] when absent *)
 }
 
+type bounded = { value : float; provenance : Pc_core.Bounds.provenance }
+(** A bound value tagged with the worst degradation rung that produced
+    any of its per-table ingredients. *)
+
 val table :
   ?where_:Pc_predicate.Pred.t ->
   name:string ->
@@ -26,22 +37,47 @@ val table :
   Pc_core.Pc_set.t ->
   table
 
-val count_upper : ?opts:Pc_core.Bounds.opts -> table -> float
+val count_upper :
+  ?opts:Pc_core.Bounds.opts -> ?budget:Pc_budget.Budget.t -> table -> float
 (** COUNT upper bound of one table's missing partition. *)
 
-val sum_upper : ?opts:Pc_core.Bounds.opts -> table -> attr:string -> float
+val sum_upper :
+  ?opts:Pc_core.Bounds.opts ->
+  ?budget:Pc_budget.Budget.t ->
+  table ->
+  attr:string ->
+  float
 (** SUM(attr) upper bound of one table's missing partition (clamped below
     at 0, as required by the GWE weight non-negativity). *)
 
-val count_bound : ?opts:Pc_core.Bounds.opts -> table list -> float
+val count_bound :
+  ?opts:Pc_core.Bounds.opts -> ?budget:Pc_budget.Budget.t -> table list -> float
 (** GWE/AGM bound on |⋈ tables|. *)
 
+val count_bound_budgeted :
+  ?opts:Pc_core.Bounds.opts ->
+  ?budget:Pc_budget.Budget.t ->
+  table list ->
+  bounded
+
 val sum_bound :
-  ?opts:Pc_core.Bounds.opts -> table list -> agg:string * string -> float
+  ?opts:Pc_core.Bounds.opts ->
+  ?budget:Pc_budget.Budget.t ->
+  table list ->
+  agg:string * string ->
+  float
 (** [sum_bound tables ~agg:(table_name, attr)] bounds SUM(attr) over the
     natural join, fixing the aggregate relation's cover coefficient to 1. *)
 
-val naive_count_bound : ?opts:Pc_core.Bounds.opts -> table list -> float
+val sum_bound_budgeted :
+  ?opts:Pc_core.Bounds.opts ->
+  ?budget:Pc_budget.Budget.t ->
+  table list ->
+  agg:string * string ->
+  bounded
+
+val naive_count_bound :
+  ?opts:Pc_core.Bounds.opts -> ?budget:Pc_budget.Budget.t -> table list -> float
 (** The Cartesian-product bound of §5.1 — kept as the baseline the GWE
     bound improves on. *)
 

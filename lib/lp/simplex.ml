@@ -1,3 +1,4 @@
+module B = Pc_budget.Budget
 
 type relop = Le | Ge | Eq
 
@@ -12,7 +13,15 @@ type problem = {
 
 type solution = { objective_value : float; values : float array }
 
-type outcome = Optimal of solution | Infeasible | Unbounded
+type stop_reason = Iteration_limit | Deadline | Numeric of string
+
+type stop = {
+  reason : stop_reason;
+  best_objective : float option;
+  iterations : int;
+}
+
+type outcome = Optimal of solution | Infeasible | Unbounded | Stopped of stop
 
 let c_le coeffs rhs = { coeffs; op = Le; rhs }
 let c_ge coeffs rhs = { coeffs; op = Ge; rhs }
@@ -117,14 +126,24 @@ let leaving t ~col =
   if !best = -1 then None else Some !best
 
 exception Unbounded_exc
+exception Stop_exc of stop_reason
 
-let optimize t =
-  let iters = ref 0 in
+(* [iters] is shared across both phases so a stop reports the solve's
+   total pivot count. Deadline checks are amortized: every 64 pivots. *)
+let optimize ?budget ~iters t =
   let stall = ref 0 in
   let last_obj = ref t.z.(t.n) in
   let continue_ = ref true in
+  let charge () =
+    if !iters > max_iters then raise (Stop_exc Iteration_limit);
+    match budget with
+    | None -> ()
+    | Some b ->
+        if not (B.take_iter b) then raise (Stop_exc Iteration_limit);
+        if !iters land 63 = 0 && B.out_of_time b then raise (Stop_exc Deadline)
+  in
   while !continue_ do
-    if !iters > max_iters then failwith "Simplex: iteration limit";
+    charge ();
     let bland = !stall > 2 * (t.m + t.n) in
     match entering t ~bland with
     | None -> continue_ := false
@@ -142,7 +161,52 @@ let optimize t =
             else incr stall)
   done
 
-let solve p =
+(* Post-solve self-check: residual feasibility of every constraint, sign
+   of the variables, and objective consistency, with tolerances scaled by
+   row magnitude — catches tableau drift before a wrong "optimal" answer
+   escapes into a bound. *)
+let check_solution p (sol : solution) =
+  let eps = 1e-6 in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  Array.iteri
+    (fun j v ->
+      if not (Float.is_finite v) then
+        fail (Printf.sprintf "variable %d is non-finite" j)
+      else if v < -.(eps *. Float.max 1. (Float.abs v)) then
+        fail (Printf.sprintf "variable %d negative (%g)" j v))
+    sol.values;
+  List.iteri
+    (fun i (c : constr) ->
+      let lhs, mag =
+        List.fold_left
+          (fun (acc, mag) (j, v) ->
+            let term = v *. sol.values.(j) in
+            (acc +. term, Float.max mag (Float.abs term)))
+          (0., Float.abs c.rhs) c.coeffs
+      in
+      let slack = Float.max 1. mag *. eps in
+      let ok =
+        match c.op with
+        | Le -> lhs <= c.rhs +. slack
+        | Ge -> lhs >= c.rhs -. slack
+        | Eq -> Float.abs (lhs -. c.rhs) <= slack
+      in
+      if not ok then
+        fail
+          (Printf.sprintf "constraint %d residual: lhs %g vs rhs %g" i lhs c.rhs))
+    p.constraints;
+  let recomputed =
+    List.fold_left (fun acc (j, v) -> acc +. (v *. sol.values.(j))) 0. p.objective
+  in
+  let mag = Float.max 1. (Float.abs recomputed) in
+  if Float.abs (recomputed -. sol.objective_value) > 1e-5 *. mag then
+    fail
+      (Printf.sprintf "objective drift: reported %g, recomputed %g"
+         sol.objective_value recomputed);
+  match !err with None -> Ok () | Some msg -> Error msg
+
+let solve ?budget p =
   validate p;
   let cons =
     (* Normalize to rhs >= 0 so artificial bases are valid. *)
@@ -197,11 +261,16 @@ let solve p =
           incr art))
     cons;
   let t = { m; n; a; z = Array.make (n + 1) 0.; basis; banned } in
+  let iters = ref 0 in
+  let stopped reason ~best_objective =
+    Stopped { reason; best_objective; iterations = !iters }
+  in
   (* ---- Phase 1: maximize -(sum of artificials). The reduced-cost row
      for the initial artificial basis is the negated sum of rows whose
      basic variable is artificial. ---- *)
   let has_art = n_art > 0 in
   let phase1_failed = ref false in
+  let phase1_stopped = ref None in
   if has_art then begin
     Array.fill t.z 0 (n + 1) 0.;
     for i = 0 to m - 1 do
@@ -214,63 +283,87 @@ let solve p =
     for j = art_start to n - 1 do
       t.z.(j) <- t.z.(j) +. 1.
     done;
-    (try optimize t with Unbounded_exc -> failwith "Simplex: phase 1 unbounded");
-    if t.z.(n) < -.(tol *. 10.) then phase1_failed := true
-    else begin
-      (* Drive out artificials still basic at zero, ban artificial columns. *)
-      for i = 0 to m - 1 do
-        if basis.(i) >= art_start then begin
-          let found = ref (-1) in
-          for j = 0 to art_start - 1 do
-            if !found = -1 && Float.abs a.(i).(j) > tol then found := j
-          done;
-          if !found >= 0 then pivot t ~row:i ~col:!found
-          (* else: redundant row, harmless to keep with artificial at 0 *)
-        end
-      done;
-      for j = art_start to n - 1 do
-        banned.(j) <- true
-      done
-    end
-  end;
-  if !phase1_failed then Infeasible
-  else begin
-    (* ---- Phase 2: real objective, as maximization. ---- *)
-    let sign = if p.maximize then 1. else -1. in
-    let c = Array.make n 0. in
-    List.iter (fun (j, v) -> c.(j) <- c.(j) +. (sign *. v)) p.objective;
-    Array.fill t.z 0 (n + 1) 0.;
-    for j = 0 to n - 1 do
-      t.z.(j) <- -.c.(j)
-    done;
-    (* Make reduced costs of basic variables zero. *)
-    for i = 0 to m - 1 do
-      let b = basis.(i) in
-      let factor = t.z.(b) in
-      if factor <> 0. then begin
-        for j = 0 to n do
-          t.z.(j) <- t.z.(j) -. (factor *. a.(i).(j))
-        done;
-        t.z.(b) <- 0.
-      end
-    done;
-    match optimize t with
-    | exception Unbounded_exc -> Unbounded
-    | () ->
-        let values = Array.make p.n_vars 0. in
+    (try optimize ?budget ~iters t with
+    | Unbounded_exc ->
+        (* Invariant: the phase-1 objective -(Σ artificials) is bounded
+           above by 0, so an unbounded ray is impossible by construction.
+           If float drift ever manufactures one, no feasible basis was
+           certified either way — degrade to Infeasible (the caller-safe
+           answer for "phase 1 did not produce a feasible basis") instead
+           of killing the caller. *)
+        phase1_failed := true
+    | Stop_exc reason -> phase1_stopped := Some reason);
+    if !phase1_stopped = None && not !phase1_failed then begin
+      if t.z.(n) < -.(tol *. 10.) then phase1_failed := true
+      else begin
+        (* Drive out artificials still basic at zero, ban artificial columns. *)
         for i = 0 to m - 1 do
-          if basis.(i) < p.n_vars then begin
-            let v = a.(i).(n) in
-            values.(basis.(i)) <- (if Float.abs v < tol then 0. else v)
+          if basis.(i) >= art_start then begin
+            let found = ref (-1) in
+            for j = 0 to art_start - 1 do
+              if !found = -1 && Float.abs a.(i).(j) > tol then found := j
+            done;
+            if !found >= 0 then pivot t ~row:i ~col:!found
+            (* else: redundant row, harmless to keep with artificial at 0 *)
           end
         done;
-        let obj = sign *. t.z.(n) in
-        Optimal { objective_value = obj; values }
-  end
+        for j = art_start to n - 1 do
+          banned.(j) <- true
+        done
+      end
+    end
+  end;
+  match !phase1_stopped with
+  | Some reason -> stopped reason ~best_objective:None
+  | None ->
+      if !phase1_failed then Infeasible
+      else begin
+        (* ---- Phase 2: real objective, as maximization. ---- *)
+        let sign = if p.maximize then 1. else -1. in
+        let c = Array.make n 0. in
+        List.iter (fun (j, v) -> c.(j) <- c.(j) +. (sign *. v)) p.objective;
+        Array.fill t.z 0 (n + 1) 0.;
+        for j = 0 to n - 1 do
+          t.z.(j) <- -.c.(j)
+        done;
+        (* Make reduced costs of basic variables zero. *)
+        for i = 0 to m - 1 do
+          let b = basis.(i) in
+          let factor = t.z.(b) in
+          if factor <> 0. then begin
+            for j = 0 to n do
+              t.z.(j) <- t.z.(j) -. (factor *. a.(i).(j))
+            done;
+            t.z.(b) <- 0.
+          end
+        done;
+        match optimize ?budget ~iters t with
+        | exception Unbounded_exc -> Unbounded
+        | exception Stop_exc reason ->
+            (* The tableau is primal-feasible throughout phase 2, so the
+               current objective is the value of a genuine feasible point
+               (a primal bound), reported as the best-so-far. *)
+            stopped reason ~best_objective:(Some (sign *. t.z.(t.n)))
+        | () ->
+            let values = Array.make p.n_vars 0. in
+            for i = 0 to m - 1 do
+              if basis.(i) < p.n_vars then begin
+                let v = a.(i).(n) in
+                values.(basis.(i)) <- (if Float.abs v < tol then 0. else v)
+              end
+            done;
+            let obj = sign *. t.z.(n) in
+            let sol = { objective_value = obj; values } in
+            (match check_solution p sol with
+            | Ok () -> Optimal sol
+            | Error msg ->
+                (* A drifted tableau's answer must not escape into a hard
+                   bound; report distrust and let the caller degrade. *)
+                stopped (Numeric msg) ~best_objective:None)
+      end
 
-let feasible p =
-  match solve { p with objective = []; maximize = true } with
+let feasible ?budget p =
+  match solve ?budget { p with objective = []; maximize = true } with
   | Optimal _ -> true
   | Infeasible -> false
-  | Unbounded -> true
-
+  | Unbounded | Stopped _ -> true

@@ -8,7 +8,12 @@
     Tolerances come from {!Pc_util.Float_eps}; this is a float code and its
     answers are exact only up to those tolerances (see DESIGN.md). Problem
     sizes in this library are at most a few thousand variables/constraints,
-    well within dense-tableau territory. *)
+    well within dense-tableau territory.
+
+    The solver never raises on resource pressure: hitting the iteration
+    cap, a budget limit, or a failed post-solve self-check yields a
+    structured {!Stopped} outcome that callers degrade on (see DESIGN.md,
+    "Degradation ladder & budgets"). *)
 
 type relop = Le | Ge | Eq
 
@@ -25,15 +30,47 @@ type problem = {
 
 type solution = { objective_value : float; values : float array }
 
-type outcome = Optimal of solution | Infeasible | Unbounded
+type stop_reason =
+  | Iteration_limit  (** pivot cap (internal 1e6 or the budget's) hit *)
+  | Deadline  (** the budget's wall-clock deadline passed *)
+  | Numeric of string
+      (** the post-solve self-check found residuals beyond tolerance: the
+          tableau drifted and the "optimal" point cannot be trusted *)
 
-val solve : problem -> outcome
+type stop = {
+  reason : stop_reason;
+  best_objective : float option;
+      (** objective value of the last feasible iterate when the solver
+          stopped in phase 2 — a valid {e primal} value (a feasible
+          point's objective, i.e. a lower bound when maximizing), never a
+          bound on the optimum from the other side; [None] when the stop
+          happened before feasibility was established *)
+  iterations : int;
+}
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Stopped of stop  (** resource exhaustion or numeric distrust *)
+
+val solve : ?budget:Pc_budget.Budget.t -> problem -> outcome
 (** Raises [Invalid_argument] on malformed input (bad indices, non-finite
-    coefficients) and [Failure] if the iteration cap (1e6) is hit, which
-    indicates a bug rather than a hard instance at our sizes. *)
+    coefficients) — caller bugs, not hard instances. Resource pressure is
+    reported as [Stopped], never an exception. Every [Optimal] outcome has
+    passed {!check_solution}. *)
 
-val feasible : problem -> bool
-(** Phase-1 feasibility only. *)
+val check_solution : problem -> solution -> (unit, string) result
+(** Post-solve self-check: every constraint satisfied and the objective
+    consistent with a recomputation from [values], within
+    {!Pc_util.Float_eps} tolerances scaled by row magnitude. [solve] runs
+    this on every optimal answer and degrades to [Stopped (Numeric _)]
+    when it fails. *)
+
+val feasible : ?budget:Pc_budget.Budget.t -> problem -> bool
+(** Phase-1 feasibility only. A [Stopped] phase 1 answers [true]
+    (unknown treated as feasible — the direction that can only loosen a
+    bound built on it). *)
 
 (** Constraint construction helpers. *)
 

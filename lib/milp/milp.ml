@@ -1,14 +1,16 @@
 module S = Pc_lp.Simplex
 module F = Pc_util.Float_eps
+module B = Pc_budget.Budget
 
 type result = {
   bound : float;
   incumbent : S.solution option;
   exact : bool;
+  truncated : bool;
   nodes : int;
 }
 
-type outcome = Optimal of result | Infeasible | Unbounded
+type outcome = Optimal of result | Infeasible | Unbounded | Stopped of S.stop
 
 let int_tol = 1e-6
 
@@ -30,17 +32,18 @@ let most_fractional integrality values =
     values;
   if !best = -1 then None else Some !best
 
-let solve ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem =
+let solve ?budget ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem =
   let sign = if problem.S.maximize then 1. else -1. in
   (* Internally treat everything as maximization of sign * objective by
      comparing signed values. *)
   let better a b = sign *. a > sign *. b in
   let solve_relax extra =
-    S.solve { problem with S.constraints = problem.S.constraints @ extra }
+    S.solve ?budget { problem with S.constraints = problem.S.constraints @ extra }
   in
   match solve_relax [] with
   | S.Infeasible -> Infeasible
   | S.Unbounded -> Unbounded
+  | S.Stopped stop -> Stopped stop
   | S.Optimal root ->
       let open_nodes : node Pc_util.Heap.t = Pc_util.Heap.create () in
       Pc_util.Heap.push open_nodes (sign *. root.S.objective_value)
@@ -50,6 +53,14 @@ let solve ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem =
       let nodes = ref 0 in
       let stopped_early = ref false in
       let continue_ = ref true in
+      let budget_starved () =
+        match budget with
+        | None -> false
+        | Some b -> B.is_dead b || B.out_of_time b
+      in
+      let take_budget_node () =
+        match budget with None -> true | Some b -> B.take_node b
+      in
       while !continue_ do
         match Pc_util.Heap.pop open_nodes with
         | None -> continue_ := false
@@ -57,7 +68,10 @@ let solve ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem =
             if signed_bound <= !incumbent_val +. int_tol then
               (* Best-first: every remaining node is no better. *)
               continue_ := false
-            else if !nodes >= node_limit then begin
+            else if
+              !nodes >= node_limit || budget_starved ()
+              || not (take_budget_node ())
+            then begin
               stopped_early := true;
               (* put it back so the dual bound accounts for it *)
               Pc_util.Heap.push open_nodes signed_bound node;
@@ -87,11 +101,17 @@ let solve ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem =
                       let extra = bc :: node.extra in
                       match solve_relax extra with
                       | S.Infeasible -> ()
-                      | S.Unbounded ->
-                          (* cannot happen if root is bounded, but keep a
-                             sound fallback *)
-                          Pc_util.Heap.push open_nodes infinity
-                            { extra; relax = node.relax }
+                      | S.Unbounded | S.Stopped _ ->
+                          (* Unbounded cannot happen if the root is
+                             bounded; a Stopped child gives no bound of
+                             its own. Either way, re-cover the subtree at
+                             the parent's (sound) bound and truncate the
+                             search — repeatedly re-solving a starved or
+                             pathological child would loop. *)
+                          Pc_util.Heap.push open_nodes signed_bound
+                            { extra; relax = node.relax };
+                          stopped_early := true;
+                          continue_ := false
                       | S.Optimal sol ->
                           let sb = sign *. sol.S.objective_value in
                           if sb > !incumbent_val +. int_tol then
@@ -124,11 +144,12 @@ let solve ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem =
               F.approx_eq ~eps:1e-6 inc.S.objective_value bound
           | Some _, Some _ | None, _ -> false
         in
-        Optimal { bound; incumbent = !incumbent; exact; nodes = !nodes }
+        Optimal
+          {
+            bound;
+            incumbent = !incumbent;
+            exact;
+            truncated = !stopped_early;
+            nodes = !nodes;
+          }
       end
-
-let solve_exn ?node_limit ?integrality problem =
-  match solve ?node_limit ?integrality problem with
-  | Optimal r -> r
-  | Infeasible -> failwith "Milp.solve_exn: infeasible"
-  | Unbounded -> failwith "Milp.solve_exn: unbounded"

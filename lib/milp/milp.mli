@@ -6,7 +6,13 @@
     true optimum — exactly what a hard result range needs: the reported
     range can only get looser, never incorrect. Branching is
     most-fractional-variable; all variables are non-negative, and all are
-    integer unless [integrality] says otherwise. *)
+    integer unless [integrality] says otherwise.
+
+    There is no exception-raising path on this surface: resource
+    exhaustion (per-call [node_limit], the budget's node pool, its
+    deadline, or a starved LP underneath) either truncates the search —
+    still [Optimal], with [truncated] set and [bound] a sound dual bound —
+    or, when not even the root relaxation finished, reports {!Stopped}. *)
 
 type result = {
   bound : float;
@@ -16,19 +22,27 @@ type result = {
       (** Best integral solution found, if any. *)
   exact : bool;
       (** The search closed the gap: [bound] is attained by [incumbent]. *)
+  truncated : bool;
+      (** The search stopped early (node/iteration/deadline budget); the
+          dual [bound] is still sound, just possibly loose. *)
   nodes : int;  (** Branch-and-bound nodes expanded. *)
 }
 
-type outcome = Optimal of result | Infeasible | Unbounded
+type outcome =
+  | Optimal of result
+  | Infeasible
+  | Unbounded
+  | Stopped of Pc_lp.Simplex.stop
+      (** the root relaxation itself could not be solved within budget:
+          no bound of any kind is available *)
 
 val solve :
+  ?budget:Pc_budget.Budget.t ->
   ?node_limit:int ->
   ?integrality:(int -> bool) ->
   Pc_lp.Simplex.problem ->
   outcome
-(** [node_limit] defaults to 10_000; [integrality] defaults to all-integer.
+(** [node_limit] defaults to 10_000 and is a per-call cap; the budget's
+    node pool (if any) is shared across calls. [node_limit = 0] yields the
+    root LP-relaxation dual bound ([truncated], no incumbent).
     [Unbounded] is reported when the relaxation is unbounded. *)
-
-val solve_exn :
-  ?node_limit:int -> ?integrality:(int -> bool) -> Pc_lp.Simplex.problem -> result
-(** Raises [Failure] on infeasible/unbounded. *)

@@ -1,6 +1,11 @@
 module Range = Pc_core.Range
+module Bounds = Pc_core.Bounds
 
-type outcome = { truth : float option; estimate : Range.t option }
+type outcome = {
+  truth : float option;
+  estimate : Range.t option;
+  provenance : Bounds.provenance option;
+}
 
 type summary = {
   queries : int;
@@ -8,7 +13,11 @@ type summary = {
   failure_rate : float;
   median_over_estimation : float;
   mean_over_estimation : float;
+  degraded : int;
+  by_provenance : (Bounds.provenance * int) list;
 }
+
+let outcome ?provenance ~truth ~estimate () = { truth; estimate; provenance }
 
 let is_failure o =
   match (o.truth, o.estimate) with
@@ -36,6 +45,20 @@ let summarize outcomes =
         let arr = Array.of_list ratios in
         (Pc_util.Stat.median arr, Pc_util.Stat.mean arr)
   in
+  let count_rung p =
+    List.length (List.filter (fun o -> o.provenance = Some p) outcomes)
+  in
+  let by_provenance =
+    List.filter_map
+      (fun p ->
+        match count_rung p with 0 -> None | n -> Some (p, n))
+      [ Bounds.Exact; Bounds.Relaxed; Bounds.Early_stopped; Bounds.Trivial ]
+  in
+  let degraded =
+    List.fold_left
+      (fun acc (p, n) -> if p = Bounds.Exact then acc else acc + n)
+      0 by_provenance
+  in
   {
     queries;
     failures;
@@ -43,4 +66,6 @@ let summarize outcomes =
       (if queries = 0 then 0. else 100. *. float_of_int failures /. float_of_int queries);
     median_over_estimation;
     mean_over_estimation;
+    degraded;
+    by_provenance;
   }

@@ -9,11 +9,25 @@
 
 type baseline = {
   label : string;
-  answer : Pc_query.Query.t -> Pc_core.Range.t option;
+  answer :
+    Pc_query.Query.t ->
+    Pc_core.Range.t option * Pc_core.Bounds.provenance option;
+      (** estimate plus, for PC baselines, the degradation rung that
+          produced it *)
 }
 
 val of_pc_set : string -> ?opts:Pc_core.Bounds.opts -> Pc_core.Pc_set.t -> baseline
 (** [Empty]/[Infeasible] map to abstention. *)
+
+val of_pc_set_budgeted :
+  string ->
+  ?opts:Pc_core.Bounds.opts ->
+  spec:Pc_budget.Budget.spec ->
+  Pc_core.Pc_set.t ->
+  baseline
+(** Like {!of_pc_set}, but every query runs under a fresh budget started
+    from [spec] (budgets are single-shot), so per-query latency is capped
+    and the recorded provenance shows how often the ladder degraded. *)
 
 val of_estimator : Pc_stats.Estimator.t -> baseline
 

@@ -80,6 +80,74 @@ a violated constraint is reported and fails the check:
   VIOLATION: chicago_cap: 1 rows violate price in [0, 149.99]
   [124]
 
+overlapping constraints take the MILP path; a resource budget degrades
+the answer down the ladder instead of failing, and says so:
+
+  $ cat > over.txt <<'TXT'
+  > constraint t1:
+  >   utc between 11.0 and 12.0 => price in [0.99, 129.99], count [50, 100];
+  > constraint t2:
+  >   utc between 11.0 and 13.0 => price in [0.99, 149.99], count [75, 125];
+  > TXT
+
+  $ ../../bin/pcda.exe show -c over.txt
+  constraint t1 utc between 11 and 12 => price in [0.99, 129.99], count [50, 100];
+  constraint t2 utc between 11 and 13 => price in [0.99, 149.99], count [75, 125];
+  -- 2 constraints, overlapping (cell decomposition applies)
+
+  $ ../../bin/pcda.exe bound -c over.txt --missing-only -q "SELECT COUNT(*)"
+  [75, 125]
+    lower bound: 75 (attained)
+    upper bound: 125 (attained)
+
+a one-cell budget steps down to the trivial frequency-caps floor:
+
+  $ ../../bin/pcda.exe bound -c over.txt --missing-only -q "SELECT COUNT(*)" --budget cells=1
+  [75-, 225+]
+    lower bound: 75
+    upper bound: 225
+    provenance: trivial (cells=1 sat=6 nodes=0 iters=0)
+
+a zero-node budget keeps the LP-relaxation dual bound:
+
+  $ ../../bin/pcda.exe bound -c over.txt --missing-only -q "SELECT COUNT(*)" --budget nodes=0
+  [75-, 125+]
+    lower bound: 75
+    upper bound: 125
+    provenance: relaxed (cells=2 sat=7 nodes=0 iters=9)
+
+an expired deadline still answers, from value bounds alone:
+
+  $ ../../bin/pcda.exe bound -c over.txt --missing-only -q "SELECT AVG(price)" --timeout 0
+  [0.99-, 149.99+]
+    lower bound: 0.99
+    upper bound: 149.99
+    provenance: trivial (cells=0 sat=0 nodes=0 iters=0, deadline hit)
+
+an unsatisfiable constraint set is a distinct exit code (3), so scripts
+can tell "no consistent relation exists" from ordinary failures:
+
+  $ cat > clash.txt <<'TXT'
+  > constraint audit_a:
+  >   utc between 0.0 and 10.0 => none, count [5, 5];
+  > constraint audit_b:
+  >   utc between 0.0 and 10.0 => none, count [7, 7];
+  > TXT
+
+  $ ../../bin/pcda.exe bound -c clash.txt --missing-only -q "SELECT COUNT(*)"
+  infeasible: no relation satisfies these constraints — check them with `pcda check`
+  [3]
+
+a malformed budget spec is rejected up front:
+
+  $ ../../bin/pcda.exe bound -c over.txt --missing-only -q "SELECT COUNT(*)" --budget gremlins=9
+  pcda: unknown budget key "gremlins"
+  [124]
+
+  $ ../../bin/pcda.exe bound -c over.txt --missing-only -q "SELECT COUNT(*)" --budget cells=-1
+  pcda: budget cells: -1 is negative
+  [124]
+
 parse errors are reported cleanly:
 
   $ cat > broken.txt <<'TXT'

@@ -132,6 +132,31 @@ let test_csv_errors () =
     Alcotest.fail "expected failure"
   with Failure _ -> ()
 
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_csv_nonfinite () =
+  (* NaN/infinity would silently poison every downstream bound; the loader
+     must reject them, naming the record and column *)
+  let schema = Schema.of_names [ ("x", Schema.Numeric); ("y", Schema.Numeric) ] in
+  List.iter
+    (fun bad ->
+      try
+        ignore (Csv.read_string ~schema ("x,y\n1.0,2.0\n3.0," ^ bad ^ "\n"));
+        Alcotest.fail ("accepted non-finite value " ^ bad)
+      with Failure msg ->
+        Alcotest.(check bool) ("names the column for " ^ bad) true
+          (contains_sub msg "column \"y\"");
+        Alcotest.(check bool) ("names the record for " ^ bad) true
+          (contains_sub msg "record 3"))
+    [ "nan"; "-nan"; "inf"; "-inf"; "infinity" ];
+  (* ordinary extreme-but-finite values still load *)
+  let ok = Csv.read_string ~schema "x,y\n1.0,-1.7e308\n" in
+  Alcotest.(check (float 0.)) "finite extreme kept" (-1.7e308)
+    (Relation.number ok 0 "y")
+
 let prop_csv_roundtrip =
   let gen =
     QCheck.Gen.(
@@ -177,6 +202,7 @@ let () =
           tc "roundtrip" `Quick test_csv_roundtrip;
           tc "quoting" `Quick test_csv_quoting;
           tc "errors" `Quick test_csv_errors;
+          tc "non-finite rejected" `Quick test_csv_nonfinite;
           QCheck_alcotest.to_alcotest prop_csv_roundtrip;
         ] );
     ]

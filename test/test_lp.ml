@@ -8,6 +8,7 @@ let get_opt = function
   | S.Optimal s -> s
   | S.Infeasible -> Alcotest.fail "unexpected infeasible"
   | S.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | S.Stopped _ -> Alcotest.fail "unexpected early stop"
 
 let test_basic_max () =
   (* max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12 *)
@@ -62,7 +63,8 @@ let test_infeasible () =
   in
   (match S.solve p with
   | S.Infeasible -> ()
-  | S.Optimal _ | S.Unbounded -> Alcotest.fail "expected infeasible");
+  | S.Optimal _ | S.Unbounded | S.Stopped _ ->
+      Alcotest.fail "expected infeasible");
   Alcotest.(check bool) "feasible fn" false (S.feasible p)
 
 let test_unbounded () =
@@ -71,7 +73,8 @@ let test_unbounded () =
   in
   match S.solve p with
   | S.Unbounded -> ()
-  | S.Optimal _ | S.Infeasible -> Alcotest.fail "expected unbounded"
+  | S.Optimal _ | S.Infeasible | S.Stopped _ ->
+      Alcotest.fail "expected unbounded"
 
 let test_negative_rhs () =
   (* constraint with negative rhs exercises row normalization:
@@ -173,6 +176,7 @@ let prop_dominates_grid =
       match S.solve p with
       | S.Unbounded -> true
       | S.Infeasible -> false (* x=0 is always feasible for <= with rhs>0 *)
+      | S.Stopped _ -> false (* tiny problems must solve to optimality *)
       | S.Optimal s ->
           let obj x y =
             List.fold_left
@@ -201,6 +205,107 @@ let prop_dominates_grid =
           (* solution itself must be feasible *)
           !ok && feasible s.S.values.(0) s.S.values.(1))
 
+(* --- post-solve self-check property: every Optimal solution satisfies
+   all constraints within Float_eps tolerances, and its objective value
+   matches an independent recomputation from [values]. Uses richer random
+   problems than the grid cross-check (all three relops, negative
+   coefficients) so equality/>= rows exercise phase 1. --- *)
+
+let random_mixed_problem rng =
+  let module R = Pc_util.Rng in
+  let n_vars = 2 + R.int rng 3 in
+  let n_cons = 1 + R.int rng 5 in
+  let sparse_row () =
+    List.init n_vars (fun j -> (j, float_of_int (R.int rng 9 - 3)))
+    |> List.filter (fun (_, c) -> c <> 0.)
+  in
+  let constraints =
+    List.init n_cons (fun _ ->
+        let coeffs = sparse_row () in
+        let rhs = float_of_int (R.int rng 25 - 5) in
+        match R.int rng 4 with
+        | 0 -> S.c_ge coeffs rhs
+        | 1 -> S.c_eq coeffs rhs
+        | _ -> S.c_le coeffs rhs)
+  in
+  {
+    S.n_vars;
+    maximize = R.int rng 2 = 0;
+    objective = sparse_row ();
+    constraints;
+  }
+
+let prop_solution_self_check =
+  QCheck.Test.make
+    ~name:"optimal solutions pass the post-solve self-check" ~count:500
+    QCheck.small_int (fun seed ->
+      let rng = Pc_util.Rng.create seed in
+      let p = random_mixed_problem rng in
+      match S.solve p with
+      | S.Infeasible | S.Unbounded | S.Stopped _ -> true
+      | S.Optimal s -> (
+          (* the library's own check must agree... *)
+          match S.check_solution p s with
+          | Error _ -> false
+          | Ok () ->
+              (* ...and so must a from-scratch recomputation *)
+              let value_of j = s.S.values.(j) in
+              let row coeffs =
+                List.fold_left (fun acc (j, c) -> acc +. (c *. value_of j)) 0. coeffs
+              in
+              let eps = 1e-6 in
+              List.for_all
+                (fun (c : S.constr) ->
+                  let lhs = row c.S.coeffs in
+                  let tol =
+                    eps
+                    *. Float.max 1.
+                         (List.fold_left
+                            (fun acc (_, v) -> acc +. Float.abs v)
+                            (Float.abs c.S.rhs) c.S.coeffs)
+                  in
+                  match c.S.op with
+                  | S.Le -> lhs <= c.S.rhs +. tol
+                  | S.Ge -> lhs >= c.S.rhs -. tol
+                  | S.Eq -> Float.abs (lhs -. c.S.rhs) <= tol)
+                p.S.constraints
+              && Array.for_all (fun x -> x >= -.eps) s.S.values
+              && Float.abs (row p.S.objective -. s.S.objective_value)
+                 <= eps *. Float.max 1. (Float.abs s.S.objective_value)))
+
+(* --- budget integration: a crushed budget yields Stopped, never an
+   exception, and phase-2 stops carry a primal best-so-far. --- *)
+
+let test_budget_stop () =
+  let b = Pc_budget.Budget.start (Pc_budget.Budget.spec ~iters:0 ()) in
+  let p =
+    {
+      S.n_vars = 2;
+      maximize = true;
+      objective = [ (0, 3.); (1, 2.) ];
+      constraints = [ S.c_le [ (0, 1.); (1, 1.) ] 4. ];
+    }
+  in
+  (match S.solve ~budget:b p with
+  | S.Stopped { S.reason = S.Iteration_limit; _ } -> ()
+  | S.Stopped _ -> Alcotest.fail "wrong stop reason"
+  | S.Optimal _ | S.Infeasible | S.Unbounded ->
+      Alcotest.fail "expected Stopped under a zero-pivot budget");
+  Alcotest.(check bool) "budget is dead" true (Pc_budget.Budget.is_dead b);
+  (* unknown feasibility is treated as feasible *)
+  Alcotest.(check bool) "feasible on stop" true (S.feasible ~budget:b p)
+
+let test_deadline_stop () =
+  let b = Pc_budget.Budget.start (Pc_budget.Budget.spec ~timeout:0. ()) in
+  let p =
+    { S.n_vars = 1; maximize = true; objective = [ (0, 1.) ];
+      constraints = [ S.c_le [ (0, 1.) ] 1. ] }
+  in
+  match S.solve ~budget:b p with
+  | S.Stopped _ -> ()
+  | S.Optimal _ | S.Infeasible | S.Unbounded ->
+      Alcotest.fail "expected Stopped under an expired deadline"
+
 let () =
   Alcotest.run "pc_lp"
     [
@@ -215,6 +320,12 @@ let () =
           tc "degenerate" `Quick test_degenerate;
           tc "paper example shape" `Quick test_pc_shaped;
           tc "validation" `Quick test_validation;
+          tc "budget stop" `Quick test_budget_stop;
+          tc "deadline stop" `Quick test_deadline_stop;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_dominates_grid ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_dominates_grid;
+          QCheck_alcotest.to_alcotest prop_solution_self_check;
+        ] );
     ]

@@ -9,6 +9,7 @@ let get_opt = function
   | Milp.Optimal r -> r
   | Milp.Infeasible -> Alcotest.fail "unexpected infeasible"
   | Milp.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Milp.Stopped _ -> Alcotest.fail "unexpected early stop"
 
 let test_knapsack () =
   (* max 5x + 4y s.t. 6x + 5y <= 10, integer -> LP gives fractional,
@@ -72,7 +73,8 @@ let test_integer_infeasible () =
   in
   match Milp.solve p with
   | Milp.Infeasible -> ()
-  | Milp.Optimal _ | Milp.Unbounded -> Alcotest.fail "expected infeasible"
+  | Milp.Optimal _ | Milp.Unbounded | Milp.Stopped _ ->
+      Alcotest.fail "expected infeasible"
 
 let test_node_limit_sound () =
   (* With node_limit 1 the solver cannot close the search, but its bound
@@ -94,6 +96,52 @@ let test_node_limit_sound () =
   let truncated = get_opt (Milp.solve ~node_limit:1 p) in
   Alcotest.(check bool) "truncated bound dominates optimum" true
     (truncated.Milp.bound >= exact.Milp.bound -. 1e-6)
+
+let test_zero_node_budget () =
+  (* node_limit 0: no branching at all — the root LP relaxation must come
+     back as a truncated dual bound with no incumbent. *)
+  let p =
+    {
+      S.n_vars = 2;
+      maximize = true;
+      objective = [ (0, 5.); (1, 4.) ];
+      constraints = [ S.c_le [ (0, 6.); (1, 5.) ] 10. ];
+    }
+  in
+  let exact = get_opt (Milp.solve p) in
+  (match Milp.solve ~node_limit:0 p with
+  | Milp.Optimal r ->
+      Alcotest.(check bool) "truncated" true r.Milp.truncated;
+      Alcotest.(check bool) "no proof of exactness" false r.Milp.exact;
+      Alcotest.(check bool) "dual bound dominates optimum" true
+        (r.Milp.bound >= exact.Milp.bound -. 1e-6)
+  | Milp.Infeasible | Milp.Unbounded | Milp.Stopped _ ->
+      Alcotest.fail "expected a truncated Optimal at node_limit 0");
+  (* same through the budget's node pool *)
+  let b = Pc_budget.Budget.start (Pc_budget.Budget.spec ~nodes:0 ()) in
+  match Milp.solve ~budget:b p with
+  | Milp.Optimal r ->
+      Alcotest.(check bool) "budget-truncated" true r.Milp.truncated;
+      Alcotest.(check bool) "budget dual bound dominates" true
+        (r.Milp.bound >= exact.Milp.bound -. 1e-6)
+  | Milp.Infeasible | Milp.Unbounded | Milp.Stopped _ ->
+      Alcotest.fail "expected a truncated Optimal under nodes=0 budget"
+
+let test_starved_budget_stops () =
+  (* a dead iteration pool starves even the root relaxation *)
+  let b = Pc_budget.Budget.start (Pc_budget.Budget.spec ~iters:0 ()) in
+  let p =
+    {
+      S.n_vars = 1;
+      maximize = true;
+      objective = [ (0, 1.) ];
+      constraints = [ S.c_le [ (0, 1.) ] 1.5 ];
+    }
+  in
+  match Milp.solve ~budget:b p with
+  | Milp.Stopped _ -> ()
+  | Milp.Optimal _ | Milp.Infeasible | Milp.Unbounded ->
+      Alcotest.fail "expected Stopped under a zero-pivot budget"
 
 let test_partial_integrality () =
   (* x integer, y continuous: max x + y, x <= 1.5, y <= 0.5, x+y <= 1.8 *)
@@ -209,7 +257,11 @@ let prop_matches_bruteforce =
       | Milp.Infeasible, None -> true
       | Milp.Optimal r, Some best ->
           r.Milp.exact && Float.abs (r.Milp.bound -. best) < 1e-4
-      | Milp.Optimal _, None | Milp.Infeasible, Some _ | Milp.Unbounded, _ -> false)
+      | Milp.Optimal _, None
+      | Milp.Infeasible, Some _
+      | Milp.Unbounded, _
+      | Milp.Stopped _, _ ->
+          false)
 
 let () =
   Alcotest.run "pc_milp"
@@ -221,6 +273,8 @@ let () =
           tc "minimization" `Quick test_minimization;
           tc "integer infeasible" `Quick test_integer_infeasible;
           tc "node limit soundness" `Quick test_node_limit_sound;
+          tc "zero-node dual bound" `Quick test_zero_node_budget;
+          tc "starved budget stops" `Quick test_starved_budget_stops;
           tc "partial integrality" `Quick test_partial_integrality;
           tc "pc interval shape" `Quick test_pc_interval_milp;
         ] );

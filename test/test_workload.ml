@@ -58,10 +58,11 @@ let test_querygen_validation () =
 let test_metrics () =
   let outcomes =
     [
-      { Metrics.truth = Some 10.; estimate = Some (Range.make 5. 20.) };
-      { Metrics.truth = Some 10.; estimate = Some (Range.make 11. 20.) };
-      { Metrics.truth = Some 10.; estimate = None };
-      { Metrics.truth = None; estimate = None };
+      Metrics.outcome ~truth:(Some 10.) ~estimate:(Some (Range.make 5. 20.)) ();
+      Metrics.outcome ~provenance:Pc_core.Bounds.Trivial ~truth:(Some 10.)
+        ~estimate:(Some (Range.make 11. 20.)) ();
+      Metrics.outcome ~truth:(Some 10.) ~estimate:None ();
+      Metrics.outcome ~truth:None ~estimate:None ();
     ]
   in
   let s = Metrics.summarize outcomes in
@@ -69,7 +70,8 @@ let test_metrics () =
   Alcotest.(check int) "failures" 2 s.Metrics.failures;
   Alcotest.(check (float 1e-9)) "rate" (200. /. 3.) s.Metrics.failure_rate;
   (* over-estimation uses hi/truth: (20/10, 20/10) -> median 2 *)
-  Alcotest.(check (float 1e-9)) "median over" 2. s.Metrics.median_over_estimation
+  Alcotest.(check (float 1e-9)) "median over" 2. s.Metrics.median_over_estimation;
+  Alcotest.(check int) "degraded count" 1 s.Metrics.degraded
 
 let test_metrics_empty () =
   let s = Metrics.summarize [] in
@@ -102,7 +104,7 @@ let test_runner_pc_never_fails () =
 let test_runner_labels_in_order () =
   let rng = Pc_util.Rng.create 4 in
   let missing = relation rng 100 in
-  let trivial label = { Runner.label; answer = (fun _ -> None) } in
+  let trivial label = { Runner.label; answer = (fun _ -> (None, None)) } in
   let results =
     Runner.run
       ~baselines:[ trivial "a"; trivial "b"; trivial "c" ]
