@@ -4,19 +4,36 @@
      dune exec bench/main.exe                 # every table and figure
      dune exec bench/main.exe -- -e fig7      # one experiment
      dune exec bench/main.exe -- -e micro     # bechamel micro-benchmarks
+     dune exec bench/main.exe -- --jobs 4     # parallel bound engine
+     dune exec bench/main.exe -- --baseline BENCH_decompose.json
      dune exec bench/main.exe -- --scale 0.5 --queries 50 --seed 7
 
    Experiment ids match DESIGN.md's per-experiment index. *)
 
 module E = Pc_workload.Experiments
+module Clock = Pc_util.Clock
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the solver stack                       *)
 (* ------------------------------------------------------------------ *)
 
-let micro_benchmarks () =
+(* the decomposition stress fixture: 10 overlapping one-attribute ranges *)
+let overlapping_set () =
+  let rng = Pc_util.Rng.create 7 in
+  let pcs =
+    List.init 10 (fun i ->
+        let lo = Pc_util.Rng.uniform rng ~lo:0. ~hi:60. in
+        let w = Pc_util.Rng.uniform rng ~lo:20. ~hi:50. in
+        Pc_core.Pc.make
+          ~name:(Printf.sprintf "p%d" i)
+          ~pred:[ Pc_predicate.Atom.between "x" lo (lo +. w) ]
+          ~values:[ ("v", Pc_interval.Interval.closed 0. 100.) ]
+          ~freq:(0, 10) ())
+  in
+  Pc_core.Pc_set.make pcs
+
+let micro_tests () =
   let open Bechamel in
-  let open Toolkit in
   (* simplex: the paper's worked-example LP shape *)
   let lp_problem =
     let open Pc_lp.Simplex in
@@ -47,18 +64,7 @@ let micro_benchmarks () =
         ];
     }
   in
-  let rng = Pc_util.Rng.create 7 in
-  let pcs =
-    List.init 10 (fun i ->
-        let lo = Pc_util.Rng.uniform rng ~lo:0. ~hi:60. in
-        let w = Pc_util.Rng.uniform rng ~lo:20. ~hi:50. in
-        Pc_core.Pc.make
-          ~name:(Printf.sprintf "p%d" i)
-          ~pred:[ Pc_predicate.Atom.between "x" lo (lo +. w) ]
-          ~values:[ ("v", Pc_interval.Interval.closed 0. 100.) ]
-          ~freq:(0, 10) ())
-  in
-  let set = Pc_core.Pc_set.make pcs in
+  let set = overlapping_set () in
   let missing = Pc_synth.Sensor.generate (Pc_util.Rng.create 3) ~rows:5_000 in
   let disjoint_set =
     Pc_core.Pc_set.make
@@ -72,21 +78,24 @@ let micro_benchmarks () =
     |> Cnf.conj (Cnf.of_neg_pred [ Atom.between "x" 30. 40. ])
   in
   let query = Pc_query.Query.sum "light" in
-  let tests =
-    [
-      Test.make ~name:"simplex.solve (paper 4.4 shape)"
-        (Staged.stage (fun () -> ignore (Pc_lp.Simplex.solve lp_problem)));
-      Test.make ~name:"milp.solve (3-var knapsack)"
-        (Staged.stage (fun () -> ignore (Pc_milp.Milp.solve milp_problem)));
-      Test.make ~name:"sat.check (3-clause cell expr)"
-        (Staged.stage (fun () -> ignore (Pc_predicate.Sat.check sat_cnf)));
-      Test.make ~name:"cells.decompose (10 overlapping PCs)"
-        (Staged.stage (fun () ->
-             ignore (Pc_core.Cells.decompose ~strategy:Pc_core.Cells.Dfs_rewrite set)));
-      Test.make ~name:"bounds.greedy (500 disjoint PCs, SUM)"
-        (Staged.stage (fun () -> ignore (Pc_core.Bounds.bound disjoint_set query)));
-    ]
-  in
+  [
+    Test.make ~name:"simplex.solve (paper 4.4 shape)"
+      (Staged.stage (fun () -> ignore (Pc_lp.Simplex.solve lp_problem)));
+    Test.make ~name:"milp.solve (3-var knapsack)"
+      (Staged.stage (fun () -> ignore (Pc_milp.Milp.solve milp_problem)));
+    Test.make ~name:"sat.check (3-clause cell expr)"
+      (Staged.stage (fun () -> ignore (Pc_predicate.Sat.check sat_cnf)));
+    Test.make ~name:"cells.decompose (10 overlapping PCs)"
+      (Staged.stage (fun () ->
+           ignore (Pc_core.Cells.decompose ~strategy:Pc_core.Cells.Dfs_rewrite set)));
+    Test.make ~name:"bounds.greedy (500 disjoint PCs, SUM)"
+      (Staged.stage (fun () -> ignore (Pc_core.Bounds.bound disjoint_set query)));
+  ]
+
+(* ns/run estimates, in test declaration order *)
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
   let benchmark test =
     let instances = Instance.[ monotonic_clock ] in
     let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 200) () in
@@ -96,17 +105,108 @@ let micro_benchmarks () =
     let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
     Analyze.all ols Instance.monotonic_clock results
   in
-  Pc_workload.Report.section "Micro-benchmarks (bechamel, monotonic clock)";
-  List.iter
+  List.concat_map
     (fun test ->
       let results = analyze (benchmark test) in
-      Hashtbl.iter
-        (fun name ols ->
+      Hashtbl.fold
+        (fun name ols acc ->
           match Bechamel.Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "  %-42s %12.1f ns/run\n" name est
-          | Some _ | None -> Printf.printf "  %-42s (no estimate)\n" name)
-        results)
-    tests
+          | Some [ est ] -> (name, Some est) :: acc
+          | Some _ | None -> (name, None) :: acc)
+        results [])
+    (micro_tests ())
+
+let micro_benchmarks () =
+  Pc_workload.Report.section "Micro-benchmarks (bechamel, monotonic clock)";
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "  %-42s %12.1f ns/run\n" name est
+      | None -> Printf.printf "  %-42s (no estimate)\n" name)
+    (run_micro ())
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable baseline (BENCH_decompose.json)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The end-to-end probe: a PC baseline answering a query workload about
+   synthetic sensor data — the per-query unit Pc_workload.Runner maps in
+   parallel. Kept small so the CI smoke run stays cheap. *)
+let end_to_end_wall ~jobs ~queries ~rows =
+  Pc_par.Pool.set_default_jobs jobs;
+  let missing = Pc_synth.Sensor.generate (Pc_util.Rng.create 3) ~rows in
+  let set =
+    Pc_core.Pc_set.make
+      (Pc_core.Generate.corr_partition missing ~attrs:[ "device"; "time" ] ~n:50 ())
+  in
+  let qs =
+    Pc_workload.Querygen.random_queries (Pc_util.Rng.create 11) missing
+      ~attrs:[ "device"; "time" ] ~agg:(Pc_workload.Querygen.Sum "light")
+      ~n:queries
+  in
+  let b = Pc_workload.Runner.of_pc_set "PC" set in
+  let t0 = Clock.now () in
+  let outs = Pc_workload.Runner.outcomes b ~missing ~queries:qs in
+  let wall = Clock.elapsed_s ~since:t0 in
+  Pc_par.Pool.set_default_jobs 1;
+  (wall, outs)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_baseline ~queries ~rows path =
+  Printf.printf "measuring micro-benchmarks...\n%!";
+  let micro = run_micro () in
+  let set = overlapping_set () in
+  Pc_predicate.Sat.reset_calls ();
+  let _cells, stats =
+    Pc_core.Cells.decompose ~strategy:Pc_core.Cells.Dfs_rewrite set
+  in
+  Printf.printf "measuring end-to-end workload (jobs=1, jobs=4)...\n%!";
+  let wall1, outs1 = end_to_end_wall ~jobs:1 ~queries ~rows in
+  let wall4, outs4 = end_to_end_wall ~jobs:4 ~queries ~rows in
+  let identical = outs1 = outs4 in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let p fmt = Printf.fprintf oc fmt in
+      p "{\n";
+      p "  \"benchmark\": \"BENCH_decompose\",\n";
+      p "  \"pre_pr_reference\": { \"cells.decompose (10 overlapping PCs)\": 78755.4 },\n";
+      p "  \"micro_ns_per_run\": {\n";
+      let n = List.length micro in
+      List.iteri
+        (fun i (name, est) ->
+          p "    \"%s\": %s%s\n" (json_escape name)
+            (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null")
+            (if i = n - 1 then "" else ","))
+        micro;
+      p "  },\n";
+      p "  \"decompose_dfs_rewrite\": { \"cells\": %d, \"sat_calls\": %d, \"atom_ops\": %d },\n"
+        stats.Pc_core.Cells.n_cells stats.Pc_core.Cells.sat_calls
+        stats.Pc_core.Cells.atom_ops;
+      p "  \"end_to_end_bound\": {\n";
+      p "    \"queries\": %d,\n" queries;
+      p "    \"jobs1_wall_s\": %.4f,\n" wall1;
+      p "    \"jobs4_wall_s\": %.4f,\n" wall4;
+      p "    \"speedup_jobs4_over_jobs1\": %.2f,\n" (wall1 /. Float.max 1e-9 wall4);
+      p "    \"bounds_identical\": %b,\n" identical;
+      p "    \"available_cores\": %d\n" (Domain.recommended_domain_count ());
+      p "  }\n";
+      p "}\n");
+  Printf.printf "wrote %s\n" path;
+  if not identical then begin
+    Printf.eprintf "FATAL: --jobs 4 changed the workload outcomes\n";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -117,7 +217,9 @@ let () =
   let scale = ref 1. in
   let queries = ref 100 in
   let seed = ref 42 in
+  let jobs = ref 1 in
   let list_only = ref false in
+  let baseline_out = ref None in
   let specs =
     [
       ("-e", Arg.Set_string experiment, "EXPERIMENT id (default: all)");
@@ -125,6 +227,12 @@ let () =
       ("--scale", Arg.Set_float scale, "FLOAT dataset-size multiplier (default 1.0)");
       ("--queries", Arg.Set_int queries, "INT workload size per experiment (default 100)");
       ("--seed", Arg.Set_int seed, "INT RNG seed (default 42)");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N worker domains for the parallel bound engine (default 1)" );
+      ( "--baseline",
+        Arg.String (fun s -> baseline_out := Some s),
+        "FILE write the machine-readable bench baseline (JSON) and exit" );
       ("--list", Arg.Set list_only, " list experiment ids and exit");
     ]
   in
@@ -136,24 +244,33 @@ let () =
     Printf.printf "%-22s %s\n" "micro" "bechamel micro-benchmarks of the solver stack"
   end
   else begin
-    let cfg = { E.seed = !seed; scale = !scale; queries = !queries } in
-    Printf.printf
-      "Predicate-Constraints reproduction (seed=%d scale=%g queries=%d)\n" !seed
-      !scale !queries;
-    let run_one (id, _desc, f) =
-      let t0 = Sys.time () in
-      f cfg;
-      Printf.printf "  [%s finished in %.1f s CPU]\n" id (Sys.time () -. t0)
-    in
-    match !experiment with
-    | "all" ->
-        List.iter run_one E.all;
-        micro_benchmarks ()
-    | "micro" -> micro_benchmarks ()
-    | id -> (
-        match List.find_opt (fun (i, _, _) -> i = id) E.all with
-        | Some exp -> run_one exp
-        | None ->
-            Printf.eprintf "unknown experiment %S; use --list\n" id;
-            exit 1)
+    match !baseline_out with
+    | Some path ->
+        write_baseline
+          ~queries:(min !queries 50)
+          ~rows:(max 100 (int_of_float (2_000. *. !scale)))
+          path
+    | None ->
+        let cfg =
+          { E.seed = !seed; scale = !scale; queries = !queries; jobs = !jobs }
+        in
+        Printf.printf
+          "Predicate-Constraints reproduction (seed=%d scale=%g queries=%d jobs=%d)\n"
+          !seed !scale !queries !jobs;
+        let run_one (id, _desc, f) =
+          let t0 = Clock.now () in
+          f cfg;
+          Printf.printf "  [%s finished in %.1f s]\n" id (Clock.elapsed_s ~since:t0)
+        in
+        (match !experiment with
+        | "all" ->
+            List.iter run_one E.all;
+            micro_benchmarks ()
+        | "micro" -> micro_benchmarks ()
+        | id -> (
+            match List.find_opt (fun (i, _, _) -> i = id) E.all with
+            | Some exp -> run_one exp
+            | None ->
+                Printf.eprintf "unknown experiment %S; use --list\n" id;
+                exit 1))
   end

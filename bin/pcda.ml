@@ -55,6 +55,14 @@ let timeout_arg =
   in
   Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel bound engine (per-group and \
+     per-table bounds). Results are identical to --jobs 1; see DESIGN.md \
+     \"Incremental decomposition & the domain pool\"."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let budget_arg =
   let doc =
     "Resource caps as comma-separated key=N pairs; keys: cells (cell \
@@ -150,9 +158,11 @@ let short_answer = function
   | Pc_core.Bounds.Infeasible -> "(infeasible)"
 
 let bound_cmd =
-  let run csv constraints query missing_only strategy group_by timeout budget =
+  let run csv constraints query missing_only strategy group_by timeout budget
+      jobs =
     with_errors (fun () ->
         let ( let* ) = Result.bind in
+        if jobs > 1 then Pc_par.Pool.set_default_jobs jobs;
         let* set = load_constraints constraints in
         let* strategy = parse_strategy strategy in
         let* query =
@@ -225,7 +235,7 @@ let bound_cmd =
       ret
         (const run $ csv_opt_arg $ constraints_arg $ query_arg
        $ missing_only_arg $ strategy_arg $ group_by_arg $ timeout_arg
-       $ budget_arg))
+       $ budget_arg $ jobs_arg))
 
 (* ---- check ---- *)
 

@@ -28,19 +28,23 @@ let spec ?timeout ?cells ?sat_calls ?nodes ?iters () =
 
 let unlimited_spec = spec ()
 
+(* Counters are atomic so one budget can be shared across the domains of
+   a parallel map (per-table join bounds, per-group bounds, …) and remain
+   sound: a cap can never be breached by two domains racing past the
+   check, and consumption totals aggregate exactly. *)
 type t = {
   spec : spec;
-  deadline : float option;  (* absolute Unix.gettimeofday *)
+  deadline : float option;  (* absolute monotonic seconds, Pc_util.Clock *)
   t0 : float;
-  mutable cells : int;
-  mutable sat_calls : int;
-  mutable nodes : int;
-  mutable iters : int;
-  mutable deadline_hit : bool;
-  mutable dead : resource option;
+  cells : int Atomic.t;
+  sat_calls : int Atomic.t;
+  nodes : int Atomic.t;
+  iters : int Atomic.t;
+  deadline_hit : bool Atomic.t;
+  dead : resource option Atomic.t;
 }
 
-let now () = Unix.gettimeofday ()
+let now () = Pc_util.Clock.now ()
 
 let start spec =
   let t0 = now () in
@@ -48,79 +52,75 @@ let start spec =
     spec;
     deadline = Option.map (fun s -> t0 +. Float.max 0. s) spec.timeout;
     t0;
-    cells = 0;
-    sat_calls = 0;
-    nodes = 0;
-    iters = 0;
-    deadline_hit = false;
-    dead = None;
+    cells = Atomic.make 0;
+    sat_calls = Atomic.make 0;
+    nodes = Atomic.make 0;
+    iters = Atomic.make 0;
+    deadline_hit = Atomic.make false;
+    dead = Atomic.make None;
   }
 
 let unlimited () = start unlimited_spec
 
 let limits t = t.spec
 
+(* First writer wins: once dead on some resource, stay dead on it. *)
+let mark_dead t resource =
+  ignore (Atomic.compare_and_set t.dead None (Some resource))
+
 (* A non-positive timeout means "already expired": callers crushing the
    budget to zero must see immediate exhaustion even within the clock's
    resolution. *)
 let out_of_time t =
-  match t.dead with
+  match Atomic.get t.dead with
   | Some _ -> true
   | None -> (
       match t.deadline with
       | None -> false
       | Some d ->
           if now () >= d then begin
-            t.deadline_hit <- true;
-            t.dead <- Some Deadline;
+            Atomic.set t.deadline_hit true;
+            mark_dead t Deadline;
             true
           end
           else false)
 
-let take counter limit bump resource t =
-  match t.dead with
+(* Reserve one unit with fetch-and-add, handing it back on overshoot so
+   the counter converges to the cap instead of drifting past it. *)
+let take counter limit t =
+  match Atomic.get t.dead with
   | Some _ -> false
   | None -> (
       match limit with
-      | Some cap when counter t >= cap ->
-          ignore resource;
-          false
-      | _ ->
-          bump t;
-          true)
+      | None ->
+          Atomic.incr counter;
+          true
+      | Some cap ->
+          if Atomic.fetch_and_add counter 1 < cap then true
+          else begin
+            Atomic.decr counter;
+            false
+          end)
 
-let take_cell t =
-  take (fun t -> t.cells) t.spec.max_cells (fun t -> t.cells <- t.cells + 1) Cells t
-
-let take_sat t =
-  take
-    (fun t -> t.sat_calls)
-    t.spec.max_sat_calls
-    (fun t -> t.sat_calls <- t.sat_calls + 1)
-    Sat_calls t
-
-let take_node t =
-  take (fun t -> t.nodes) t.spec.max_nodes (fun t -> t.nodes <- t.nodes + 1) Nodes t
+let take_cell t = take t.cells t.spec.max_cells t
+let take_sat t = take t.sat_calls t.spec.max_sat_calls t
+let take_node t = take t.nodes t.spec.max_nodes t
 
 let take_iter t =
-  if
-    not
-      (take (fun t -> t.iters) t.spec.max_iters (fun t -> t.iters <- t.iters + 1)
-         Iterations t)
-  then begin
+  if take t.iters t.spec.max_iters t then true
+  else begin
     (* the global pivot pool starves every downstream solve *)
-    if t.dead = None then t.dead <- Some Iterations;
+    mark_dead t Iterations;
     false
   end
-  else true
 
-let is_dead t = t.dead <> None
+let is_dead t = Atomic.get t.dead <> None
 
-let exhaust t resource = if t.dead = None then t.dead <- Some resource
+let exhaust t resource = mark_dead t resource
 
 let check t =
   ignore (out_of_time t);
-  match t.dead with Some r -> raise (Exhausted r) | None -> ()
+  match Atomic.get t.dead with Some r -> raise (Exhausted r) | None -> ()
 
 type usage = {
   cells : int;
@@ -134,13 +134,13 @@ type usage = {
 
 let usage (t : t) =
   {
-    cells = t.cells;
-    sat_calls = t.sat_calls;
-    nodes = t.nodes;
-    iters = t.iters;
+    cells = Atomic.get t.cells;
+    sat_calls = Atomic.get t.sat_calls;
+    nodes = Atomic.get t.nodes;
+    iters = Atomic.get t.iters;
     elapsed = now () -. t.t0;
-    deadline_hit = t.deadline_hit;
-    dead = t.dead;
+    deadline_hit = Atomic.get t.deadline_hit;
+    dead = Atomic.get t.dead;
   }
 
 let pp_usage ppf u =

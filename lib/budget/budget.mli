@@ -11,7 +11,14 @@
     A {!spec} is an immutable description of the limits; {!start} stamps
     the deadline and produces the mutable consumption context. Budgets are
     single-shot: start a fresh one per query (or share one deliberately to
-    cap a whole batch, e.g. every per-table bound of a join). *)
+    cap a whole batch, e.g. every per-table bound of a join).
+
+    Consumption counters are {!Atomic}, so one budget may be shared
+    across the domains of a {!Pc_par.Pool.parallel_map}: caps cannot be
+    breached by domains racing past a check, and totals aggregate
+    exactly. Deadlines are measured on the monotonic clock
+    ({!Pc_util.Clock}) — wall-time NTP steps cannot fire or starve
+    them. *)
 
 type resource =
   | Deadline  (** wall-clock timeout *)
@@ -101,4 +108,7 @@ type usage = {
 }
 
 val usage : t -> usage
+(** A consistent snapshot of each counter (individually exact; the tuple
+    is not a cross-counter atomic snapshot under concurrent use). *)
+
 val pp_usage : Format.formatter -> usage -> unit

@@ -933,7 +933,7 @@ let combined_answer ~ctx set ~certain (query : Q.t) =
 let bound_budgeted ?(opts = default_opts) ?budget ?certain set (query : Q.t) =
   let budget = match budget with Some b -> b | None -> B.unlimited () in
   let u0 = B.usage budget in
-  let t0 = Sys.time () in
+  let t0 = Pc_util.Clock.now () in
   let trace = { relaxed = false; early = false; trivial = false; admitted = 0 } in
   let ctx = { opts; budget; trace } in
   let answer =
@@ -958,7 +958,7 @@ let bound_budgeted ?(opts = default_opts) ?budget ?certain set (query : Q.t) =
         admitted_unchecked = trace.admitted;
         milp_nodes = u1.B.nodes - u0.B.nodes;
         lp_iterations = u1.B.iters - u0.B.iters;
-        elapsed = Sys.time () -. t0;
+        elapsed = Pc_util.Clock.elapsed_s ~since:t0;
         deadline_hit = u1.B.deadline_hit;
       };
   }

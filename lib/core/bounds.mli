@@ -63,7 +63,7 @@ type stats = {
   admitted_unchecked : int;  (** cells admitted after SAT-pool exhaustion *)
   milp_nodes : int;  (** branch-and-bound nodes expanded *)
   lp_iterations : int;  (** simplex pivots *)
-  elapsed : float;  (** CPU seconds for this call *)
+  elapsed : float;  (** wall-clock seconds (monotonic) for this call *)
   deadline_hit : bool;  (** the budget's deadline expired at some point *)
 }
 

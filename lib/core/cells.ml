@@ -1,4 +1,5 @@
 module Pred = Pc_predicate.Pred
+module Atom = Pc_predicate.Atom
 module Cnf = Pc_predicate.Cnf
 module Sat = Pc_predicate.Sat
 module B = Pc_budget.Budget
@@ -9,6 +10,7 @@ type strategy = Naive | Dfs | Dfs_rewrite | Early_stop of int
 
 type stats = {
   sat_calls : int;
+  atom_ops : int;
   n_cells : int;
   admitted_unchecked : int;
   elapsed : float;
@@ -30,15 +32,20 @@ let guard_enumeration n =
           enumerate 2^%d cells"
          n n)
 
-(* Budget adapter shared by all strategies. [check] answers true without
-   consulting the solver once the SAT budget or deadline is exhausted
-   (dynamic early stop: admitted cells can only loosen the bounds, never
-   invalidate them — same soundness argument as [Early_stop]). [emit]
-   enforces the hard cell cap: past it there is no sound way to continue
-   (dropping cells would tighten), so it raises {!B.Exhausted} for the
-   ladder driver to catch. *)
+(* Budget adapter shared by all strategies. [check]/[decide] answer
+   "satisfiable" without consulting the solver once the SAT budget or
+   deadline is exhausted (dynamic early stop: admitted cells can only
+   loosen the bounds, never invalidate them — same soundness argument as
+   [Early_stop]). [emit] enforces the hard cell cap: past it there is no
+   sound way to continue (dropping cells would tighten), so it raises
+   {!B.Exhausted} for the ladder driver to catch. *)
 type budgeted = {
-  check : Cnf.t -> bool;
+  check : Cnf.t -> bool;  (** naive path: one solver search per subset *)
+  decide : eager:bool -> Sat.state -> Sat.state option;
+      (** incremental path: decide a branch state. With [eager] every
+          decision runs (and is charged) one solver search; otherwise a
+          live witness certifies satisfiability for free and only
+          witness-dead states pay for a search. *)
   emit : cell list ref -> cell -> unit;
   admitting : unit -> bool;
   admitted : int ref;
@@ -68,6 +75,25 @@ let budgeted budget =
           else Sat.check expr
     end
   in
+  (* A charged search: [Some] on success or after switching to admit mode
+     (the state then rides along undecided), [None] on proven unsat. *)
+  let solve_charged st =
+    match budget with
+    | None -> Sat.solve_state st
+    | Some b ->
+        if B.out_of_time b then raise (B.Exhausted B.Deadline)
+        else if not (B.take_sat b) then begin
+          admit := true;
+          Some st
+        end
+        else Sat.solve_state st
+  in
+  let decide ~eager st =
+    if !admit then Some st
+    else if eager then solve_charged (Sat.uncertify st)
+    else if Sat.certified st then Some st
+    else solve_charged st
+  in
   let emit cells cell =
     (match budget with
     | None -> ()
@@ -86,18 +112,19 @@ let budgeted budget =
     end;
     cells := cell :: !cells
   in
-  { check; emit; admitting = (fun () -> !admit); admitted }
+  { check; decide; emit; admitting = (fun () -> !admit); admitted }
 
 let naive bg preds base =
   let n = Array.length preds in
   guard_enumeration n;
+  let pos_cnf = Array.map Cnf.of_pred preds in
+  let neg_cnf = Array.map Cnf.of_neg_pred preds in
   let cells = ref [] in
   for mask = 1 to (1 lsl n) - 1 do
     let expr = ref base in
     for i = n - 1 downto 0 do
-      if mask land (1 lsl i) <> 0 then
-        expr := Cnf.conj (Cnf.of_pred preds.(i)) !expr
-      else expr := Cnf.conj (Cnf.of_neg_pred preds.(i)) !expr
+      if mask land (1 lsl i) <> 0 then expr := Cnf.conj pos_cnf.(i) !expr
+      else expr := Cnf.conj neg_cnf.(i) !expr
     done;
     if bg.check !expr then begin
       let active =
@@ -108,65 +135,119 @@ let naive bg preds base =
   done;
   List.rev !cells
 
-(* Depth-first over predicate indices; [rewrite] enables Optimization 3.
-   Invariant: [expr] (the prefix expression) is known satisfiable when
-   [known_sat]; in plain DFS mode we verify each extension eagerly, so the
-   prefix is always known satisfiable and every extension costs a solver
-   call. With rewriting, a failed positive extension certifies the
-   negative one for free. *)
-let dfs bg ~rewrite preds base =
+(* Depth-first over predicate indices, threading an incremental solver
+   state (box + pending negated clauses + witness, see
+   {!Pc_predicate.Sat}) down the recursion instead of re-solving the full
+   prefix CNF at every node: a positive extension is a single box
+   narrowing, a negative one adds a single clause, and only witness-dead
+   states fall back to branch-and-prune seeded from the inherited box.
+
+   [rewrite] enables Optimization 3: a failed positive extension
+   certifies the negative one for free ("X sat ∧ X∧ψ unsat ⟹ X∧¬ψ
+   sat"). Without it ([Dfs], Optimization 2) every surviving extension is
+   verified eagerly with one charged solver search, preserving that
+   strategy's historical cost model as the comparison baseline. *)
+let dfs bg ~rewrite preds qpred =
   let n = Array.length preds in
+  let eager = not rewrite in
+  let pos_cnf = Array.map Cnf.of_pred preds in
+  let neg_cnf = Array.map Cnf.of_neg_pred preds in
+  let neg_clause = Array.map (fun p -> List.concat_map Atom.negate p) preds in
   let cells = ref [] in
-  let rec go i expr active =
+  let rec go i st expr active =
     if i = n then begin
       match active with
       | [] -> () (* closure excludes the all-negative region *)
       | _ -> bg.emit cells { active = List.rev active; expr }
     end
     else begin
-      let pos = Cnf.conj expr (Cnf.of_pred preds.(i)) in
-      let neg = Cnf.conj expr (Cnf.of_neg_pred preds.(i)) in
-      let pos_sat = bg.check pos in
-      if pos_sat then go (i + 1) pos (i :: active);
-      if rewrite && not pos_sat then
-        (* X sat ∧ X∧ψ unsat ⟹ X∧¬ψ sat: skip the solver call *)
-        go (i + 1) neg active
-      else if bg.check neg then go (i + 1) neg active
+      let pos_sat =
+        match Sat.assume_pred st preds.(i) with
+        | None -> false
+        | Some st' -> (
+            match bg.decide ~eager st' with
+            | None -> false
+            | Some st'' ->
+                go (i + 1) st'' (Cnf.conj pos_cnf.(i) expr) (i :: active);
+                true)
+      in
+      match Sat.assume_clause st neg_clause.(i) with
+      | None -> () (* the negative region is empty *)
+      | Some st' ->
+          let neg_expr = Cnf.conj neg_cnf.(i) expr in
+          if rewrite && not pos_sat then
+            (* the rewrite certificate: skip the solver search *)
+            go (i + 1) st' neg_expr active
+          else begin
+            match bg.decide ~eager st' with
+            | Some st'' -> go (i + 1) st'' neg_expr active
+            | None -> ()
+          end
     end
   in
-  if bg.check base then go 0 base [];
+  (match Option.bind (Sat.assume_pred (Sat.start ()) qpred) (bg.decide ~eager) with
+  | Some st -> go 0 st (Cnf.of_pred qpred) []
+  | None -> ());
   List.rev !cells
 
-(* Optimization 4: verify prefixes only down to depth [k]; admit every
-   deeper completion as satisfiable (sound for bounding: false positives
-   only relax the optimization problem). *)
-let early_stop bg ~k preds base =
+(* Optimization 4: verify prefixes only down to depth [k] (incrementally,
+   with eager per-extension searches as in [Dfs]); admit every deeper
+   completion as satisfiable (sound for bounding: false positives only
+   relax the optimization problem). *)
+let early_stop bg ~k preds qpred =
   let n = Array.length preds in
   if n - k > max_enum_bits then guard_enumeration n;
+  let pos_cnf = Array.map Cnf.of_pred preds in
+  let neg_cnf = Array.map Cnf.of_neg_pred preds in
+  let neg_clause = Array.map (fun p -> List.concat_map Atom.negate p) preds in
   let cells = ref [] in
-  let rec go i expr active =
-    if i = n then begin
-      match active with
-      | [] -> ()
-      | _ -> bg.emit cells { active = List.rev active; expr }
-    end
+  let emit expr active =
+    match active with
+    | [] -> ()
+    | _ -> bg.emit cells { active = List.rev active; expr }
+  in
+  (* beyond the verified prefix: admit both branches blindly *)
+  let rec go_blind i expr active =
+    if i = n then emit expr active
     else begin
-      let pos = Cnf.conj expr (Cnf.of_pred preds.(i)) in
-      let neg = Cnf.conj expr (Cnf.of_neg_pred preds.(i)) in
-      if i < k then begin
-        let pos_sat = bg.check pos in
-        if pos_sat then go (i + 1) pos (i :: active);
-        if not pos_sat then go (i + 1) neg active
-        else if bg.check neg then go (i + 1) neg active
-      end
-      else begin
-        (* beyond the verified prefix: admit both branches *)
-        go (i + 1) pos (i :: active);
-        go (i + 1) neg active
-      end
+      go_blind (i + 1) (Cnf.conj pos_cnf.(i) expr) (i :: active);
+      go_blind (i + 1) (Cnf.conj neg_cnf.(i) expr) active
     end
   in
-  if k <= 0 || bg.check base then go 0 base [];
+  let rec go i st expr active =
+    if i = n then emit expr active
+    else if i >= k then go_blind i expr active
+    else begin
+      let pos_sat =
+        match Sat.assume_pred st preds.(i) with
+        | None -> false
+        | Some st' -> (
+            match bg.decide ~eager:true st' with
+            | None -> false
+            | Some st'' ->
+                go (i + 1) st'' (Cnf.conj pos_cnf.(i) expr) (i :: active);
+                true)
+      in
+      match Sat.assume_clause st neg_clause.(i) with
+      | None -> ()
+      | Some st' ->
+          let neg_expr = Cnf.conj neg_cnf.(i) expr in
+          if not pos_sat then go (i + 1) st' neg_expr active
+          else begin
+            match bg.decide ~eager:true st' with
+            | Some st'' -> go (i + 1) st'' neg_expr active
+            | None -> ()
+          end
+    end
+  in
+  if k <= 0 then go_blind 0 (Cnf.of_pred qpred) []
+  else begin
+    match
+      Option.bind (Sat.assume_pred (Sat.start ()) qpred) (bg.decide ~eager:true)
+    with
+    | Some st -> go 0 st (Cnf.of_pred qpred) []
+    | None -> ()
+  end;
   List.rev !cells
 
 let decompose ?budget ?(strategy = Dfs_rewrite) ?(query_pred = Pred.tt) set =
@@ -175,20 +256,23 @@ let decompose ?budget ?(strategy = Dfs_rewrite) ?(query_pred = Pred.tt) set =
   in
   let base = Cnf.of_pred query_pred in
   let calls_before = Sat.calls () in
-  let t0 = Sys.time () in
+  let atoms_before = Sat.atom_ops () in
+  let t0 = Pc_util.Clock.now () in
   let bg = budgeted budget in
   let cells =
     match strategy with
     | Naive -> naive bg preds base
-    | Dfs -> dfs bg ~rewrite:false preds base
-    | Dfs_rewrite -> dfs bg ~rewrite:true preds base
-    | Early_stop k -> early_stop bg ~k preds base
+    | Dfs -> dfs bg ~rewrite:false preds query_pred
+    | Dfs_rewrite -> dfs bg ~rewrite:true preds query_pred
+    | Early_stop k -> early_stop bg ~k preds query_pred
   in
-  let elapsed = Sys.time () -. t0 in
+  let elapsed = Pc_util.Clock.elapsed_s ~since:t0 in
   let sat_calls = Sat.calls () - calls_before in
+  let atom_ops = Sat.atom_ops () - atoms_before in
   ( cells,
     {
       sat_calls;
+      atom_ops;
       n_cells = List.length cells;
       admitted_unchecked = !(bg.admitted);
       elapsed;

@@ -8,13 +8,22 @@
 
     - [Naive]: test all 2ⁿ − 1 subsets (paper's baseline; n ≤ 24 enforced).
     - [Dfs]: depth-first over predicates, pruning unsatisfiable prefixes
-      (Optimization 2).
+      (Optimization 2) — one solver search per surviving extension.
     - [Dfs_rewrite]: additionally uses the rewrite rule
       "X sat ∧ (X∧ψ unsat) ⟹ X∧¬ψ sat" to skip solver calls
       (Optimization 3).
     - [Early_stop k]: prune with DFS for the first [k] levels only and
       admit every deeper cell unchecked (Optimization 4) — may yield
-      false-positive cells, which loosen but never invalidate the bounds. *)
+      false-positive cells, which loosen but never invalidate the bounds.
+
+    The DFS strategies are {e incremental}: instead of re-solving the
+    whole prefix CNF at each node (O(depth²) atom work per path), they
+    thread a {!Pc_predicate.Sat.state} down the recursion — a positive
+    extension is a single box narrowing, a negative one appends a single
+    clause, and a cached witness certifies most branches without any
+    search (≈O(depth) atom work per path). [Dfs_rewrite] exploits this
+    fully; plain [Dfs] keeps its eager one-search-per-extension
+    accounting so Figure 7's strategy comparison stays meaningful. *)
 
 type cell = {
   active : int list;  (** indices into the PC set, ascending, non-empty *)
@@ -24,13 +33,18 @@ type cell = {
 type strategy = Naive | Dfs | Dfs_rewrite | Early_stop of int
 
 type stats = {
-  sat_calls : int;  (** satisfiability-solver invocations *)
+  sat_calls : int;  (** satisfiability-solver searches *)
+  atom_ops : int;
+      (** atom-level box operations performed by the solver — the
+          machine-level measure of decomposition effort (global counter
+          delta: concurrent decompositions on other domains leak into
+          each other's per-call readings; totals remain exact) *)
   n_cells : int;  (** satisfiable (or admitted) cells *)
   admitted_unchecked : int;
       (** cells admitted without a solver check after the budget's
           SAT-call pool ran dry (dynamic early stop — same soundness as
           [Early_stop]: only loosens) *)
-  elapsed : float;  (** CPU seconds *)
+  elapsed : float;  (** wall-clock seconds (monotonic) *)
 }
 
 val decompose :

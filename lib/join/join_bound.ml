@@ -62,22 +62,31 @@ let combine ?budget ?fixed ~weights tables =
     | None -> List.fold_left (fun acc (_, c) -> acc *. c) 1. weights
   end
 
-let count_bound_budgeted ?opts ?budget tables =
-  let per = List.map (fun t -> (t.name, count_upper_b ?opts ?budget t)) tables in
+(* Per-table bounds are independent solves; when they share a [budget]
+   the atomic caps keep the total sound, though which table degrades
+   first may vary between parallel runs (see Pc_par.Pool's contract). *)
+let pool_of = function Some p -> p | None -> Pc_par.Pool.default ()
+
+let count_bound_budgeted ?opts ?budget ?pool tables =
+  let per =
+    Pc_par.Pool.parallel_map (pool_of pool)
+      (fun t -> (t.name, count_upper_b ?opts ?budget t))
+      tables
+  in
   let weights = List.map (fun (n, b) -> (n, b.value)) per in
   {
     value = combine ?budget ~weights tables;
     provenance = worst_of (List.map snd per);
   }
 
-let count_bound ?opts ?budget tables =
-  (count_bound_budgeted ?opts ?budget tables).value
+let count_bound ?opts ?budget ?pool tables =
+  (count_bound_budgeted ?opts ?budget ?pool tables).value
 
-let sum_bound_budgeted ?opts ?budget tables ~agg:(agg_table, attr) =
+let sum_bound_budgeted ?opts ?budget ?pool tables ~agg:(agg_table, attr) =
   if not (List.exists (fun t -> t.name = agg_table) tables) then
     invalid_arg "Join_bound.sum_bound: unknown aggregate table";
   let per =
-    List.map
+    Pc_par.Pool.parallel_map (pool_of pool)
       (fun t ->
         if t.name = agg_table then (t.name, sum_upper_b ?opts ?budget t ~attr)
         else (t.name, count_upper_b ?opts ?budget t))
@@ -89,8 +98,8 @@ let sum_bound_budgeted ?opts ?budget tables ~agg:(agg_table, attr) =
     provenance = worst_of (List.map snd per);
   }
 
-let sum_bound ?opts ?budget tables ~agg =
-  (sum_bound_budgeted ?opts ?budget tables ~agg).value
+let sum_bound ?opts ?budget ?pool tables ~agg =
+  (sum_bound_budgeted ?opts ?budget ?pool tables ~agg).value
 
 let naive_count_bound ?opts ?budget tables =
   List.fold_left (fun acc t -> acc *. count_upper ?opts ?budget t) 1. tables

@@ -1,0 +1,146 @@
+(* Worker domains block on [work] when the queue is empty. Batch
+   completion is tracked by a per-batch countdown protected by the pool
+   mutex; [done_] is broadcast on every countdown so waiting callers
+   re-check their own batch (spurious wakeups are benign). *)
+
+type t = {
+  jobs : int;
+  q : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  work : Condition.t;
+  done_ : Condition.t;
+  mutable workers : unit Domain.t array;
+  mutable closed : bool;
+}
+
+(* Tasks must never recursively block on the pool they run inside: a
+   nested parallel_map would enqueue work no idle worker is left to take.
+   Workers mark their domain so nested calls degrade to List.map. *)
+let inside_worker = Domain.DLS.new_key (fun () -> false)
+
+let jobs t = t.jobs
+
+let rec worker_loop pool =
+  Mutex.lock pool.m;
+  while Queue.is_empty pool.q && not pool.closed do
+    Condition.wait pool.work pool.m
+  done;
+  if Queue.is_empty pool.q then Mutex.unlock pool.m (* closed *)
+  else begin
+    let task = Queue.pop pool.q in
+    Mutex.unlock pool.m;
+    task ();
+    worker_loop pool
+  end
+
+let make jobs =
+  {
+    jobs;
+    q = Queue.create ();
+    m = Mutex.create ();
+    work = Condition.create ();
+    done_ = Condition.create ();
+    workers = [||];
+    closed = false;
+  }
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let pool = make jobs in
+  if jobs > 1 then
+    pool.workers <-
+      Array.init (jobs - 1) (fun _ ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set inside_worker true;
+              worker_loop pool));
+  pool
+
+let sequential = make 1
+
+let shutdown pool =
+  if pool.jobs > 1 && not pool.closed then begin
+    Mutex.lock pool.m;
+    pool.closed <- true;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.m;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let default_pool = ref sequential
+
+let default () = !default_pool
+
+let set_default_jobs jobs =
+  let old = !default_pool in
+  default_pool := create ~jobs;
+  shutdown old
+
+type ('a, 'b) batch = {
+  items : 'a array;
+  results : 'b option array;
+  f : 'a -> 'b;
+  (* first error by input position: deterministic re-raise *)
+  mutable err : (int * exn * Printexc.raw_backtrace) option;
+  mutable remaining : int; (* chunks still running; under the pool mutex *)
+}
+
+let run_chunk pool batch lo hi =
+  (try
+     for i = lo to hi - 1 do
+       batch.results.(i) <- Some (batch.f batch.items.(i))
+     done
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     Mutex.lock pool.m;
+     (match batch.err with
+     | Some (j, _, _) when j <= lo -> ()
+     | _ -> batch.err <- Some (lo, e, bt));
+     Mutex.unlock pool.m);
+  Mutex.lock pool.m;
+  batch.remaining <- batch.remaining - 1;
+  if batch.remaining = 0 then Condition.broadcast pool.done_;
+  Mutex.unlock pool.m
+
+let parallel_map pool f xs =
+  if pool.jobs = 1 || Domain.DLS.get inside_worker then List.map f xs
+  else begin
+    match xs with
+    | [] -> []
+    | [ x ] -> [ f x ]
+    | _ ->
+        let items = Array.of_list xs in
+        let n = Array.length items in
+        (* a few chunks per worker evens out skewed task costs without
+           paying a handoff per element *)
+        let chunk = max 1 (n / (pool.jobs * 4)) in
+        let n_chunks = (n + chunk - 1) / chunk in
+        let batch =
+          { items; results = Array.make n None; f; err = None; remaining = n_chunks }
+        in
+        Mutex.lock pool.m;
+        for c = 0 to n_chunks - 1 do
+          let lo = c * chunk in
+          let hi = min n (lo + chunk) in
+          Queue.push (fun () -> run_chunk pool batch lo hi) pool.q
+        done;
+        Condition.broadcast pool.work;
+        (* the caller works the queue too: guarantees progress even if
+           every worker is busy elsewhere, and uses this domain's core *)
+        while batch.remaining > 0 do
+          if Queue.is_empty pool.q then Condition.wait pool.done_ pool.m
+          else begin
+            let task = Queue.pop pool.q in
+            Mutex.unlock pool.m;
+            task ();
+            Mutex.lock pool.m
+          end
+        done;
+        Mutex.unlock pool.m;
+        (match batch.err with
+        | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ());
+        Array.to_list (Array.map Option.get batch.results)
+  end
+
+let parallel_iter pool f xs = ignore (parallel_map pool (fun x -> f x; ()) xs)

@@ -1,0 +1,60 @@
+(** A fixed-size domain pool with a chunked, order-preserving parallel
+    map (stdlib [Domain]/[Mutex]/[Condition] only — no external
+    dependencies).
+
+    The pool owns [jobs - 1] worker domains; the caller's domain is the
+    remaining worker, so [create ~jobs:1] spawns nothing and
+    {!parallel_map} degenerates to [List.map]. Tasks are coarse units
+    (per-query bounds, per-group bounds, per-table join bounds), so the
+    queue is a plain mutex-protected FIFO — handoff cost is nanoseconds
+    against task costs of microseconds to seconds.
+
+    {2 Determinism contract}
+
+    [parallel_map pool f xs] returns exactly [List.map f xs] — same
+    values, same order — whenever [f] is deterministic per element:
+    results are written into their input slot, and the first raised
+    exception (by input position, not arrival time) is re-raised after
+    the batch drains. Scheduling never reorders or drops results, so
+    [--jobs N] output is bit-identical to [--jobs 1] unless tasks
+    communicate through shared state. Shared {!Pc_budget.Budget.t}
+    contexts are the sanctioned exception: caps are enforced atomically
+    (soundness preserved) but {e which} task exhausts the pool may vary
+    between runs — degradation provenance can differ, bounds stay sound.
+
+    Nested calls (a task calling [parallel_map] on the same or another
+    pool) run sequentially inline rather than deadlocking the queue. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] — a pool of [max 1 jobs] workers including the
+    caller. Workers idle on a condition variable when the queue is
+    empty; they hold no CPU. *)
+
+val jobs : t -> int
+
+val sequential : t
+(** The shared no-worker pool: [parallel_map sequential f] is
+    [List.map f]. *)
+
+val default : unit -> t
+(** The process-wide pool, {!sequential} until {!set_default_jobs}
+    configures it (e.g. from a [--jobs] flag). *)
+
+val set_default_jobs : int -> unit
+(** Replace the process-wide pool with one of [jobs] workers (shutting
+    the previous one down). Call once at startup; racing calls from
+    several domains are not supported. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving map over the pool (see the determinism contract
+    above). Chunks contiguous runs of inputs to bound handoff overhead;
+    the caller's domain participates, so progress is guaranteed even
+    with [jobs = 1] or a saturated queue. *)
+
+val parallel_iter : t -> ('a -> unit) -> 'a list -> unit
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent; {!sequential} ignores it. The
+    pool must be idle (no concurrent {!parallel_map}). *)

@@ -1,25 +1,121 @@
-let call_count = ref 0
-let calls () = !call_count
-let reset_calls () = call_count := 0
+(* Counters are atomic so that per-domain solver work aggregates cleanly
+   when decomposition or workload evaluation runs on several domains. *)
+let call_count = Atomic.make 0
+let atom_count = Atomic.make 0
+let calls () = Atomic.get call_count
+let atom_ops () = Atomic.get atom_count
+
+let reset_calls () =
+  Atomic.set call_count 0;
+  Atomic.set atom_count 0
+
+let bump_atoms n = if n > 0 then ignore (Atomic.fetch_and_add atom_count n)
 
 (* Clause ordering heuristic: decide short clauses first — unit clauses
-   are deterministic and prune the box before any branching happens. *)
-let order_clauses cnf =
-  List.stable_sort (fun a b -> Stdlib.compare (List.length a) (List.length b)) cnf
+   are deterministic and prune the box before any branching happens.
+   Lengths are precomputed (decorate-sort-undecorate) so the comparator
+   is O(1) instead of rescanning each clause per comparison. *)
+let order_clauses = function
+  | ([] | [ _ ]) as cnf -> cnf
+  | cnf ->
+      List.map (fun clause -> (List.length clause, clause)) cnf
+      |> List.stable_sort (fun (la, _) (lb, _) -> Int.compare la lb)
+      |> List.map snd
 
 let solve ?(box = Box.top) cnf =
-  incr call_count;
+  Atomic.incr call_count;
+  let ops = ref 0 in
   let rec go box = function
     | [] -> Some box
     | [] :: _ -> None (* empty clause: unsatisfiable *)
     | clause :: rest ->
         List.find_map
           (fun atom ->
+            incr ops;
             match Box.add_atom box atom with
             | None -> None
             | Some box' -> go box' rest)
           clause
   in
-  go box (order_clauses cnf)
+  let result = go box (order_clauses cnf) in
+  bump_atoms !ops;
+  result
 
 let check ?box cnf = Option.is_some (solve ?box cnf)
+
+(* ------------------------------------------------------------------ *)
+(* Resumable solving                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  box : Box.t;
+  pending : Cnf.t;
+  witness : Box.t option;
+}
+
+let certified st = Option.is_some st.witness
+
+let start ?(box = Box.top) () = { box; pending = []; witness = Some box }
+
+let assume_pred st pred =
+  let n = List.length pred in
+  bump_atoms n;
+  match Box.add_pred st.box pred with
+  | None -> None
+  | Some box ->
+      let witness =
+        match st.witness with
+        | None -> None
+        | Some w ->
+            bump_atoms n;
+            Box.add_pred w pred
+      in
+      Some { box; pending = st.pending; witness }
+
+let assume_clause st clause =
+  bump_atoms (List.length clause);
+  let alive =
+    List.filter (fun atom -> Option.is_some (Box.add_atom st.box atom)) clause
+  in
+  match alive with
+  | [] -> None
+  | [ atom ] ->
+      (* unit clause: deterministic, fold it into the box *)
+      let box =
+        match Box.add_atom st.box atom with
+        | Some b -> b
+        | None -> assert false (* alive above *)
+      in
+      let witness =
+        match st.witness with
+        | None -> None
+        | Some w ->
+            bump_atoms 1;
+            Box.add_atom w atom
+      in
+      Some { box; pending = st.pending; witness }
+  | _ when List.exists (fun atom -> Pred.implies_box st.box [ atom ]) alive ->
+      (* the box already entails one disjunct: the clause is vacuous and
+         the inherited witness (if any) still satisfies everything *)
+      Some st
+  | _ ->
+      let witness =
+        match st.witness with
+        | None -> None
+        | Some w ->
+            bump_atoms (List.length alive);
+            List.find_map (fun atom -> Box.add_atom w atom) alive
+      in
+      Some { st with pending = alive :: st.pending; witness }
+
+let uncertify st = { st with witness = None }
+
+let solve_state st =
+  match st.witness with
+  | Some _ -> Some st
+  | None -> (
+      match solve ~box:st.box st.pending with
+      | None -> None
+      | Some w -> Some { st with witness = Some w })
+
+let state_box st = st.box

@@ -9,7 +9,9 @@
     universe is supplied).
 
     Calls are counted in a global statistic so the decomposition
-    experiments (Figure 7) can report solver effort. *)
+    experiments (Figure 7) can report solver effort. Counters are
+    {!Atomic} and therefore remain accurate when several domains solve
+    concurrently. *)
 
 val check : ?box:Box.t -> Cnf.t -> bool
 (** [check cnf] decides satisfiability starting from [box]
@@ -20,6 +22,68 @@ val solve : ?box:Box.t -> Cnf.t -> Box.t option
 (** Like {!check} but returns a witness box on success. *)
 
 val calls : unit -> int
-(** Number of [check]/[solve] invocations since {!reset_calls}. *)
+(** Number of [check]/[solve]/[solve_state] solver searches since
+    {!reset_calls}. Cheap certificates ({!assume_pred}/{!assume_clause}
+    resolving a branch via the box or an inherited witness) do not
+    count. *)
+
+val atom_ops : unit -> int
+(** Number of atom-level box operations ([Box.add_atom] attempts) the
+    solver has performed since {!reset_calls} — the machine-level measure
+    of solver effort used by the decomposition benchmarks. *)
 
 val reset_calls : unit -> unit
+(** Reset both {!calls} and {!atom_ops}. *)
+
+(** {2 Resumable solving}
+
+    Incremental decomposition (see [Pc_core.Cells]) threads a solver
+    {!state} down the DFS instead of re-solving the whole prefix CNF at
+    every node. A state is the solved form of a prefix:
+
+    - [box] — the deterministic narrowing: the conjunction of the query
+      predicate, every positively-chosen predicate, and every unit clause
+      propagated so far;
+    - [pending] — the unresolved disjunctive clauses (negated
+      predicates), already filtered against [box];
+    - a [witness] sub-box, when known: every point of it satisfies the
+      whole prefix, so satisfiability of an extension can often be
+      certified by narrowing the witness — no search at all.
+
+    [assume_*] return [None] only on {e definite} unsatisfiability.
+    [Some st] with [certified st = false] means "not yet decided": call
+    {!solve_state} to run branch-and-prune over the pending clauses,
+    seeded from the inherited box. *)
+
+type state
+
+val start : ?box:Box.t -> unit -> state
+(** Fresh state with an empty prefix; the optional [box] plays the same
+    role as in {!check}. The empty prefix is trivially satisfiable. *)
+
+val assume_pred : state -> Pred.t -> state option
+(** Conjoin a conjunction of atoms (a positive predicate): a pure box
+    narrowing, O(|pred|). [None] means the extended prefix is
+    unsatisfiable. *)
+
+val assume_clause : state -> Cnf.clause -> state option
+(** Conjoin one disjunctive clause (a negated predicate). Atoms dead
+    against the box are dropped ([None] if none survive), unit clauses
+    are propagated into the box, entailed clauses are discarded, and the
+    rest joins [pending]. *)
+
+val certified : state -> bool
+(** A witness is live: the prefix is known satisfiable at zero cost. *)
+
+val uncertify : state -> state
+(** Drop the witness, forcing the next {!solve_state} to run a real
+    search. Used by eager strategies that account one solver search per
+    extension ([Cells.Dfs], Optimization 2 without the rewrite rule). *)
+
+val solve_state : state -> state option
+(** Decide a non-certified state by branch-and-prune over [pending]
+    seeded from the state's box (counted in {!calls}); [Some] re-arms the
+    witness for the subtree below. Identity on certified states. *)
+
+val state_box : state -> Box.t
+(** The deterministic narrowing accumulated so far. *)

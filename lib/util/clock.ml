@@ -1,0 +1,7 @@
+external now_ns : unit -> (int64[@unboxed])
+  = "pc_clock_now_ns_bytecode" "pc_clock_now_ns_native"
+[@@noalloc]
+
+let now () = Int64.to_float (now_ns ()) *. 1e-9
+
+let elapsed_s ~since = Float.max 0. (now () -. since)

@@ -1,0 +1,19 @@
+(** Monotonic wall-clock time.
+
+    Every elapsed-time and deadline measurement in the library goes
+    through this module. [Sys.time] is CPU time — under multiple domains
+    it advances once per running core and wildly inflates wall-clock
+    readings — and [Unix.gettimeofday] is subject to NTP steps, so
+    neither is safe for deadlines. This wraps the OS monotonic clock
+    ([clock_gettime(CLOCK_MONOTONIC)]), which only moves forward and is
+    unaffected by wall-time adjustments. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. The origin is unspecified (boot
+    time on Linux): only differences are meaningful. *)
+
+val now : unit -> float
+(** Monotonic seconds as a float; same origin caveat as {!now_ns}. *)
+
+val elapsed_s : since:float -> float
+(** [elapsed_s ~since:(now ())] — seconds elapsed, never negative. *)

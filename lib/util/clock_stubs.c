@@ -1,0 +1,23 @@
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+static int64_t pc_clock_monotonic_ns(void)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim int64_t pc_clock_now_ns_native(value unit)
+{
+  (void)unit;
+  return pc_clock_monotonic_ns();
+}
+
+CAMLprim value pc_clock_now_ns_bytecode(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(pc_clock_monotonic_ns());
+}

@@ -106,7 +106,7 @@ a one-cell budget steps down to the trivial frequency-caps floor:
   [75-, 225+]
     lower bound: 75
     upper bound: 225
-    provenance: trivial (cells=1 sat=6 nodes=0 iters=0)
+    provenance: trivial (cells=1 sat=1 nodes=0 iters=0)
 
 a zero-node budget keeps the LP-relaxation dual bound:
 
@@ -114,7 +114,7 @@ a zero-node budget keeps the LP-relaxation dual bound:
   [75-, 125+]
     lower bound: 75
     upper bound: 125
-    provenance: relaxed (cells=2 sat=7 nodes=0 iters=9)
+    provenance: relaxed (cells=2 sat=1 nodes=0 iters=9)
 
 an expired deadline still answers, from value bounds alone:
 
