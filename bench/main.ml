@@ -173,6 +173,15 @@ let write_baseline ~queries ~rows path =
   let wall1, outs1 = end_to_end_wall ~jobs:1 ~queries ~rows in
   let wall4, outs4 = end_to_end_wall ~jobs:4 ~queries ~rows in
   let identical = outs1 = outs4 in
+  (* Traced probe of the same workload, run *after* every untraced timing
+     above so span recording cannot leak into them. The per-phase totals
+     show where end-to-end time goes (schema v2 field). *)
+  Printf.printf "measuring per-phase span totals (traced probe)...\n%!";
+  Pc_obs.Trace.set_enabled true;
+  Pc_obs.Trace.reset ();
+  ignore (end_to_end_wall ~jobs:1 ~queries:(min queries 20) ~rows);
+  Pc_obs.Trace.set_enabled false;
+  let phase_totals = Pc_obs.Trace.totals_by_name () in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -180,6 +189,7 @@ let write_baseline ~queries ~rows path =
       let p fmt = Printf.fprintf oc fmt in
       p "{\n";
       p "  \"benchmark\": \"BENCH_decompose\",\n";
+      p "  \"schema_version\": 2,\n";
       p "  \"pre_pr_reference\": { \"cells.decompose (10 overlapping PCs)\": 78755.4 },\n";
       p "  \"micro_ns_per_run\": {\n";
       let n = List.length micro in
@@ -193,6 +203,15 @@ let write_baseline ~queries ~rows path =
       p "  \"decompose_dfs_rewrite\": { \"cells\": %d, \"sat_calls\": %d, \"atom_ops\": %d },\n"
         stats.Pc_core.Cells.n_cells stats.Pc_core.Cells.sat_calls
         stats.Pc_core.Cells.atom_ops;
+      p "  \"phase_totals_ns\": {\n";
+      let np = List.length phase_totals in
+      List.iteri
+        (fun i (name, count, total_ns) ->
+          p "    \"%s\": { \"count\": %d, \"total_ns\": %Ld }%s\n"
+            (json_escape name) count total_ns
+            (if i = np - 1 then "" else ","))
+        phase_totals;
+      p "  },\n";
       p "  \"end_to_end_bound\": {\n";
       p "    \"queries\": %d,\n" queries;
       p "    \"jobs1_wall_s\": %.4f,\n" wall1;
@@ -220,6 +239,7 @@ let () =
   let jobs = ref 1 in
   let list_only = ref false in
   let baseline_out = ref None in
+  let trace_out = ref None in
   let specs =
     [
       ("-e", Arg.Set_string experiment, "EXPERIMENT id (default: all)");
@@ -233,6 +253,9 @@ let () =
       ( "--baseline",
         Arg.String (fun s -> baseline_out := Some s),
         "FILE write the machine-readable bench baseline (JSON) and exit" );
+      ( "--trace",
+        Arg.String (fun s -> trace_out := Some s),
+        "FILE record a Chrome trace_event JSON of the run (chrome://tracing)" );
       ("--list", Arg.Set list_only, " list experiment ids and exit");
     ]
   in
@@ -244,7 +267,12 @@ let () =
     Printf.printf "%-22s %s\n" "micro" "bechamel micro-benchmarks of the solver stack"
   end
   else begin
-    match !baseline_out with
+    (match !trace_out with
+    | None -> ()
+    | Some _ ->
+        Pc_obs.Trace.set_enabled true;
+        Pc_obs.Trace.reset ());
+    (match !baseline_out with
     | Some path ->
         write_baseline
           ~queries:(min !queries 50)
@@ -272,5 +300,15 @@ let () =
             | Some exp -> run_one exp
             | None ->
                 Printf.eprintf "unknown experiment %S; use --list\n" id;
-                exit 1))
+                exit 1)));
+    match !trace_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Pc_obs.Trace.to_chrome_json ()));
+        Printf.printf "trace: %d spans -> %s\n"
+          (List.length (Pc_obs.Trace.spans ()))
+          path
   end

@@ -72,6 +72,69 @@ let budget_arg =
   in
   Arg.(value & opt (some string) None & info [ "budget" ] ~docv:"SPEC" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record a structured trace of the bound pipeline (decompose, SAT, \
+     LP/MILP, ladder rungs) and write it to $(docv) in Chrome trace_event \
+     JSON — open with chrome://tracing or https://ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print the metrics registry (counters and latency histograms) after \
+     the run; with $(docv), write it there as JSON instead."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Enable instrumentation *before* any solver work runs. Tracing and the
+   histogram side of the registry stay off (one branch per site) unless
+   asked for. *)
+let setup_obs ~trace ~metrics =
+  if trace <> None then begin
+    Pc_obs.Trace.set_enabled true;
+    Pc_obs.Trace.reset ()
+  end;
+  if metrics <> None then Pc_obs.Registry.set_enabled true
+
+(* Emit the requested artifacts. Called before any early [exit] so an
+   infeasible answer still produces its trace. *)
+let emit_obs ~trace ~metrics ?budget () =
+  (match trace with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Pc_obs.Trace.to_chrome_json ()));
+      Printf.printf "trace: %d spans -> %s\n"
+        (List.length (Pc_obs.Trace.spans ()))
+        path);
+  match metrics with
+  | None -> ()
+  | Some dest ->
+      (match budget with
+      | None -> ()
+      | Some b ->
+          let parts =
+            List.map
+              (fun (r, n) ->
+                Printf.sprintf "%s=%d" (Pc_budget.Budget.resource_name r) n)
+              (Pc_budget.Budget.snapshot b)
+          in
+          Printf.printf "budget: %s\n" (String.concat " " parts));
+      if dest = "-" then print_string (Pc_obs.Registry.dump_text ())
+      else begin
+        let oc = open_out dest in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Pc_obs.Registry.dump_json ()));
+        Printf.printf "metrics: -> %s\n" dest
+      end
+
 let parse_budget_spec ~timeout s =
   let items =
     match s with
@@ -159,10 +222,11 @@ let short_answer = function
 
 let bound_cmd =
   let run csv constraints query missing_only strategy group_by timeout budget
-      jobs =
+      jobs trace metrics =
     with_errors (fun () ->
         let ( let* ) = Result.bind in
         if jobs > 1 then Pc_par.Pool.set_default_jobs jobs;
+        setup_obs ~trace ~metrics;
         let* set = load_constraints constraints in
         let* strategy = parse_strategy strategy in
         let* query =
@@ -171,9 +235,9 @@ let bound_cmd =
         let opts = { Pc_core.Bounds.default_opts with Pc_core.Bounds.strategy } in
         let budgeted = timeout <> None || budget <> None in
         let* spec = parse_budget_spec ~timeout budget in
+        let b = Pc_budget.Budget.start spec in
         let* outcome =
           try
-            let b = Pc_budget.Budget.start spec in
             match (csv, missing_only) with
             | Some path, false ->
                 let certain = Pc_data.Csv.read_file path in
@@ -215,6 +279,7 @@ let bound_cmd =
             match result.Pc_core.Group_by.residual with
             | Some a -> Printf.printf "  %-20s %s\n" "(other keys)" (short_answer a)
             | None -> ());
+        emit_obs ~trace ~metrics ~budget:b ();
         (match answer with
         | Pc_core.Bounds.Infeasible ->
             (* distinct exit code so scripts can tell "constraints admit no
@@ -235,7 +300,7 @@ let bound_cmd =
       ret
         (const run $ csv_opt_arg $ constraints_arg $ query_arg
        $ missing_only_arg $ strategy_arg $ group_by_arg $ timeout_arg
-       $ budget_arg $ jobs_arg))
+       $ budget_arg $ jobs_arg $ trace_arg $ metrics_arg))
 
 (* ---- check ---- *)
 
@@ -345,6 +410,105 @@ let generate_cmd =
     (Cmd.info "generate" ~doc)
     Term.(ret (const run $ csv_req_arg $ attrs_arg $ n_arg $ exact_arg $ out_arg))
 
+(* ---- workload ---- *)
+
+let workload_cmd =
+  let queries_arg =
+    let doc = "Number of random queries to generate." in
+    Arg.(value & opt int 100 & info [ "queries" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Random seed for query generation (reproducible workloads)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let agg_arg =
+    let doc = "Aggregate: count, sum:ATTR, avg:ATTR, min:ATTR or max:ATTR." in
+    Arg.(value & opt string "count" & info [ "agg" ] ~docv:"AGG" ~doc)
+  in
+  let attrs_arg =
+    let doc = "Comma-separated attributes the random predicates range over." in
+    Arg.(
+      required
+      & opt (some (list ~sep:',' string)) None
+      & info [ "attrs" ] ~docv:"A,B" ~doc)
+  in
+  let parse_agg s =
+    let split prefix =
+      let lp = String.length prefix in
+      if
+        String.length s > lp
+        && String.lowercase_ascii (String.sub s 0 lp) = prefix
+      then Some (String.sub s lp (String.length s - lp))
+      else None
+    in
+    match String.lowercase_ascii s with
+    | "count" -> Ok Pc_workload.Querygen.Count
+    | _ -> (
+        match
+          List.find_map
+            (fun (p, mk) -> Option.map mk (split p))
+            [
+              ("sum:", fun a -> Pc_workload.Querygen.Sum a);
+              ("avg:", fun a -> Pc_workload.Querygen.Avg a);
+              ("min:", fun a -> Pc_workload.Querygen.Min a);
+              ("max:", fun a -> Pc_workload.Querygen.Max a);
+            ]
+        with
+        | Some agg -> Ok agg
+        | None ->
+            Error
+              (Printf.sprintf
+                 "unknown aggregate %S (want count, sum:ATTR, avg:ATTR, \
+                  min:ATTR or max:ATTR)"
+                 s))
+  in
+  let run csv constraints n seed agg attrs timeout budget jobs metrics =
+    with_errors (fun () ->
+        let ( let* ) = Result.bind in
+        if jobs > 1 then Pc_par.Pool.set_default_jobs jobs;
+        setup_obs ~trace:None ~metrics;
+        let* set = load_constraints constraints in
+        let* missing =
+          try Ok (Pc_data.Csv.read_file csv) with Failure m -> Error m
+        in
+        let* agg = parse_agg agg in
+        let* queries =
+          try
+            Ok
+              (Pc_workload.Querygen.random_queries
+                 (Pc_util.Rng.create seed)
+                 missing ~attrs ~agg ~n)
+          with Invalid_argument m | Failure m -> Error m
+        in
+        let* spec = parse_budget_spec ~timeout budget in
+        let baseline =
+          if timeout = None && budget = None then
+            Pc_workload.Runner.of_pc_set "pc" set
+          else Pc_workload.Runner.of_pc_set_budgeted "pc" ~spec set
+        in
+        let summaries =
+          Pc_workload.Runner.run ~baselines:[ baseline ] ~missing ~queries
+        in
+        List.iter
+          (fun (label, s) ->
+            Printf.printf "%s %s\n" label (Pc_workload.Report.json_of_summary s))
+          summaries;
+        emit_obs ~trace:None ~metrics ();
+        Ok ())
+  in
+  let doc =
+    "Evaluate the constraint set on a reproducible random query workload \
+     (the missing partition is the CSV; prints one JSON summary per \
+     baseline: failure rate, over-estimation, degradation rungs)."
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc)
+    Term.(
+      ret
+        (const run $ csv_req_arg $ constraints_arg $ queries_arg $ seed_arg
+       $ agg_arg $ attrs_arg $ timeout_arg $ budget_arg $ jobs_arg
+       $ metrics_arg))
+
 (* ---- explain ---- *)
 
 let explain_cmd =
@@ -379,6 +543,7 @@ let explain_cmd =
 let main_cmd =
   let doc = "missing-data contingency analysis with predicate-constraints" in
   let info = Cmd.info "pcda" ~version:"1.0.0" ~doc in
-  Cmd.group info [ bound_cmd; check_cmd; show_cmd; explain_cmd; generate_cmd ]
+  Cmd.group info
+    [ bound_cmd; check_cmd; show_cmd; explain_cmd; generate_cmd; workload_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

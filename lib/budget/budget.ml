@@ -1,5 +1,10 @@
 type resource = Deadline | Cells | Sat_calls | Nodes | Iterations
 
+(* Cold-path observability: exhaustion events are rare, so counting them
+   directly at the mark site costs nothing on healthy runs. *)
+let c_exhaustions = Pc_obs.Registry.Counter.make "budget.exhaustions"
+let c_deadline_hits = Pc_obs.Registry.Counter.make "budget.deadline_hits"
+
 let resource_name = function
   | Deadline -> "deadline"
   | Cells -> "cells"
@@ -66,7 +71,11 @@ let limits t = t.spec
 
 (* First writer wins: once dead on some resource, stay dead on it. *)
 let mark_dead t resource =
-  ignore (Atomic.compare_and_set t.dead None (Some resource))
+  if Atomic.compare_and_set t.dead None (Some resource) then begin
+    Pc_obs.Registry.Counter.incr c_exhaustions;
+    if resource = Deadline then
+      Pc_obs.Registry.Counter.incr c_deadline_hits
+  end
 
 (* A non-positive timeout means "already expired": callers crushing the
    budget to zero must see immediate exhaustion even within the clock's
@@ -142,6 +151,14 @@ let usage (t : t) =
     deadline_hit = Atomic.get t.deadline_hit;
     dead = Atomic.get t.dead;
   }
+
+let snapshot (t : t) =
+  [
+    (Cells, Atomic.get t.cells);
+    (Sat_calls, Atomic.get t.sat_calls);
+    (Nodes, Atomic.get t.nodes);
+    (Iterations, Atomic.get t.iters);
+  ]
 
 let pp_usage ppf u =
   Format.fprintf ppf "cells=%d sat=%d nodes=%d iters=%d%s" u.cells u.sat_calls

@@ -111,4 +111,10 @@ val usage : t -> usage
 (** A consistent snapshot of each counter (individually exact; the tuple
     is not a cross-counter atomic snapshot under concurrent use). *)
 
+val snapshot : t -> (resource * int) list
+(** The four countable resources with their current consumption, in a
+    fixed order ([Cells]; [Sat_calls]; [Nodes]; [Iterations]) — the
+    machine-readable face of {!usage} for [--metrics] reporting. Same
+    consistency caveat as {!usage}. *)
+
 val pp_usage : Format.formatter -> usage -> unit

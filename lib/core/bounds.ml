@@ -7,6 +7,15 @@ module S = Pc_lp.Simplex
 module M = Pc_milp.Milp
 module B = Pc_budget.Budget
 module Q = Pc_query.Query
+module Counter = Pc_obs.Registry.Counter
+module Trace = Pc_obs.Trace
+
+let c_calls = Counter.make "bound.calls"
+let c_exact = Counter.make "bound.exact"
+let c_relaxed = Counter.make "bound.relaxed"
+let c_early = Counter.make "bound.early_stopped"
+let c_trivial = Counter.make "bound.trivial"
+let h_bound = Pc_obs.Registry.Histogram.make "bound.ns"
 
 type answer = Range of Range.t | Empty | Infeasible
 
@@ -841,15 +850,32 @@ let is_decompose_guard msg =
   String.length msg >= 16 && String.sub msg 0 16 = "Cells.decompose:"
 
 (* Run [f]; when the budget starves it (or the configured strategy cannot
-   even enumerate), step down to the trivial rung instead of raising. *)
+   even enumerate), step down to the trivial rung instead of raising.
+   Each rung gets its own span so a trace shows exactly where a query
+   spent its time and why it fell. *)
 let with_floor ~ctx f floor =
-  try f () with
-  | B.Exhausted _ | Degrade ->
-      ctx.trace.trivial <- true;
-      floor ()
-  | Invalid_argument msg when is_decompose_guard msg ->
-      ctx.trace.trivial <- true;
-      floor ()
+  let fall cause =
+    ctx.trace.trivial <- true;
+    if Trace.enabled () then
+      Trace.with_span ~name:"rung.trivial" ~attrs:[ ("cause", cause) ] floor
+    else floor ()
+  in
+  let run () =
+    if Trace.enabled () then
+      Trace.with_span ~name:"rung.full" (fun () ->
+          match f () with
+          | r ->
+              Trace.add_attr "outcome" "ok";
+              r
+          | exception e ->
+              Trace.add_attr "outcome" "degraded";
+              raise e)
+    else f ()
+  in
+  try run () with
+  | B.Exhausted r -> fall ("exhausted:" ^ B.resource_name r)
+  | Degrade -> fall "starved"
+  | Invalid_argument msg when is_decompose_guard msg -> fall "enumeration-guard"
 
 let missing_answer ~ctx set query =
   with_floor ~ctx
@@ -930,24 +956,46 @@ let combined_answer ~ctx set ~certain (query : Q.t) =
 (* Public interface                                                    *)
 (* ------------------------------------------------------------------ *)
 
+let provenance_counter = function
+  | Exact -> c_exact
+  | Relaxed -> c_relaxed
+  | Early_stopped -> c_early
+  | Trivial -> c_trivial
+
 let bound_budgeted ?(opts = default_opts) ?budget ?certain set (query : Q.t) =
   let budget = match budget with Some b -> b | None -> B.unlimited () in
   let u0 = B.usage budget in
   let t0 = Pc_util.Clock.now () in
   let trace = { relaxed = false; early = false; trivial = false; admitted = 0 } in
   let ctx = { opts; budget; trace } in
-  let answer =
-    match certain with
-    | None -> missing_answer ~ctx set query
-    | Some certain -> combined_answer ~ctx set ~certain query
+  let compute () =
+    let answer =
+      match certain with
+      | None -> missing_answer ~ctx set query
+      | Some certain -> combined_answer ~ctx set ~certain query
+    in
+    let provenance =
+      if trace.trivial then Trivial
+      else if trace.early then Early_stopped
+      else if trace.relaxed then Relaxed
+      else Exact
+    in
+    (answer, provenance)
+  in
+  let answer, provenance =
+    (* the branch keeps the disabled path closure-free *)
+    if Trace.enabled () then
+      Trace.with_span ~name:"bound" (fun () ->
+          let ((_, p) as r) = compute () in
+          Trace.add_attr "provenance" (provenance_name p);
+          r)
+    else compute ()
   in
   let u1 = B.usage budget in
-  let provenance =
-    if trace.trivial then Trivial
-    else if trace.early then Early_stopped
-    else if trace.relaxed then Relaxed
-    else Exact
-  in
+  let elapsed = Pc_util.Clock.elapsed_s ~since:t0 in
+  Counter.incr c_calls;
+  Counter.incr (provenance_counter provenance);
+  Pc_obs.Registry.Histogram.observe_ns h_bound (elapsed *. 1e9);
   {
     answer;
     stats =
@@ -958,7 +1006,7 @@ let bound_budgeted ?(opts = default_opts) ?budget ?certain set (query : Q.t) =
         admitted_unchecked = trace.admitted;
         milp_nodes = u1.B.nodes - u0.B.nodes;
         lp_iterations = u1.B.iters - u0.B.iters;
-        elapsed = Pc_util.Clock.elapsed_s ~since:t0;
+        elapsed;
         deadline_hit = u1.B.deadline_hit;
       };
   }

@@ -3,6 +3,16 @@ module Atom = Pc_predicate.Atom
 module Cnf = Pc_predicate.Cnf
 module Sat = Pc_predicate.Sat
 module B = Pc_budget.Budget
+module Counter = Pc_obs.Registry.Counter
+module Trace = Pc_obs.Trace
+
+(* Registered at load time so the --metrics key set is stable. Hot paths
+   accumulate in locals (the refs inside [budgeted]) and flush once per
+   decomposition. *)
+let c_decompositions = Counter.make "cells.decompositions"
+let c_cells = Counter.make "cells.emitted"
+let c_witness_hits = Counter.make "cells.witness_hits"
+let c_admitted = Counter.make "cells.admitted_unchecked"
 
 type cell = { active : int list; expr : Cnf.t }
 
@@ -49,6 +59,9 @@ type budgeted = {
   emit : cell list ref -> cell -> unit;
   admitting : unit -> bool;
   admitted : int ref;
+  witness_hits : int ref;
+      (** decisions certified by a live cached witness, i.e. answered
+          without a solver search *)
 }
 
 (* Admission only degrades (false-positive cells loosen the bounds), so a
@@ -61,6 +74,7 @@ let max_admitted = 4096
 let budgeted budget =
   let admit = ref false in
   let admitted = ref 0 in
+  let witness_hits = ref 0 in
   let check expr =
     if !admit then true
     else begin
@@ -91,7 +105,10 @@ let budgeted budget =
   let decide ~eager st =
     if !admit then Some st
     else if eager then solve_charged (Sat.uncertify st)
-    else if Sat.certified st then Some st
+    else if Sat.certified st then begin
+      incr witness_hits;
+      Some st
+    end
     else solve_charged st
   in
   let emit cells cell =
@@ -112,7 +129,7 @@ let budgeted budget =
     end;
     cells := cell :: !cells
   in
-  { check; decide; emit; admitting = (fun () -> !admit); admitted }
+  { check; decide; emit; admitting = (fun () -> !admit); admitted; witness_hits }
 
 let naive bg preds base =
   let n = Array.length preds in
@@ -250,7 +267,7 @@ let early_stop bg ~k preds qpred =
   end;
   List.rev !cells
 
-let decompose ?budget ?(strategy = Dfs_rewrite) ?(query_pred = Pred.tt) set =
+let decompose_run ?budget ~strategy ~query_pred set =
   let preds =
     Array.of_list (List.map (fun (pc : Pc.t) -> pc.Pc.pred) (Pc_set.pcs set))
   in
@@ -269,11 +286,28 @@ let decompose ?budget ?(strategy = Dfs_rewrite) ?(query_pred = Pred.tt) set =
   let elapsed = Pc_util.Clock.elapsed_s ~since:t0 in
   let sat_calls = Sat.calls () - calls_before in
   let atom_ops = Sat.atom_ops () - atoms_before in
+  let n_cells = List.length cells in
+  Counter.add c_cells n_cells;
+  Counter.add c_witness_hits !(bg.witness_hits);
+  Counter.add c_admitted !(bg.admitted);
   ( cells,
     {
       sat_calls;
       atom_ops;
-      n_cells = List.length cells;
+      n_cells;
       admitted_unchecked = !(bg.admitted);
       elapsed;
     } )
+
+let decompose ?budget ?(strategy = Dfs_rewrite) ?(query_pred = Pred.tt) set =
+  Counter.incr c_decompositions;
+  (* the branch keeps the disabled path closure-free *)
+  if Trace.enabled () then
+    Trace.with_span ~name:"decompose"
+      ~attrs:[ ("strategy", strategy_name strategy) ]
+      (fun () ->
+        let ((_, stats) as r) = decompose_run ?budget ~strategy ~query_pred set in
+        Trace.add_attr "cells" (string_of_int stats.n_cells);
+        Trace.add_attr "sat_calls" (string_of_int stats.sat_calls);
+        r)
+  else decompose_run ?budget ~strategy ~query_pred set

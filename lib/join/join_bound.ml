@@ -3,6 +3,11 @@ module Bounds = Pc_core.Bounds
 module Pc_set = Pc_core.Pc_set
 module Pc = Pc_core.Pc
 module B = Pc_budget.Budget
+module Counter = Pc_obs.Registry.Counter
+module Trace = Pc_obs.Trace
+
+let c_bounds = Counter.make "join.bounds"
+let c_cover_fallbacks = Counter.make "join.cover_fallbacks"
 
 type table = {
   name : string;
@@ -53,24 +58,41 @@ let worst_of bs =
    failed LP falls back to the plain product (a cover of all-ones is
    always valid, just looser). The shared [budget] caps the whole join
    bound: per-table ladders plus the cover LP draw from one pool. *)
-let combine ?budget ?fixed ~weights tables =
+let combine_run ?budget ?fixed ~weights tables =
   if List.exists (fun (_, c) -> c <= 0.) weights then 0.
   else begin
     let hg = hypergraph_of tables in
     match Edge_cover.solve ?budget ?fixed ~weights hg with
     | Some cover -> Edge_cover.product_bound ~weights cover
-    | None -> List.fold_left (fun acc (_, c) -> acc *. c) 1. weights
+    | None ->
+        Counter.incr c_cover_fallbacks;
+        List.fold_left (fun acc (_, c) -> acc *. c) 1. weights
   end
+
+let combine ?budget ?fixed ~weights tables =
+  (* the branch keeps the disabled path closure-free *)
+  if Trace.enabled () then
+    Trace.with_span ~name:"join.cover" (fun () ->
+        combine_run ?budget ?fixed ~weights tables)
+  else combine_run ?budget ?fixed ~weights tables
 
 (* Per-table bounds are independent solves; when they share a [budget]
    the atomic caps keep the total sound, though which table degrades
    first may vary between parallel runs (see Pc_par.Pool's contract). *)
 let pool_of = function Some p -> p | None -> Pc_par.Pool.default ()
 
-let count_bound_budgeted ?opts ?budget ?pool tables =
+(* Per-table sub-span: runs on whichever domain the pool hands the table
+   to, so a trace shows the per-table ladder work laid out per domain. *)
+let table_span t f =
+  if Trace.enabled () then
+    Trace.with_span ~name:"join.table" ~attrs:[ ("table", t.name) ] f
+  else f ()
+
+let count_bound_budgeted_run ?opts ?budget ?pool tables =
+  Counter.incr c_bounds;
   let per =
     Pc_par.Pool.parallel_map (pool_of pool)
-      (fun t -> (t.name, count_upper_b ?opts ?budget t))
+      (fun t -> table_span t (fun () -> (t.name, count_upper_b ?opts ?budget t)))
       tables
   in
   let weights = List.map (fun (n, b) -> (n, b.value)) per in
@@ -79,17 +101,25 @@ let count_bound_budgeted ?opts ?budget ?pool tables =
     provenance = worst_of (List.map snd per);
   }
 
+let count_bound_budgeted ?opts ?budget ?pool tables =
+  if Trace.enabled () then
+    Trace.with_span ~name:"join.bound" ~attrs:[ ("kind", "count") ] (fun () ->
+        count_bound_budgeted_run ?opts ?budget ?pool tables)
+  else count_bound_budgeted_run ?opts ?budget ?pool tables
+
 let count_bound ?opts ?budget ?pool tables =
   (count_bound_budgeted ?opts ?budget ?pool tables).value
 
-let sum_bound_budgeted ?opts ?budget ?pool tables ~agg:(agg_table, attr) =
+let sum_bound_budgeted_run ?opts ?budget ?pool tables ~agg:(agg_table, attr) =
   if not (List.exists (fun t -> t.name = agg_table) tables) then
     invalid_arg "Join_bound.sum_bound: unknown aggregate table";
+  Counter.incr c_bounds;
   let per =
     Pc_par.Pool.parallel_map (pool_of pool)
       (fun t ->
-        if t.name = agg_table then (t.name, sum_upper_b ?opts ?budget t ~attr)
-        else (t.name, count_upper_b ?opts ?budget t))
+        table_span t (fun () ->
+            if t.name = agg_table then (t.name, sum_upper_b ?opts ?budget t ~attr)
+            else (t.name, count_upper_b ?opts ?budget t)))
       tables
   in
   let weights = List.map (fun (n, b) -> (n, b.value)) per in
@@ -97,6 +127,12 @@ let sum_bound_budgeted ?opts ?budget ?pool tables ~agg:(agg_table, attr) =
     value = combine ?budget ~fixed:[ (agg_table, 1.) ] ~weights tables;
     provenance = worst_of (List.map snd per);
   }
+
+let sum_bound_budgeted ?opts ?budget ?pool tables ~agg =
+  if Trace.enabled () then
+    Trace.with_span ~name:"join.bound" ~attrs:[ ("kind", "sum") ] (fun () ->
+        sum_bound_budgeted_run ?opts ?budget ?pool tables ~agg)
+  else sum_bound_budgeted_run ?opts ?budget ?pool tables ~agg
 
 let sum_bound ?opts ?budget ?pool tables ~agg =
   (sum_bound_budgeted ?opts ?budget ?pool tables ~agg).value

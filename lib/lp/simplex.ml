@@ -1,4 +1,13 @@
 module B = Pc_budget.Budget
+module Counter = Pc_obs.Registry.Counter
+
+(* Registered once at load time; solve flushes its local pivot tallies
+   with [Counter.add] so the per-pivot loop stays free of atomic ops. *)
+let c_solves = Counter.make "lp.solves"
+let c_pivots = Counter.make "lp.pivots"
+let c_phase1_pivots = Counter.make "lp.phase1_pivots"
+let c_bland = Counter.make "lp.bland_activations"
+let h_solve = Pc_obs.Registry.Histogram.make "lp.solve.ns"
 
 type relop = Le | Ge | Eq
 
@@ -130,9 +139,10 @@ exception Stop_exc of stop_reason
 
 (* [iters] is shared across both phases so a stop reports the solve's
    total pivot count. Deadline checks are amortized: every 64 pivots. *)
-let optimize ?budget ~iters t =
+let optimize ?budget ~iters ~bland_acts t =
   let stall = ref 0 in
   let last_obj = ref t.z.(t.n) in
+  let was_bland = ref false in
   let continue_ = ref true in
   let charge () =
     if !iters > max_iters then raise (Stop_exc Iteration_limit);
@@ -145,6 +155,10 @@ let optimize ?budget ~iters t =
   while !continue_ do
     charge ();
     let bland = !stall > 2 * (t.m + t.n) in
+    if bland <> !was_bland then begin
+      if bland then incr bland_acts;
+      was_bland := bland
+    end;
     match entering t ~bland with
     | None -> continue_ := false
     | Some col -> (
@@ -206,7 +220,7 @@ let check_solution p (sol : solution) =
          sol.objective_value recomputed);
   match !err with None -> Ok () | Some msg -> Error msg
 
-let solve ?budget p =
+let solve_run ?budget p =
   validate p;
   let cons =
     (* Normalize to rhs >= 0 so artificial bases are valid. *)
@@ -262,6 +276,7 @@ let solve ?budget p =
     cons;
   let t = { m; n; a; z = Array.make (n + 1) 0.; basis; banned } in
   let iters = ref 0 in
+  let bland_acts = ref 0 in
   let stopped reason ~best_objective =
     Stopped { reason; best_objective; iterations = !iters }
   in
@@ -283,7 +298,7 @@ let solve ?budget p =
     for j = art_start to n - 1 do
       t.z.(j) <- t.z.(j) +. 1.
     done;
-    (try optimize ?budget ~iters t with
+    (try optimize ?budget ~iters ~bland_acts t with
     | Unbounded_exc ->
         (* Invariant: the phase-1 objective -(Σ artificials) is bounded
            above by 0, so an unbounded ray is impossible by construction.
@@ -313,9 +328,11 @@ let solve ?budget p =
       end
     end
   end;
-  match !phase1_stopped with
-  | Some reason -> stopped reason ~best_objective:None
-  | None ->
+  let phase1_iters = !iters in
+  let outcome =
+    match !phase1_stopped with
+    | Some reason -> stopped reason ~best_objective:None
+    | None ->
       if !phase1_failed then Infeasible
       else begin
         (* ---- Phase 2: real objective, as maximization. ---- *)
@@ -337,7 +354,7 @@ let solve ?budget p =
             t.z.(b) <- 0.
           end
         done;
-        match optimize ?budget ~iters t with
+        match optimize ?budget ~iters ~bland_acts t with
         | exception Unbounded_exc -> Unbounded
         | exception Stop_exc reason ->
             (* The tableau is primal-feasible throughout phase 2, so the
@@ -361,6 +378,30 @@ let solve ?budget p =
                    bound; report distrust and let the caller degrade. *)
                 stopped (Numeric msg) ~best_objective:None)
       end
+  in
+  Counter.incr c_solves;
+  Counter.add c_pivots !iters;
+  Counter.add c_phase1_pivots phase1_iters;
+  Counter.add c_bland !bland_acts;
+  outcome
+
+(* Cold path: span + latency histogram around the solve. Kept out of
+   [solve] so the disabled path is a single atomic load and a branch. *)
+let solve_observed ?budget p =
+  let run () =
+    let t0 = Pc_util.Clock.now_ns () in
+    let r = solve_run ?budget p in
+    Pc_obs.Registry.Histogram.observe_ns h_solve
+      (Int64.to_float (Int64.sub (Pc_util.Clock.now_ns ()) t0));
+    r
+  in
+  if Pc_obs.Trace.enabled () then Pc_obs.Trace.with_span ~name:"lp.solve" run
+  else run ()
+
+let solve ?budget p =
+  if Pc_obs.Trace.enabled () || Pc_obs.Registry.enabled () then
+    solve_observed ?budget p
+  else solve_run ?budget p
 
 let feasible ?budget p =
   match solve ?budget { p with objective = []; maximize = true } with

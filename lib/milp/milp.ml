@@ -1,6 +1,12 @@
 module S = Pc_lp.Simplex
 module F = Pc_util.Float_eps
 module B = Pc_budget.Budget
+module Counter = Pc_obs.Registry.Counter
+module Trace = Pc_obs.Trace
+
+let c_solves = Counter.make "milp.solves"
+let c_nodes = Counter.make "milp.nodes"
+let c_incumbents = Counter.make "milp.incumbent_updates"
 
 type result = {
   bound : float;
@@ -32,8 +38,16 @@ let most_fractional integrality values =
     values;
   if !best = -1 then None else Some !best
 
-let solve ?budget ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem =
+let solve_run ?budget ~node_limit ~integrality problem =
   let sign = if problem.S.maximize then 1. else -1. in
+  let inc_updates = ref 0 in
+  let total_nodes = ref 0 in
+  let flush outcome =
+    Counter.incr c_solves;
+    Counter.add c_nodes !total_nodes;
+    Counter.add c_incumbents !inc_updates;
+    outcome
+  in
   (* Internally treat everything as maximization of sign * objective by
      comparing signed values. *)
   let better a b = sign *. a > sign *. b in
@@ -41,16 +55,16 @@ let solve ?budget ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem 
     S.solve ?budget { problem with S.constraints = problem.S.constraints @ extra }
   in
   match solve_relax [] with
-  | S.Infeasible -> Infeasible
-  | S.Unbounded -> Unbounded
-  | S.Stopped stop -> Stopped stop
+  | S.Infeasible -> flush Infeasible
+  | S.Unbounded -> flush Unbounded
+  | S.Stopped stop -> flush (Stopped stop)
   | S.Optimal root ->
       let open_nodes : node Pc_util.Heap.t = Pc_util.Heap.create () in
       Pc_util.Heap.push open_nodes (sign *. root.S.objective_value)
         { extra = []; relax = root };
       let incumbent = ref None in
       let incumbent_val = ref neg_infinity (* signed value *) in
-      let nodes = ref 0 in
+      let nodes = total_nodes in
       let stopped_early = ref false in
       let continue_ = ref true in
       let budget_starved () =
@@ -85,7 +99,19 @@ let solve ?budget ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem 
                   if better node.relax.S.objective_value (sign *. !incumbent_val)
                   then begin
                     incumbent := Some node.relax;
-                    incumbent_val := sign *. node.relax.S.objective_value
+                    incumbent_val := sign *. node.relax.S.objective_value;
+                    incr inc_updates;
+                    (* zero-length marker span: shows incumbent arrival
+                       times on the trace timeline *)
+                    if Trace.enabled () then
+                      Trace.with_span ~name:"milp.incumbent"
+                        ~attrs:
+                          [
+                            ( "objective",
+                              Printf.sprintf "%g"
+                                node.relax.S.objective_value );
+                          ]
+                        (fun () -> ())
                   end
               | Some j ->
                   let v = node.relax.S.values.(j) in
@@ -133,7 +159,7 @@ let solve ?budget ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem 
       if !incumbent = None && open_bound = None then
         (* No integral solution exists (e.g. constraints force a
            fractional-only region). *)
-        Infeasible
+        flush Infeasible
       else begin
         let bound =
           if signed_final = neg_infinity then nan else sign *. signed_final
@@ -144,12 +170,39 @@ let solve ?budget ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem 
               F.approx_eq ~eps:1e-6 inc.S.objective_value bound
           | Some _, Some _ | None, _ -> false
         in
-        Optimal
-          {
-            bound;
-            incumbent = !incumbent;
-            exact;
-            truncated = !stopped_early;
-            nodes = !nodes;
-          }
+        flush
+          (Optimal
+             {
+               bound;
+               incumbent = !incumbent;
+               exact;
+               truncated = !stopped_early;
+               nodes = !nodes;
+             })
       end
+
+(* Relative optimality gap at exit, for the trace attribute. *)
+let gap_string r =
+  match r.incumbent with
+  | Some inc when Float.is_finite r.bound ->
+      let g =
+        Float.abs (r.bound -. inc.S.objective_value)
+        /. Float.max 1. (Float.abs r.bound)
+      in
+      Printf.sprintf "%.3g" g
+  | _ -> "inf"
+
+let solve ?budget ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem =
+  (* the branch keeps the disabled path closure-free *)
+  if Trace.enabled () then
+    Trace.with_span ~name:"milp.solve" (fun () ->
+        let r = solve_run ?budget ~node_limit ~integrality problem in
+        (match r with
+        | Optimal res ->
+            Trace.add_attr "nodes" (string_of_int res.nodes);
+            Trace.add_attr "gap" (gap_string res)
+        | Infeasible -> Trace.add_attr "outcome" "infeasible"
+        | Unbounded -> Trace.add_attr "outcome" "unbounded"
+        | Stopped _ -> Trace.add_attr "outcome" "stopped");
+        r)
+  else solve_run ?budget ~node_limit ~integrality problem

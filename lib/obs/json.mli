@@ -1,0 +1,13 @@
+(** Minimal JSON syntax checker (no external dependencies).
+
+    Used by tests and CI to assert that the artifacts this library emits
+    — Chrome traces, metrics dumps, workload summaries — are valid JSON
+    (RFC 8259: in particular [NaN] and [Infinity] are rejected, which is
+    exactly the bug class the emitters must avoid). It validates syntax
+    only; nothing is built. *)
+
+val validate : string -> (unit, string) result
+(** [Ok ()] when the whole input is one valid JSON value (surrounding
+    whitespace allowed); [Error msg] with a position otherwise. *)
+
+val is_valid : string -> bool

@@ -1,0 +1,69 @@
+(** Structured span tracing for the bound pipeline.
+
+    A span is a named, timed region of execution with string attributes.
+    Spans nest: {!with_span} pushes onto a per-domain stack, so the trace
+    of a [bound] call shows decompose inside a ladder rung inside the
+    top-level span, with SAT / LP / MILP solves below.
+
+    Recording is gated on one global flag: when disabled (the default),
+    {!with_span} is a single atomic load and a branch around the wrapped
+    function — no allocation, no clock read — so instrumented hot paths
+    cost nothing in production. Enable with {!set_enabled} (the CLI's
+    [--trace] does this).
+
+    Domain safety: every domain records into its own buffer, created
+    lazily through [Domain.DLS] and registered in a global list, so spans
+    produced inside {!Pc_par.Pool} workers are collected without locks on
+    the hot path and merged at export time. A [--jobs N] run therefore
+    yields the same span {e set} as a sequential one, just spread over
+    several [tid]s.
+
+    Timestamps come from {!Pc_util.Clock} (monotonic), so durations are
+    never negative and NTP steps cannot corrupt a trace. *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  t0_ns : int64;  (** start, monotonic clock *)
+  dur_ns : int64;  (** duration, [>= 0] *)
+  depth : int;  (** nesting depth within its domain at open time *)
+  domain : int;  (** id of the domain that recorded the span *)
+}
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Drop all recorded spans (in every domain's buffer) and re-stamp the
+    export epoch. Open spans are discarded too: call between runs, not
+    inside one. *)
+
+val with_span : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** [with_span ~name f] runs [f] inside a span. The span is closed (and
+    recorded) even when [f] raises. When tracing is disabled this is
+    exactly [f ()]. *)
+
+val add_attr : string -> string -> unit
+(** Attach an attribute to the innermost open span of the calling domain
+    (e.g. the outcome of a ladder rung, known only at the end). No-op when
+    tracing is disabled or no span is open. *)
+
+val spans : unit -> span list
+(** Completed spans from every domain, merged and sorted by start time. *)
+
+val span_names : unit -> string list
+(** Sorted, de-duplicated span names — the span {e set} of the trace. *)
+
+val totals_by_name : unit -> (string * int * int64) list
+(** Per-name aggregate [(name, count, total_ns)], sorted by total
+    descending — the data behind {!summary} and the bench's per-phase
+    totals. *)
+
+val to_chrome_json : unit -> string
+(** The trace in Chrome [trace_event] JSON array format (["ph":"X"]
+    complete events, microsecond timestamps): load in [chrome://tracing]
+    or Perfetto. Always valid JSON, even with zero spans. *)
+
+val summary : unit -> string
+(** Human-readable flame-style summary: one line per span name with call
+    count and total time, widest first. *)

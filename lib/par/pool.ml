@@ -3,6 +3,13 @@
    mutex; [done_] is broadcast on every countdown so waiting callers
    re-check their own batch (spurious wakeups are benign). *)
 
+(* Queue wait (enqueue -> chunk start) vs run time, per chunk. Observed
+   only when the metrics registry is enabled; the [pool.map] span is
+   recorded on the sequential fallback too, so the span *set* of a run
+   does not depend on --jobs. *)
+let h_queue_wait = Pc_obs.Registry.Histogram.make "pool.queue_wait_ns"
+let h_run = Pc_obs.Registry.Histogram.make "pool.run_ns"
+
 type t = {
   jobs : int;
   q : (unit -> unit) Queue.t;
@@ -102,7 +109,7 @@ let run_chunk pool batch lo hi =
   if batch.remaining = 0 then Condition.broadcast pool.done_;
   Mutex.unlock pool.m
 
-let parallel_map pool f xs =
+let parallel_map_run pool f xs =
   if pool.jobs = 1 || Domain.DLS.get inside_worker then List.map f xs
   else begin
     match xs with
@@ -118,11 +125,26 @@ let parallel_map pool f xs =
         let batch =
           { items; results = Array.make n None; f; err = None; remaining = n_chunks }
         in
+        let observed = Pc_obs.Registry.enabled () in
         Mutex.lock pool.m;
         for c = 0 to n_chunks - 1 do
           let lo = c * chunk in
           let hi = min n (lo + chunk) in
-          Queue.push (fun () -> run_chunk pool batch lo hi) pool.q
+          let task =
+            if observed then begin
+              let t_enq = Pc_util.Clock.now_ns () in
+              fun () ->
+                let t_start = Pc_util.Clock.now_ns () in
+                Pc_obs.Registry.Histogram.observe_ns h_queue_wait
+                  (Int64.to_float (Int64.sub t_start t_enq));
+                run_chunk pool batch lo hi;
+                Pc_obs.Registry.Histogram.observe_ns h_run
+                  (Int64.to_float
+                     (Int64.sub (Pc_util.Clock.now_ns ()) t_start))
+            end
+            else fun () -> run_chunk pool batch lo hi
+          in
+          Queue.push task pool.q
         done;
         Condition.broadcast pool.work;
         (* the caller works the queue too: guarantees progress even if
@@ -142,5 +164,17 @@ let parallel_map pool f xs =
         | None -> ());
         Array.to_list (Array.map Option.get batch.results)
   end
+
+let parallel_map pool f xs =
+  (* the branch keeps the disabled path closure-free *)
+  if Pc_obs.Trace.enabled () then
+    Pc_obs.Trace.with_span ~name:"pool.map"
+      ~attrs:
+        [
+          ("jobs", string_of_int pool.jobs);
+          ("items", string_of_int (List.length xs));
+        ]
+      (fun () -> parallel_map_run pool f xs)
+  else parallel_map_run pool f xs
 
 let parallel_iter pool f xs = ignore (parallel_map pool (fun x -> f x; ()) xs)

@@ -1,15 +1,19 @@
-(* Counters are atomic so that per-domain solver work aggregates cleanly
-   when decomposition or workload evaluation runs on several domains. *)
-let call_count = Atomic.make 0
-let atom_count = Atomic.make 0
-let calls () = Atomic.get call_count
-let atom_ops () = Atomic.get atom_count
+(* Counters are registered instruments (pc_obs registry), atomic so that
+   per-domain solver work aggregates cleanly when decomposition or
+   workload evaluation runs on several domains. The historical accessors
+   below are thin views over the registered counters. *)
+module Counter = Pc_obs.Registry.Counter
+
+let call_count = Counter.make "sat.calls"
+let atom_count = Counter.make "sat.atom_ops"
+let calls () = Counter.get call_count
+let atom_ops () = Counter.get atom_count
 
 let reset_calls () =
-  Atomic.set call_count 0;
-  Atomic.set atom_count 0
+  Counter.clear call_count;
+  Counter.clear atom_count
 
-let bump_atoms n = if n > 0 then ignore (Atomic.fetch_and_add atom_count n)
+let bump_atoms n = Counter.add atom_count n
 
 (* Clause ordering heuristic: decide short clauses first — unit clauses
    are deterministic and prune the box before any branching happens.
@@ -22,8 +26,7 @@ let order_clauses = function
       |> List.stable_sort (fun (la, _) (lb, _) -> Int.compare la lb)
       |> List.map snd
 
-let solve ?(box = Box.top) cnf =
-  Atomic.incr call_count;
+let solve_search box cnf =
   let ops = ref 0 in
   let rec go box = function
     | [] -> Some box
@@ -40,6 +43,13 @@ let solve ?(box = Box.top) cnf =
   let result = go box (order_clauses cnf) in
   bump_atoms !ops;
   result
+
+let solve ?(box = Box.top) cnf =
+  Counter.incr call_count;
+  (* the branch keeps the disabled path closure-free *)
+  if Pc_obs.Trace.enabled () then
+    Pc_obs.Trace.with_span ~name:"sat.solve" (fun () -> solve_search box cnf)
+  else solve_search box cnf
 
 let check ?box cnf = Option.is_some (solve ?box cnf)
 

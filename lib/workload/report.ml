@@ -33,3 +33,27 @@ let fnum x =
   else Printf.sprintf "%.4g" x
 
 let fpct x = if Float.is_nan x then "nan" else Printf.sprintf "%.2f%%" x
+
+(* JSON numbers cannot be NaN or infinite (RFC 8259); an empty workload
+   has no over-estimation ratios, so the summary's medians are [nan] and
+   must serialize as [null] instead of poisoning the whole document. *)
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+let json_of_summary (s : Metrics.summary) =
+  let by_provenance =
+    String.concat ", "
+      (List.map
+         (fun (p, n) ->
+           Printf.sprintf "\"%s\": %d" (Pc_core.Bounds.provenance_name p) n)
+         s.Metrics.by_provenance)
+  in
+  Printf.sprintf
+    "{\"queries\": %d, \"failures\": %d, \"failure_rate\": %s, \
+     \"median_over_estimation\": %s, \"mean_over_estimation\": %s, \
+     \"degraded\": %d, \"by_provenance\": {%s}}"
+    s.Metrics.queries s.Metrics.failures
+    (json_float s.Metrics.failure_rate)
+    (json_float s.Metrics.median_over_estimation)
+    (json_float s.Metrics.mean_over_estimation)
+    s.Metrics.degraded by_provenance

@@ -116,6 +116,63 @@ a zero-node budget keeps the LP-relaxation dual bound:
     upper bound: 125
     provenance: relaxed (cells=2 sat=1 nodes=0 iters=9)
 
+--trace writes a Chrome trace_event file and --metrics=FILE writes the
+instrument registry as JSON; both artifacts must validate, and the
+budget's consumption snapshot is echoed:
+
+  $ ../../bin/pcda.exe bound -c over.txt --missing-only -q "SELECT COUNT(*)" --budget nodes=0 --trace trace.json --metrics=metrics.json
+  [75-, 125+]
+    lower bound: 75
+    upper bound: 125
+    provenance: relaxed (cells=2 sat=1 nodes=0 iters=9)
+  trace: 8 spans -> trace.json
+  budget: cells=2 sat-calls=1 nodes=0 iterations=9
+  metrics: -> metrics.json
+
+  $ ../tools/json_check.exe trace.json metrics.json
+  trace.json: valid JSON
+  metrics.json: valid JSON
+
+the span set covers the whole pipeline — the decomposition and its SAT
+probe under the ladder rung, the MILP and LP solves below:
+
+  $ grep -o '"name":"[a-z.]*"' trace.json | sort -u
+  "name":"bound"
+  "name":"decompose"
+  "name":"lp.solve"
+  "name":"milp.solve"
+  "name":"rung.full"
+  "name":"sat.solve"
+
+bare --metrics dumps text to stdout; the instrument key set is pinned
+here so that adding or renaming a counter shows up in review:
+
+  $ ../../bin/pcda.exe bound -c over.txt --missing-only -q "SELECT COUNT(*)" --budget nodes=0 --metrics | sed -n 's/^  \([a-z][a-z0-9_]*\.[a-z0-9._]*\) .*/\1/p'
+  bound.calls
+  bound.early_stopped
+  bound.exact
+  bound.relaxed
+  bound.trivial
+  budget.deadline_hits
+  budget.exhaustions
+  cells.admitted_unchecked
+  cells.decompositions
+  cells.emitted
+  cells.witness_hits
+  lp.bland_activations
+  lp.phase1_pivots
+  lp.pivots
+  lp.solves
+  milp.incumbent_updates
+  milp.nodes
+  milp.solves
+  sat.atom_ops
+  sat.calls
+  bound.ns
+  lp.solve.ns
+  pool.queue_wait_ns
+  pool.run_ns
+
 an expired deadline still answers, from value bounds alone:
 
   $ ../../bin/pcda.exe bound -c over.txt --missing-only -q "SELECT AVG(price)" --timeout 0

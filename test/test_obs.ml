@@ -1,0 +1,286 @@
+(* Observability layer: span tracer, metrics registry, JSON validator.
+
+   Tracing and histogram recording are global switches, so every test
+   that flips them restores the disabled default before returning —
+   test order must not matter. *)
+
+module Trace = Pc_obs.Trace
+module Registry = Pc_obs.Registry
+module Json = Pc_obs.Json
+
+let with_tracing f =
+  Trace.set_enabled true;
+  Trace.reset ();
+  Fun.protect ~finally:(fun () -> Trace.set_enabled false) f
+
+let with_metrics f =
+  Registry.set_enabled true;
+  Fun.protect ~finally:(fun () -> Registry.set_enabled false) f
+
+(* ---- tracer ---- *)
+
+let test_disabled_is_transparent () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  let r = Trace.with_span ~name:"ghost" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value passes through" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.spans ()))
+
+let test_nesting_depths () =
+  with_tracing (fun () ->
+      Trace.with_span ~name:"outer" (fun () ->
+          Trace.with_span ~name:"mid" (fun () ->
+              Trace.with_span ~name:"inner" (fun () -> ()));
+          Trace.with_span ~name:"mid2" (fun () -> ()));
+      let spans = Trace.spans () in
+      let depth name =
+        (List.find (fun (s : Trace.span) -> s.Trace.name = name) spans)
+          .Trace.depth
+      in
+      Alcotest.(check int) "spans" 4 (List.length spans);
+      Alcotest.(check int) "outer depth" 0 (depth "outer");
+      Alcotest.(check int) "mid depth" 1 (depth "mid");
+      Alcotest.(check int) "inner depth" 2 (depth "inner");
+      Alcotest.(check int) "mid2 depth" 1 (depth "mid2");
+      List.iter
+        (fun (s : Trace.span) ->
+          Alcotest.(check bool)
+            (s.Trace.name ^ " non-negative duration")
+            true
+            (s.Trace.dur_ns >= 0L))
+        spans)
+
+let test_span_closed_on_raise () =
+  with_tracing (fun () ->
+      (try Trace.with_span ~name:"boom" (fun () -> failwith "x")
+       with Failure _ -> ());
+      match Trace.spans () with
+      | [ s ] ->
+          Alcotest.(check string) "recorded despite raise" "boom" s.Trace.name
+      | l -> Alcotest.failf "expected 1 span, got %d" (List.length l))
+
+let test_add_attr () =
+  with_tracing (fun () ->
+      Trace.with_span ~name:"s" (fun () -> Trace.add_attr "k" "v");
+      match Trace.spans () with
+      | [ s ] ->
+          Alcotest.(check (list (pair string string)))
+            "attr attached"
+            [ ("k", "v") ]
+            s.Trace.attrs
+      | _ -> Alcotest.fail "expected 1 span")
+
+let test_chrome_json_valid () =
+  with_tracing (fun () ->
+      Trace.with_span ~name:"a" ~attrs:[ ("weird", "quote\"back\\slash") ]
+        (fun () -> Trace.with_span ~name:"b" (fun () -> ()));
+      let json = Trace.to_chrome_json () in
+      match Json.validate json with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "chrome trace JSON invalid: %s" msg)
+
+(* The pipeline's span set must not depend on the pool size: the pool
+   records its map span on the sequential fallback too, and per-chunk
+   timings go to histograms, not spans. *)
+let span_set_of_run jobs =
+  let pool = Pc_par.Pool.create ~jobs in
+  Fun.protect
+    ~finally:(fun () -> Pc_par.Pool.shutdown pool)
+    (fun () ->
+      with_tracing (fun () ->
+          let rng = Pc_util.Rng.create 7 in
+          let pcs =
+            List.init 6 (fun i ->
+                let lo = Pc_util.Rng.uniform rng ~lo:0. ~hi:60. in
+                let w = Pc_util.Rng.uniform rng ~lo:20. ~hi:50. in
+                Pc_core.Pc.make
+                  ~name:(Printf.sprintf "p%d" i)
+                  ~pred:[ Pc_predicate.Atom.between "x" lo (lo +. w) ]
+                  ~values:[ ("v", Pc_interval.Interval.closed 0. 100.) ]
+                  ~freq:(0, 10) ())
+          in
+          let set = Pc_core.Pc_set.make pcs in
+          let queries =
+            List.init 8 (fun i ->
+                Pc_query.Query.count
+                  ~where_:[ Pc_predicate.Atom.between "x" 0. (20. +. float_of_int i) ]
+                  ())
+          in
+          ignore
+            (Pc_par.Pool.parallel_map pool
+               (fun q -> Pc_core.Bounds.bound set q)
+               queries);
+          Trace.span_names ()))
+
+let test_jobs_span_parity () =
+  let seq = span_set_of_run 1 in
+  let par = span_set_of_run 4 in
+  Alcotest.(check (list string)) "same span set for jobs=1 and jobs=4" seq par
+
+(* ---- registry ---- *)
+
+let test_counters () =
+  let c = Registry.Counter.make "test.counter" in
+  Registry.Counter.clear c;
+  Registry.Counter.incr c;
+  Registry.Counter.add c 41;
+  Alcotest.(check int) "accumulates" 42 (Registry.Counter.get c);
+  let c' = Registry.Counter.make "test.counter" in
+  Alcotest.(check int) "registration is idempotent" 42 (Registry.Counter.get c');
+  Alcotest.(check bool)
+    "listed in registry" true
+    (List.mem_assoc "test.counter" (Registry.counters ()));
+  Registry.Counter.clear c
+
+let test_histogram_basics () =
+  let h = Registry.Histogram.make "test.hist" in
+  Registry.Histogram.clear h;
+  Registry.Histogram.observe_ns h 1000.;
+  Alcotest.(check int) "disabled: not recorded" 0 (Registry.Histogram.count h);
+  with_metrics (fun () ->
+      List.iter
+        (fun v -> Registry.Histogram.observe_ns h v)
+        [ 100.; 200.; 400.; 800.; 100_000. ];
+      Alcotest.(check int) "count" 5 (Registry.Histogram.count h);
+      let p50 = Registry.Histogram.percentile_ns h 50. in
+      Alcotest.(check int)
+        "p50 lands in the bucket of the exact median"
+        (Registry.Histogram.bucket_of_ns 400.)
+        (Registry.Histogram.bucket_of_ns p50));
+  Registry.Histogram.clear h
+
+(* Bucket-resolution accuracy contract, checked against
+   Pc_util.Stat.percentile. Stat interpolates between the two order
+   statistics bracketing rank p/100*(n-1); the histogram answers with a
+   representative of the bucket holding its nearest-rank sample, which
+   lies between those same two order statistics. So the estimate's
+   bucket must fall inside the bracketing stats' bucket range — and
+   when that range is a single bucket (the dense-histogram regime), the
+   estimate is within one bucket of the exact percentile. *)
+let histogram_percentile_prop =
+  QCheck.Test.make ~name:"histogram percentile brackets Stat.percentile"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 80) (float_range 1. 1e9))
+        (float_range 0. 100.))
+    (fun (samples, p) ->
+      let h = Registry.Histogram.make "test.hist.prop" in
+      Registry.Histogram.clear h;
+      Registry.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Registry.set_enabled false;
+          Registry.Histogram.clear h)
+        (fun () ->
+          List.iter (fun v -> Registry.Histogram.observe_ns h v) samples;
+          let est = Registry.Histogram.percentile_ns h p in
+          let exact = Pc_util.Stat.percentile (Array.of_list samples) p in
+          let ys = Array.of_list samples in
+          Array.sort compare ys;
+          let n = Array.length ys in
+          let r = p /. 100. *. float_of_int (n - 1) in
+          let lo = min (n - 1) (int_of_float (Float.floor r)) in
+          let hi = min (n - 1) (int_of_float (Float.ceil r)) in
+          let be = Registry.Histogram.bucket_of_ns est in
+          let blo = Registry.Histogram.bucket_of_ns ys.(lo) in
+          let bhi = Registry.Histogram.bucket_of_ns ys.(hi) in
+          let bx = Registry.Histogram.bucket_of_ns exact in
+          blo <= be && be <= bhi
+          && (bhi > blo || abs (be - bx) <= 1)))
+
+let test_dumps_valid_json () =
+  with_metrics (fun () ->
+      let h = Registry.Histogram.make "test.hist.dump" in
+      Registry.Histogram.observe_ns h 5000.;
+      (match Json.validate (Registry.dump_json ()) with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "dump_json invalid: %s" msg);
+      Registry.Histogram.clear h)
+
+let test_empty_histogram_percentile () =
+  let h = Registry.Histogram.make "test.hist.empty" in
+  Registry.Histogram.clear h;
+  Alcotest.(check (float 0.)) "empty percentile is 0" 0.
+    (Registry.Histogram.percentile_ns h 99.)
+
+(* ---- pipeline counters as views ---- *)
+
+let test_sat_counters_are_views () =
+  Pc_predicate.Sat.reset_calls ();
+  let cnf = Pc_predicate.Cnf.of_pred [ Pc_predicate.Atom.between "x" 0. 1. ] in
+  ignore (Pc_predicate.Sat.check cnf);
+  Alcotest.(check int) "calls view" 1 (Pc_predicate.Sat.calls ());
+  Alcotest.(check bool)
+    "registered counter agrees" true
+    (List.assoc "sat.calls" (Registry.counters ()) = 1)
+
+let test_budget_snapshot () =
+  let b = Pc_budget.Budget.unlimited () in
+  ignore (Pc_budget.Budget.take_cell b);
+  ignore (Pc_budget.Budget.take_sat b);
+  ignore (Pc_budget.Budget.take_sat b);
+  let snap = Pc_budget.Budget.snapshot b in
+  let get r = List.assoc r snap in
+  Alcotest.(check int) "cells" 1 (get Pc_budget.Budget.Cells);
+  Alcotest.(check int) "sat" 2 (get Pc_budget.Budget.Sat_calls);
+  Alcotest.(check int) "nodes" 0 (get Pc_budget.Budget.Nodes);
+  Alcotest.(check int) "iters" 0 (get Pc_budget.Budget.Iterations)
+
+(* ---- JSON validator ---- *)
+
+let test_json_validator () =
+  let ok s =
+    match Json.validate s with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "%S rejected: %s" s m
+  in
+  let bad s =
+    match Json.validate s with
+    | Ok () -> Alcotest.failf "%S accepted" s
+    | Error _ -> ()
+  in
+  ok {|{"a": [1, 2.5, -3e4], "b": {"c": null, "d": "x\ny"}, "e": true}|};
+  ok "[]";
+  ok "  42  ";
+  ok {|"lone string"|};
+  bad "{\"a\": NaN}";
+  bad "{\"a\": Infinity}";
+  bad "[1, 2,]";
+  bad "{\"a\" 1}";
+  bad "[1] trailing";
+  bad "{\"bad\x01ctrl\": 1}";
+  bad ""
+
+let () =
+  Alcotest.run "pc_obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "disabled is transparent" `Quick
+            test_disabled_is_transparent;
+          Alcotest.test_case "nesting depths" `Quick test_nesting_depths;
+          Alcotest.test_case "closed on raise" `Quick test_span_closed_on_raise;
+          Alcotest.test_case "add_attr" `Quick test_add_attr;
+          Alcotest.test_case "chrome JSON validates" `Quick
+            test_chrome_json_valid;
+          Alcotest.test_case "span set independent of jobs" `Quick
+            test_jobs_span_parity;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+          Alcotest.test_case "dump_json validates" `Quick test_dumps_valid_json;
+          Alcotest.test_case "empty histogram" `Quick
+            test_empty_histogram_percentile;
+          QCheck_alcotest.to_alcotest histogram_percentile_prop;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "sat counters are views" `Quick
+            test_sat_counters_are_views;
+          Alcotest.test_case "budget snapshot" `Quick test_budget_snapshot;
+        ] );
+      ("json", [ Alcotest.test_case "validator" `Quick test_json_validator ]);
+    ]

@@ -133,6 +133,43 @@ let percentile_prop =
       v >= Pc_util.Stat.minimum arr -. 1e-9
       && v <= Pc_util.Stat.maximum arr +. 1e-9)
 
+(* ----------------------------- Clock -------------------------------- *)
+
+let test_clock_monotonic () =
+  let prev = ref (Pc_util.Clock.now_ns ()) in
+  for _ = 1 to 1000 do
+    let t = Pc_util.Clock.now_ns () in
+    if Int64.compare t !prev < 0 then
+      Alcotest.failf "clock went backwards: %Ld then %Ld" !prev t;
+    prev := t
+  done
+
+let test_clock_elapsed_nonneg () =
+  let since = Pc_util.Clock.now () in
+  for _ = 1 to 100 do
+    let d = Pc_util.Clock.elapsed_s ~since in
+    Alcotest.(check bool) "elapsed never negative" true (d >= 0.)
+  done
+
+(* Span durations are differences of Clock.now_ns reads, so any pair of
+   reads separated by some busy work must yield a non-negative delta
+   that does not exceed the enclosing pair's delta. *)
+let clock_span_prop =
+  QCheck.Test.make ~name:"clock deltas are non-negative and nest" ~count:200
+    QCheck.(int_range 0 500)
+    (fun spins ->
+      let t0 = Pc_util.Clock.now_ns () in
+      let t1 = Pc_util.Clock.now_ns () in
+      let s = ref 0 in
+      for i = 1 to spins do
+        s := !s + i
+      done;
+      ignore !s;
+      let t2 = Pc_util.Clock.now_ns () in
+      let inner = Int64.sub t2 t1 in
+      let outer = Int64.sub t2 t0 in
+      Int64.compare inner 0L >= 0 && Int64.compare outer inner >= 0)
+
 let () =
   Alcotest.run "pc_util"
     [
@@ -160,6 +197,13 @@ let () =
         [
           Alcotest.test_case "basic order" `Quick test_heap;
           QCheck_alcotest.to_alcotest heap_prop;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "elapsed non-negative" `Quick
+            test_clock_elapsed_nonneg;
+          QCheck_alcotest.to_alcotest clock_span_prop;
         ] );
       ("props", [ QCheck_alcotest.to_alcotest percentile_prop ]);
     ]

@@ -79,6 +79,24 @@ let test_metrics_empty () =
   Alcotest.(check (float 0.)) "zero rate" 0. s.Metrics.failure_rate;
   Alcotest.(check bool) "nan over" true (Float.is_nan s.Metrics.median_over_estimation)
 
+(* Regression: an empty workload's nan medians must serialize as JSON
+   null, not as a bare nan token that poisons the whole document. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_report_json_no_nan () =
+  let s = Metrics.summarize [] in
+  let json = Report.json_of_summary s in
+  Alcotest.(check bool) "no nan/inf value tokens" false
+    (contains json ": nan" || contains json ": inf" || contains json ": -inf");
+  Alcotest.(check bool) "null medians" true
+    (contains json "\"median_over_estimation\": null");
+  match Pc_obs.Json.validate json with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "summary JSON invalid: %s" msg
+
 (* ------------------------------ runner ------------------------------ *)
 
 let test_runner_pc_never_fails () =
@@ -153,7 +171,11 @@ let () =
           tc "validation" `Quick test_querygen_validation;
         ] );
       ( "metrics",
-        [ tc "summarize" `Quick test_metrics; tc "empty" `Quick test_metrics_empty ] );
+        [
+          tc "summarize" `Quick test_metrics;
+          tc "empty" `Quick test_metrics_empty;
+          tc "json no nan" `Quick test_report_json_no_nan;
+        ] );
       ( "runner",
         [
           tc "pc never fails" `Quick test_runner_pc_never_fails;

@@ -1,0 +1,30 @@
+(* Validate that each file argument parses as a single JSON document
+   (RFC 8259 — no NaN/Infinity tokens, no trailing garbage). Used by CI
+   and the cram tests to check --trace / --metrics artifacts without
+   depending on an external JSON tool. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then begin
+    prerr_endline "usage: json_check FILE...";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match Pc_obs.Json.validate (read_file path) with
+      | Ok () -> Printf.printf "%s: valid JSON\n" path
+      | Error msg ->
+          Printf.eprintf "%s: invalid JSON: %s\n" path msg;
+          failed := true
+      | exception Sys_error msg ->
+          Printf.eprintf "%s\n" msg;
+          failed := true)
+    args;
+  if !failed then exit 1
