@@ -32,6 +32,42 @@ let overlapping_set () =
   in
   Pc_core.Pc_set.make pcs
 
+(* Interval rows (a >=/<= pair per PC) over overlapping cell coverage:
+   the MILP shape the PC framework emits, and the one where warm starts
+   pay — a cold solve runs phase 1 for the >= rows at every node, while
+   a warm child re-optimizes the parent basis with a few dual pivots. *)
+let milp_interval_problem =
+  let open Pc_lp.Simplex in
+  let n = 6 in
+  let rows =
+    List.concat
+      (List.init (n - 1) (fun k ->
+           let coeffs = [ (k, 1.); (k + 1, 1.) ] in
+           [
+             c_ge coeffs (float_of_int (k + 1) +. 0.5);
+             c_le coeffs (float_of_int (2 * (k + 2)) +. 0.5);
+           ]))
+  in
+  {
+    n_vars = n;
+    maximize = true;
+    objective = List.init n (fun j -> (j, float_of_int ((j mod 3) + 1)));
+    constraints = rows;
+    var_bounds = [];
+  }
+
+(* lp.pivots cost of one warm and one cold MILP solve of [p]; also the
+   source of the "warm starts actually happened" smoke signal. *)
+let milp_pivot_counts p =
+  let module C = Pc_obs.Registry.Counter in
+  let pivots = C.make "lp.pivots" in
+  let run warm =
+    let before = C.get pivots in
+    ignore (Pc_milp.Milp.solve ~warm p);
+    C.get pivots - before
+  in
+  (run true, run false)
+
 let micro_tests () =
   let open Bechamel in
   (* simplex: the paper's worked-example LP shape *)
@@ -48,6 +84,7 @@ let micro_tests () =
           c_ge [ (0, 1.); (1, 1.) ] 75.;
           c_le [ (0, 1.); (1, 1.) ] 125.;
         ];
+      var_bounds = [];
     }
   in
   let milp_problem =
@@ -62,9 +99,11 @@ let micro_tests () =
           c_le [ (0, 4.); (1, 1.); (2, 2.) ] 11.;
           c_le [ (0, 3.); (1, 4.); (2, 2.) ] 8.;
         ];
+      var_bounds = [];
     }
   in
   let set = overlapping_set () in
+  let milp_interval = milp_interval_problem in
   let missing = Pc_synth.Sensor.generate (Pc_util.Rng.create 3) ~rows:5_000 in
   let disjoint_set =
     Pc_core.Pc_set.make
@@ -83,6 +122,12 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Pc_lp.Simplex.solve lp_problem)));
     Test.make ~name:"milp.solve (3-var knapsack)"
       (Staged.stage (fun () -> ignore (Pc_milp.Milp.solve milp_problem)));
+    Test.make ~name:"milp.solve warm (6-var interval)"
+      (Staged.stage (fun () ->
+           ignore (Pc_milp.Milp.solve ~warm:true milp_interval)));
+    Test.make ~name:"milp.solve cold (6-var interval)"
+      (Staged.stage (fun () ->
+           ignore (Pc_milp.Milp.solve ~warm:false milp_interval)));
     Test.make ~name:"sat.check (3-clause cell expr)"
       (Staged.stage (fun () -> ignore (Pc_predicate.Sat.check sat_cnf)));
     Test.make ~name:"cells.decompose (10 overlapping PCs)"
@@ -164,6 +209,16 @@ let json_escape s =
 let write_baseline ~queries ~rows path =
   Printf.printf "measuring micro-benchmarks...\n%!";
   let micro = run_micro () in
+  Printf.printf "measuring milp.solve pivot counts (warm vs cold)...\n%!";
+  let warm_pivots, cold_pivots = milp_pivot_counts milp_interval_problem in
+  let warm_starts =
+    let module C = Pc_obs.Registry.Counter in
+    C.get (C.make "lp.warm_starts")
+  in
+  let total_lp_pivots =
+    let module C = Pc_obs.Registry.Counter in
+    C.get (C.make "lp.pivots")
+  in
   let set = overlapping_set () in
   Pc_predicate.Sat.reset_calls ();
   let _cells, stats =
@@ -189,7 +244,7 @@ let write_baseline ~queries ~rows path =
       let p fmt = Printf.fprintf oc fmt in
       p "{\n";
       p "  \"benchmark\": \"BENCH_decompose\",\n";
-      p "  \"schema_version\": 2,\n";
+      p "  \"schema_version\": 3,\n";
       p "  \"pre_pr_reference\": { \"cells.decompose (10 overlapping PCs)\": 78755.4 },\n";
       p "  \"micro_ns_per_run\": {\n";
       let n = List.length micro in
@@ -203,6 +258,13 @@ let write_baseline ~queries ~rows path =
       p "  \"decompose_dfs_rewrite\": { \"cells\": %d, \"sat_calls\": %d, \"atom_ops\": %d },\n"
         stats.Pc_core.Cells.n_cells stats.Pc_core.Cells.sat_calls
         stats.Pc_core.Cells.atom_ops;
+      (* schema v3: lp.pivots cost of one warm vs one cold MILP solve of
+         the 6-var interval micro, plus cumulative warm-start evidence *)
+      p "  \"milp_solve_pivots\": { \"warm\": %d, \"cold\": %d, \"cold_over_warm\": %.2f },\n"
+        warm_pivots cold_pivots
+        (float_of_int cold_pivots /. float_of_int (max 1 warm_pivots));
+      p "  \"lp_pivots_total\": %d,\n" total_lp_pivots;
+      p "  \"lp_warm_starts\": %d,\n" warm_starts;
       p "  \"phase_totals_ns\": {\n";
       let np = List.length phase_totals in
       List.iteri
@@ -224,6 +286,10 @@ let write_baseline ~queries ~rows path =
   Printf.printf "wrote %s\n" path;
   if not identical then begin
     Printf.eprintf "FATAL: --jobs 4 changed the workload outcomes\n";
+    exit 1
+  end;
+  if warm_starts = 0 then begin
+    Printf.eprintf "FATAL: warm path never engaged (lp.warm_starts = 0)\n";
     exit 1
   end
 

@@ -157,6 +157,12 @@ type prepared = {
           non-overlapping ψ is vacuously negated inside the region) *)
   infos : info array;
   cons : S.constr list;  (** PC frequency constraints over cell variables *)
+  vbounds : (int * float * float) list;
+      (** per-cell box bounds folded out of single-cell covering rows: a
+          PC covering exactly one cell constrains that cell's variable
+          alone, which the bounded-variable simplex handles without a
+          tableau row *)
+  v_hi : float array;  (** dense upper bounds (infinity when unbounded) *)
   all_kl_zero : bool;
 }
 
@@ -224,7 +230,10 @@ let prepare ~ctx set (query : Q.t) : (prepared, answer) result =
       |> Array.of_list
     in
     let n_pcs = Pc_set.size set in
+    let n_cells = Array.length infos in
     let cons = ref [] in
+    let v_lo = Array.make n_cells 0. in
+    let v_hi = Array.make n_cells infinity in
     let all_kl_zero = ref true in
     for j = 0 to n_pcs - 1 do
       let pc = Pc_set.get set j in
@@ -236,21 +245,39 @@ let prepare ~ctx set (query : Q.t) : (prepared, answer) result =
       if kl' > 0 then all_kl_zero := false;
       match !covering with
       | [] -> if kl' > 0 then raise Found_infeasible
+      | [ (i, _) ] ->
+          (* single-cell cover: a pure box bound on x_i, no constraint row *)
+          v_hi.(i) <- Float.min v_hi.(i) (float_of_int pc.Pc.freq_hi);
+          if kl' > 0 then v_lo.(i) <- Float.max v_lo.(i) (float_of_int kl');
+          if v_lo.(i) > v_hi.(i) then raise Found_infeasible
       | coeffs ->
           cons := S.c_le coeffs (float_of_int pc.Pc.freq_hi) :: !cons;
           if kl' > 0 then cons := S.c_ge coeffs (float_of_int kl') :: !cons
     done;
-    Ok { sub = set; infos; cons = !cons; all_kl_zero = !all_kl_zero }
+    let vbounds = ref [] in
+    for i = n_cells - 1 downto 0 do
+      if v_lo.(i) > 0. || Float.is_finite v_hi.(i) then
+        vbounds := (i, v_lo.(i), v_hi.(i)) :: !vbounds
+    done;
+    Ok
+      {
+        sub = set;
+        infos;
+        cons = !cons;
+        vbounds = !vbounds;
+        v_hi;
+        all_kl_zero = !all_kl_zero;
+      }
   with Found_infeasible -> Error Infeasible
 
 (* ------------------------------------------------------------------ *)
 (* MILP plumbing                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let milp ~ctx ~maximize ~objective cons n_vars =
+let milp ~ctx ~maximize ~objective ?(var_bounds = []) cons n_vars =
   let r =
     M.solve ~budget:ctx.budget ~node_limit:ctx.opts.node_limit
-      { S.n_vars; maximize; objective; constraints = cons }
+      { S.n_vars; maximize; objective; constraints = cons; var_bounds }
   in
   (match r with
   | M.Optimal res when res.M.truncated -> ctx.trace.relaxed <- true
@@ -258,16 +285,25 @@ let milp ~ctx ~maximize ~objective cons n_vars =
   r
 
 (* Can the system place at least [k] rows in cell [i]? Conservative on
-   truncation and starvation (answers [true]: a maybe-host only loosens). *)
+   truncation and starvation (answers [true]: a maybe-host only loosens).
+   The demand is a bound tightening, not an extra row; when it exceeds the
+   cell's folded cap the answer is No without any solve. *)
 let cell_can_host ~ctx prep i k =
-  let cons = S.c_ge [ (i, 1.) ] (float_of_int k) :: prep.cons in
-  match milp ~ctx ~maximize:true ~objective:[] cons (Array.length prep.infos) with
-  | M.Infeasible -> false
-  | M.Optimal r -> r.M.incumbent <> None || not r.M.exact
-  | M.Unbounded -> true
-  | M.Stopped _ ->
-      ctx.trace.relaxed <- true;
-      true
+  let fk = float_of_int k in
+  if fk > prep.v_hi.(i) then false
+  else begin
+    let var_bounds = (i, fk, infinity) :: prep.vbounds in
+    match
+      milp ~ctx ~maximize:true ~objective:[] ~var_bounds prep.cons
+        (Array.length prep.infos)
+    with
+    | M.Infeasible -> false
+    | M.Optimal r -> r.M.incumbent <> None || not r.M.exact
+    | M.Unbounded -> true
+    | M.Stopped _ ->
+        ctx.trace.relaxed <- true;
+        true
+  end
 
 (* Any row at all in the query region? Unknown-within-budget counts as
    yes: claiming Empty requires proof. *)
@@ -277,7 +313,7 @@ let some_row_feasible ~ctx prep =
   else begin
     let all = List.init n (fun i -> (i, 1.)) in
     let cons = S.c_ge all 1. :: prep.cons in
-    match milp ~ctx ~maximize:true ~objective:[] cons n with
+    match milp ~ctx ~maximize:true ~objective:[] ~var_bounds:prep.vbounds cons n with
     | M.Infeasible -> false
     | M.Optimal r -> r.M.incumbent <> None || not r.M.exact
     | M.Unbounded -> true
@@ -306,13 +342,13 @@ type side = { value : float; exact : bool }
 (* Optimize Σ coeffs·x over the frequency polytope. [maximize] selects
    the direction; infinities in coefficients must be resolved first.
    A starved solve (not even a dual bound) degrades the whole ladder. *)
-let optimize ~ctx ~maximize cons coeffs =
+let optimize ~ctx ~maximize ~var_bounds cons coeffs =
   let n = Array.length coeffs in
   let objective =
     Array.to_list (Array.mapi (fun i c -> (i, c)) coeffs)
     |> List.filter (fun (_, c) -> c <> 0.)
   in
-  match milp ~ctx ~maximize ~objective cons n with
+  match milp ~ctx ~maximize ~objective ~var_bounds cons n with
   | M.Infeasible -> Error Infeasible
   | M.Unbounded ->
       Ok { value = (if maximize then infinity else neg_infinity); exact = true }
@@ -332,7 +368,7 @@ let sum_like ~ctx prep ~is_count =
     let hi_result =
       let coeffs, unbounded = resolve_infinite ~ctx prep (fun inf -> inf.u) in
       if unbounded then Ok { value = infinity; exact = true }
-      else optimize ~ctx ~maximize:true prep.cons coeffs
+      else optimize ~ctx ~maximize:true ~var_bounds:prep.vbounds prep.cons coeffs
     in
     let lo_result =
       if
@@ -344,7 +380,8 @@ let sum_like ~ctx prep ~is_count =
           resolve_infinite ~ctx prep (fun inf -> inf.l)
         in
         if unbounded then Ok { value = neg_infinity; exact = true }
-        else optimize ~ctx ~maximize:false prep.cons coeffs
+        else
+          optimize ~ctx ~maximize:false ~var_bounds:prep.vbounds prep.cons coeffs
       end
     in
     match (lo_result, hi_result) with
@@ -437,7 +474,7 @@ let avg_reachable_above ~ctx prep ~c_count ~c_sum r =
     if c_count >= 1. then prep.cons
     else S.c_ge (List.init n (fun i -> (i, 1.))) 1. :: prep.cons
   in
-  match optimize ~ctx ~maximize:true cons coeffs with
+  match optimize ~ctx ~maximize:true ~var_bounds:prep.vbounds cons coeffs with
   | Error _ -> false
   | Ok { value; _ } -> value >= (r *. c_count) -. c_sum -. 1e-9
 
@@ -448,7 +485,7 @@ let avg_reachable_below ~ctx prep ~c_count ~c_sum r =
     if c_count >= 1. then prep.cons
     else S.c_ge (List.init n (fun i -> (i, 1.))) 1. :: prep.cons
   in
-  match optimize ~ctx ~maximize:false cons coeffs with
+  match optimize ~ctx ~maximize:false ~var_bounds:prep.vbounds cons coeffs with
   | Error _ -> false
   | Ok { value; _ } -> value <= (r *. c_count) -. c_sum +. 1e-9
 
@@ -532,48 +569,56 @@ module Greedy = struct
   }
 
   (* One gcell per PC overlapping the query region; [None] when the
-     system is infeasible. *)
+     system is infeasible. Specialized to the one-PC-per-cell shape: the
+     PC's in-query region box is built once and reused for every
+     attribute, instead of routing through the generic cell machinery
+     (which allocates a singleton [Pc_set] and rebuilds the box per
+     attribute). *)
   let prepare ~opts set (query : Q.t) =
     let qpred = query.Q.where_ in
     let agg_attr = Q.agg_attr query in
     try
       let cells =
-        List.concat
-          (List.map
-             (fun (pc : Pc.t) ->
-               let overlaps =
-                 match Box.of_pred pc.Pc.pred with
-                 | None ->
-                     if pc.Pc.freq_lo > 0 then raise Found_infeasible;
-                     false
-                 | Some b -> Option.is_some (Box.add_pred b qpred)
-               in
-               if not overlaps then []
-               else begin
-                 let sub = Pc_set.make [ pc ] in
-                 if not (cell_inhabitable ~tighten:opts.tighten sub qpred [ 0 ])
-                 then begin
-                   (* predicate region overlaps the query but admits no
-                      valid row values *)
-                   if effective_kl qpred pc > 0 then raise Found_infeasible;
-                   []
-                 end
-                 else begin
-                   let l, u =
-                     match agg_attr with
-                     | None -> (1., 1.)
-                     | Some a -> (
-                         match
-                           cell_value_interval ~tighten:opts.tighten sub qpred
-                             [ 0 ] a
-                         with
-                         | None -> (0., 0.)
-                         | Some iv -> (I.lo_float iv, I.hi_float iv))
-                   in
-                   [ { u; l; kl = effective_kl qpred pc; ku = pc.Pc.freq_hi } ]
-                 end
-               end)
-             (Pc_set.pcs set))
+        List.filter_map
+          (fun (pc : Pc.t) ->
+            let region =
+              match Box.of_pred pc.Pc.pred with
+              | None ->
+                  if pc.Pc.freq_lo > 0 then raise Found_infeasible;
+                  None
+              | Some b -> Box.add_pred b qpred
+            in
+            match region with
+            | None -> None (* no overlap with the query region *)
+            | Some box ->
+                let value_iv attr =
+                  let iv = Pc.value_interval pc attr in
+                  if opts.tighten then I.intersect iv (Box.num_interval box attr)
+                  else Some iv
+                in
+                let inhabitable =
+                  List.for_all
+                    (fun a -> Option.is_some (value_iv a))
+                    (Pc.value_attrs pc)
+                in
+                if not inhabitable then begin
+                  (* predicate region overlaps the query but admits no
+                     valid row values *)
+                  if effective_kl qpred pc > 0 then raise Found_infeasible;
+                  None
+                end
+                else begin
+                  let l, u =
+                    match agg_attr with
+                    | None -> (1., 1.)
+                    | Some a -> (
+                        match value_iv a with
+                        | None -> (0., 0.)
+                        | Some iv -> (I.lo_float iv, I.hi_float iv))
+                  in
+                  Some { u; l; kl = effective_kl qpred pc; ku = pc.Pc.freq_hi }
+                end)
+          (Pc_set.pcs set)
       in
       Ok cells
     with Found_infeasible -> Error Infeasible

@@ -87,6 +87,7 @@ let solve_allocation ~opts ~objective cells cons =
       maximize = true;
       objective;
       constraints = cons;
+      var_bounds = [];
     }
   in
   match M.solve ~node_limit:opts.Bounds.node_limit problem with

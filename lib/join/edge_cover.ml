@@ -28,20 +28,34 @@ let solve ?budget ?(fixed = []) ~weights hg =
         S.c_ge coeffs 1.)
       (Hypergraph.attrs hg)
   in
-  let fixed_cons =
+  (* A pinned relation is a [v, v] box, not an equality row. The free
+     weights live in [0, 1]: objective coefficients are log(max 1 w) >= 0,
+     and clamping any w_e > 1 down to 1 keeps every covering row at >= 1
+     (each term caps at 1), so the optimum is preserved while the LP loses
+     its equality rows — and with them, phase 1 work. *)
+  let fixed_bounds =
     List.map
       (fun (name, v) ->
         match List.assoc_opt name index with
-        | Some i -> S.c_eq [ (i, 1.) ] v
+        | Some i -> (i, v, v)
         | None -> invalid_arg (Printf.sprintf "Edge_cover.solve: unknown relation %s" name))
       fixed
+  in
+  let free_bounds =
+    List.filter_map
+      (fun (r : Hypergraph.rel) ->
+        let i = List.assoc r.Hypergraph.name index in
+        if List.exists (fun (j, _, _) -> j = i) fixed_bounds then None
+        else Some (i, 0., 1.))
+      rels
   in
   let problem =
     {
       S.n_vars = n;
       maximize = false;
       objective;
-      constraints = cover_cons @ fixed_cons;
+      constraints = cover_cons;
+      var_bounds = fixed_bounds @ free_bounds;
     }
   in
   match S.solve ?budget problem with

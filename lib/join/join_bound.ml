@@ -54,7 +54,9 @@ let worst_of bs =
     (fun acc b -> Bounds.worst_provenance acc b.provenance)
     Bounds.Exact bs
 
-(* Combine per-table weights through the edge-cover LP; a starved or
+(* Combine per-table weights through the edge-cover LP — cover weights
+   live in [0, 1] box bounds and a [fixed] table is a pinned [v, v] box,
+   so the LP has only the covering rows (see Edge_cover). A starved or
    failed LP falls back to the plain product (a cover of all-ones is
    always valid, just looser). The shared [budget] caps the whole join
    bound: per-table ladders plus the cover LP draw from one pool. *)

@@ -7,6 +7,9 @@ let c_solves = Counter.make "lp.solves"
 let c_pivots = Counter.make "lp.pivots"
 let c_phase1_pivots = Counter.make "lp.phase1_pivots"
 let c_bland = Counter.make "lp.bland_activations"
+let c_warm = Counter.make "lp.warm_starts"
+let c_warm_fb = Counter.make "lp.warm_fallbacks"
+let c_dual_pivots = Counter.make "lp.dual_pivots"
 let h_solve = Pc_obs.Registry.Histogram.make "lp.solve.ns"
 
 type relop = Le | Ge | Eq
@@ -18,6 +21,7 @@ type problem = {
   maximize : bool;
   objective : (int * float) list;
   constraints : constr list;
+  var_bounds : (int * float * float) list;
 }
 
 type solution = { objective_value : float; values : float array }
@@ -32,12 +36,50 @@ type stop = {
 
 type outcome = Optimal of solution | Infeasible | Unbounded | Stopped of stop
 
+(* The column layout (structurals, one slack per inequality row, one
+   artificial per row) is fixed by the problem shape alone, so a snapshot
+   stays valid when only the variable bounds change. The artificial signs
+   are the one bound-dependent artifact of the originating solve, recorded
+   so the restored basis matrix matches the parent's exactly. *)
+type snapshot = {
+  s_nv : int;
+  s_m : int;
+  s_basis : int array;  (* basic column of each row *)
+  s_at_upper : bool array;  (* per column: nonbasic at its upper bound *)
+  s_art_neg : bool array;  (* per row: artificial column carries -1 *)
+}
+
 let c_le coeffs rhs = { coeffs; op = Le; rhs }
 let c_ge coeffs rhs = { coeffs; op = Ge; rhs }
 let c_eq coeffs rhs = { coeffs; op = Eq; rhs }
 
 let tol = 1e-7
 let max_iters = 1_000_000
+
+(* Canonicalize a sparse row: sort by index, sum duplicates once, drop
+   exact zeros — so [(0,1.); (0,1.)] means 2 x0 regardless of which layer
+   built the list. *)
+let canon_coeffs = function
+  | ([] | [ _ ]) as c -> c
+  | coeffs ->
+      let sorted =
+        List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) coeffs
+      in
+      let rec merge = function
+        | (j1, v1) :: (j2, v2) :: rest when j1 = j2 ->
+            merge ((j1, v1 +. v2) :: rest)
+        | (j, v) :: rest -> if v = 0. then merge rest else (j, v) :: merge rest
+        | [] -> []
+      in
+      merge sorted
+
+let normalize p =
+  {
+    p with
+    objective = canon_coeffs p.objective;
+    constraints =
+      List.map (fun c -> { c with coeffs = canon_coeffs c.coeffs }) p.constraints;
+  }
 
 let validate p =
   if p.n_vars < 0 then invalid_arg "Simplex: negative n_vars";
@@ -50,23 +92,96 @@ let validate p =
     (fun cn ->
       List.iter check_term cn.coeffs;
       if not (Float.is_finite cn.rhs) then invalid_arg "Simplex: non-finite rhs")
-    p.constraints
+    p.constraints;
+  List.iter
+    (fun (j, l, h) ->
+      if j < 0 || j >= p.n_vars then
+        invalid_arg "Simplex: bound variable index out of range";
+      if Float.is_nan l || Float.is_nan h then invalid_arg "Simplex: NaN bound")
+    p.var_bounds
 
-(* Mutable tableau state for one solve. *)
-type tableau = {
+(* Dense [lo, hi] per structural variable: the problem's sparse boxes (or
+   the caller's override) intersected with the implicit x >= 0 domain. *)
+let bounds_arrays ?bounds p =
+  match bounds with
+  | Some (l, h) ->
+      if Array.length l <> p.n_vars || Array.length h <> p.n_vars then
+        invalid_arg "Simplex: bounds arrays must have length n_vars";
+      (Array.map (Float.max 0.) l, Array.copy h)
+  | None ->
+      let lo = Array.make p.n_vars 0. and hi = Array.make p.n_vars infinity in
+      List.iter
+        (fun (j, l, h) ->
+          lo.(j) <- Float.max lo.(j) l;
+          hi.(j) <- Float.min hi.(j) h)
+        p.var_bounds;
+      (lo, hi)
+
+(* ---- Mutable tableau state for one solve. ---- *)
+
+type vstat = Vbasic | Vlower | Vupper
+
+type tab = {
   m : int;  (* constraint rows *)
-  n : int;  (* total columns (structural + slack + artificial) *)
-  a : float array array;  (* m rows of length n + 1; column n is rhs *)
-  z : float array;  (* objective row, length n + 1: reduced costs + value *)
-  basis : int array;  (* basic variable of each row *)
-  banned : bool array;  (* columns excluded from entering (artificials in phase 2) *)
+  n : int;  (* total columns: structural + slack + artificial *)
+  nv : int;  (* structural columns *)
+  a : float array array;  (* m rows of length n: B^-1 A, no rhs column *)
+  z : float array;  (* reduced costs c_B B^-1 A_j - c_j, length n *)
+  lo : float array;  (* per-column lower bounds, length n *)
+  hi : float array;  (* per-column upper bounds, length n *)
+  basis : int array;  (* basic column of each row *)
+  xb : float array;  (* value of each row's basic variable *)
+  status : vstat array;  (* length n *)
+  banned : bool array;  (* columns excluded from entering (artificials) *)
+  mutable cols : int array;  (* candidate entering columns, ascending *)
 }
 
-let pivot t ~row ~col =
+(* A column pinned to a single point can never move, so it can never be an
+   entering candidate — in the primal (no improving step) or in the dual
+   (no admissible direction). Excluding it is sound both ways. *)
+let fixed t j = t.hi.(j) -. t.lo.(j) <= tol
+
+(* Candidate entering columns: everything not banned and not fixed. Kept
+   as a compact ascending array so Dantzig pricing never rescans dead
+   artificial columns (they are both banned and, after phase 1, fixed). *)
+let rebuild_cols t =
+  let buf = Array.make (Stdlib.max 1 t.n) 0 in
+  let k = ref 0 in
+  for j = 0 to t.n - 1 do
+    if (not t.banned.(j)) && not (fixed t j) then begin
+      buf.(!k) <- j;
+      incr k
+    end
+  done;
+  t.cols <- Array.sub buf 0 !k
+
+let nb_value t j =
+  match t.status.(j) with
+  | Vlower -> t.lo.(j)
+  | Vupper -> t.hi.(j)
+  | Vbasic -> assert false
+
+(* Objective of the current iterate, recomputed in O(m + n); the tableau
+   carries no objective-value cell (bound flips would invalidate it). *)
+let objective_of t c =
+  let acc = ref 0. in
+  for i = 0 to t.m - 1 do
+    acc := !acc +. (c.(t.basis.(i)) *. t.xb.(i))
+  done;
+  for j = 0 to t.n - 1 do
+    if c.(j) <> 0. then
+      match t.status.(j) with
+      | Vbasic -> ()
+      | Vlower -> acc := !acc +. (c.(j) *. t.lo.(j))
+      | Vupper -> acc := !acc +. (c.(j) *. t.hi.(j))
+  done;
+  !acc
+
+let pivot_tab t ~row ~col =
   let arow = t.a.(row) in
   let piv = arow.(col) in
   let inv = 1. /. piv in
-  for j = 0 to t.n do
+  for j = 0 to t.n - 1 do
     arow.(j) <- arow.(j) *. inv
   done;
   arow.(col) <- 1.;
@@ -75,7 +190,7 @@ let pivot t ~row ~col =
       let r = t.a.(i) in
       let factor = r.(col) in
       if factor <> 0. then begin
-        for j = 0 to t.n do
+        for j = 0 to t.n - 1 do
           r.(j) <- r.(j) -. (factor *. arow.(j))
         done;
         r.(col) <- 0.
@@ -84,76 +199,148 @@ let pivot t ~row ~col =
   done;
   let factor = t.z.(col) in
   if factor <> 0. then begin
-    for j = 0 to t.n do
+    for j = 0 to t.n - 1 do
       t.z.(j) <- t.z.(j) -. (factor *. arow.(j))
     done;
     t.z.(col) <- 0.
-  end;
-  t.basis.(row) <- col
+  end
 
-(* Entering column: Dantzig (most negative reduced cost) or Bland
-   (smallest index with negative reduced cost). *)
+(* Reduced-cost row for objective [c]: z_j = -c_j, then eliminate the
+   basic columns so z is expressed over the current basis. *)
+let set_z t c =
+  for j = 0 to t.n - 1 do
+    t.z.(j) <- -.c.(j)
+  done;
+  for i = 0 to t.m - 1 do
+    let b = t.basis.(i) in
+    let factor = t.z.(b) in
+    if factor <> 0. then begin
+      let r = t.a.(i) in
+      for j = 0 to t.n - 1 do
+        t.z.(j) <- t.z.(j) -. (factor *. r.(j))
+      done;
+      t.z.(b) <- 0.
+    end
+  done
+
+(* Entering column for the (maximizing) primal: a nonbasic at its lower
+   bound improves by increasing when z_j < -tol; one at its upper bound
+   improves by decreasing when z_j > tol. [cols] is ascending, so the
+   first violation is Bland's choice. *)
+let viol t j =
+  match t.status.(j) with
+  | Vlower -> -.t.z.(j)
+  | Vupper -> t.z.(j)
+  | Vbasic -> 0.
+
 let entering t ~bland =
+  let ncols = Array.length t.cols in
   if bland then begin
-    let rec find j =
-      if j >= t.n then None
-      else if (not t.banned.(j)) && t.z.(j) < -.tol then Some j
-      else find (j + 1)
+    let rec find k =
+      if k >= ncols then None
+      else
+        let j = t.cols.(k) in
+        if viol t j > tol then Some j else find (k + 1)
     in
     find 0
   end
   else begin
-    let best = ref (-1) and best_val = ref (-.tol) in
-    for j = 0 to t.n - 1 do
-      if (not t.banned.(j)) && t.z.(j) < !best_val then begin
+    let best = ref (-1) and best_v = ref tol in
+    for k = 0 to ncols - 1 do
+      let j = t.cols.(k) in
+      let v = viol t j in
+      if v > !best_v then begin
         best := j;
-        best_val := t.z.(j)
+        best_v := v
       end
     done;
     if !best = -1 then None else Some !best
   end
 
-(* Leaving row by minimum ratio; ties broken by smallest basis variable
-   index (lexicographic-ish tie-break that combines well with Bland). *)
-let leaving t ~col =
-  let best = ref (-1) and best_ratio = ref infinity in
-  for i = 0 to t.m - 1 do
-    let aij = t.a.(i).(col) in
-    if aij > tol then begin
-      let ratio = t.a.(i).(t.n) /. aij in
-      if
-        ratio < !best_ratio -. tol
-        || (Float.abs (ratio -. !best_ratio) <= tol
-            && !best >= 0
-            && t.basis.(i) < t.basis.(!best))
-      then begin
-        best := i;
-        best_ratio := ratio
-      end
-    end
-  done;
-  if !best = -1 then None else Some !best
-
 exception Unbounded_exc
 exception Stop_exc of stop_reason
 
-(* [iters] is shared across both phases so a stop reports the solve's
-   total pivot count. Deadline checks are amortized: every 64 pivots. *)
-let optimize ?budget ~iters ~bland_acts t =
+(* One bounded-variable primal step on entering column [col]: the step
+   length is limited by the entering variable's own opposite bound (a pure
+   bound flip, no basis change) or by the first basic variable to hit one
+   of its bounds (a regular exchange). Ties between rows break toward the
+   smallest basic index, which combines well with Bland's rule. *)
+let primal_step t ~col =
+  let d =
+    match t.status.(col) with
+    | Vlower -> 1.
+    | Vupper -> -1.
+    | Vbasic -> assert false
+  in
+  let best_row = ref (-1) in
+  let best_t = ref (t.hi.(col) -. t.lo.(col)) in
+  let leave_at_upper = ref false in
+  let consider i ratio at_upper =
+    if
+      ratio < !best_t -. tol
+      || (Float.abs (ratio -. !best_t) <= tol
+          && !best_row >= 0
+          && t.basis.(i) < t.basis.(!best_row))
+    then begin
+      best_row := i;
+      best_t := ratio;
+      leave_at_upper := at_upper
+    end
+  in
+  for i = 0 to t.m - 1 do
+    let rate = -.(d *. t.a.(i).(col)) in
+    if rate > tol then begin
+      let head = t.hi.(t.basis.(i)) -. t.xb.(i) in
+      if Float.is_finite head then consider i (Float.max 0. (head /. rate)) true
+    end
+    else if rate < -.tol then begin
+      let head = t.xb.(i) -. t.lo.(t.basis.(i)) in
+      consider i (Float.max 0. (head /. -.rate)) false
+    end
+  done;
+  if not (Float.is_finite !best_t) then raise Unbounded_exc;
+  let step = d *. !best_t in
+  if !best_row = -1 then begin
+    for i = 0 to t.m - 1 do
+      t.xb.(i) <- t.xb.(i) -. (t.a.(i).(col) *. step)
+    done;
+    t.status.(col) <-
+      (match t.status.(col) with
+      | Vlower -> Vupper
+      | Vupper -> Vlower
+      | Vbasic -> assert false)
+  end
+  else begin
+    let row = !best_row in
+    let enter_val = nb_value t col +. step in
+    for i = 0 to t.m - 1 do
+      t.xb.(i) <- t.xb.(i) -. (t.a.(i).(col) *. step)
+    done;
+    let leaving = t.basis.(row) in
+    t.status.(leaving) <- (if !leave_at_upper then Vupper else Vlower);
+    t.status.(col) <- Vbasic;
+    t.basis.(row) <- col;
+    t.xb.(row) <- enter_val;
+    pivot_tab t ~row ~col
+  end
+
+(* [iters] is shared across phases so a stop reports the solve's total
+   pivot count. Deadline checks are amortized: every 64 pivots. *)
+let charge ?budget ~iters () =
+  if !iters > max_iters then raise (Stop_exc Iteration_limit);
+  match budget with
+  | None -> ()
+  | Some b ->
+      if not (B.take_iter b) then raise (Stop_exc Iteration_limit);
+      if !iters land 63 = 0 && B.out_of_time b then raise (Stop_exc Deadline)
+
+let optimize ?budget ~iters ~bland_acts ~c t =
   let stall = ref 0 in
-  let last_obj = ref t.z.(t.n) in
+  let last_obj = ref (objective_of t c) in
   let was_bland = ref false in
   let continue_ = ref true in
-  let charge () =
-    if !iters > max_iters then raise (Stop_exc Iteration_limit);
-    match budget with
-    | None -> ()
-    | Some b ->
-        if not (B.take_iter b) then raise (Stop_exc Iteration_limit);
-        if !iters land 63 = 0 && B.out_of_time b then raise (Stop_exc Deadline)
-  in
   while !continue_ do
-    charge ();
+    charge ?budget ~iters ();
     let bland = !stall > 2 * (t.m + t.n) in
     if bland <> !was_bland then begin
       if bland then incr bland_acts;
@@ -161,25 +348,22 @@ let optimize ?budget ~iters ~bland_acts t =
     end;
     match entering t ~bland with
     | None -> continue_ := false
-    | Some col -> (
-        match leaving t ~col with
-        | None -> raise Unbounded_exc
-        | Some row ->
-            pivot t ~row ~col;
-            incr iters;
-            let obj = t.z.(t.n) in
-            if obj > !last_obj +. tol then begin
-              stall := 0;
-              last_obj := obj
-            end
-            else incr stall)
+    | Some col ->
+        primal_step t ~col;
+        incr iters;
+        let obj = objective_of t c in
+        if obj > !last_obj +. tol then begin
+          stall := 0;
+          last_obj := obj
+        end
+        else incr stall
   done
 
-(* Post-solve self-check: residual feasibility of every constraint, sign
-   of the variables, and objective consistency, with tolerances scaled by
-   row magnitude — catches tableau drift before a wrong "optimal" answer
-   escapes into a bound. *)
-let check_solution p (sol : solution) =
+(* Post-solve self-check: residual feasibility of every constraint, each
+   variable within its box, and objective consistency, with tolerances
+   scaled by row magnitude — catches tableau drift before a wrong
+   "optimal" answer escapes into a bound. *)
+let check_solution_arrays ~vlo ~vhi p (sol : solution) =
   let eps = 1e-6 in
   let err = ref None in
   let fail msg = if !err = None then err := Some msg in
@@ -187,8 +371,13 @@ let check_solution p (sol : solution) =
     (fun j v ->
       if not (Float.is_finite v) then
         fail (Printf.sprintf "variable %d is non-finite" j)
-      else if v < -.(eps *. Float.max 1. (Float.abs v)) then
-        fail (Printf.sprintf "variable %d negative (%g)" j v))
+      else begin
+        let slack = eps *. Float.max 1. (Float.abs v) in
+        if v < vlo.(j) -. slack then
+          fail (Printf.sprintf "variable %d below lower bound (%g < %g)" j v vlo.(j))
+        else if v > vhi.(j) +. slack then
+          fail (Printf.sprintf "variable %d above upper bound (%g > %g)" j v vhi.(j))
+      end)
     sol.values;
   List.iteri
     (fun i (c : constr) ->
@@ -220,177 +409,595 @@ let check_solution p (sol : solution) =
          sol.objective_value recomputed);
   match !err with None -> Ok () | Some msg -> Error msg
 
-let solve_run ?budget p =
-  validate p;
-  let cons =
-    (* Normalize to rhs >= 0 so artificial bases are valid. *)
-    List.map
-      (fun c ->
-        if c.rhs < 0. then begin
-          let coeffs = List.map (fun (j, v) -> (j, -.v)) c.coeffs in
-          let op = match c.op with Le -> Ge | Ge -> Le | Eq -> Eq in
-          { coeffs; op; rhs = -.c.rhs }
-        end
-        else c)
-      p.constraints
-    |> Array.of_list
-  in
+let check_solution p sol =
+  let vlo, vhi = bounds_arrays p in
+  check_solution_arrays ~vlo ~vhi p sol
+
+(* ---- Shared problem arrays. The column layout is a function of the
+   problem shape alone: structurals [0, nv), one slack per inequality row,
+   then one artificial per row. Artificial matrix entries are left at 0
+   here; the caller stamps their signs (cold: from phase-1 residuals;
+   warm: from the snapshot). ---- *)
+
+type build = {
+  b_m : int;
+  b_n : int;
+  b_art_start : int;
+  b_rows : float array array;  (* m x n raw A *)
+  b_rhs : float array;
+  b_ops : relop array;
+  b_slack_col : int array;  (* -1 for Eq rows *)
+  b_art_col : int array;
+  b_lo : float array;  (* length n *)
+  b_hi : float array;
+}
+
+let build ?bounds p =
+  let cons = Array.of_list p.constraints in
   let m = Array.length cons in
+  let nv = p.n_vars in
   let n_slack =
     Array.fold_left
       (fun acc c -> match c.op with Le | Ge -> acc + 1 | Eq -> acc)
       0 cons
   in
-  let n_art =
-    Array.fold_left
-      (fun acc c -> match c.op with Ge | Eq -> acc + 1 | Le -> acc)
-      0 cons
-  in
-  let n = p.n_vars + n_slack + n_art in
-  let a = Array.init m (fun _ -> Array.make (n + 1) 0.) in
-  let basis = Array.make m (-1) in
-  let banned = Array.make n false in
-  let art_start = p.n_vars + n_slack in
-  let slack = ref p.n_vars and art = ref art_start in
+  let n = nv + n_slack + m in
+  let rows = Array.init m (fun _ -> Array.make n 0.) in
+  let rhs = Array.make m 0. in
+  let ops = Array.map (fun c -> c.op) cons in
+  let slack_col = Array.make m (-1) in
+  let art_col = Array.make m (-1) in
+  let lo = Array.make n 0. and hi = Array.make n infinity in
+  let vlo, vhi = bounds_arrays ?bounds p in
+  Array.blit vlo 0 lo 0 nv;
+  Array.blit vhi 0 hi 0 nv;
+  let next_slack = ref nv in
+  let art_start = nv + n_slack in
   Array.iteri
     (fun i c ->
-      List.iter
-        (fun (j, v) -> a.(i).(j) <- a.(i).(j) +. v)
-        c.coeffs;
-      a.(i).(n) <- c.rhs;
+      List.iter (fun (j, v) -> rows.(i).(j) <- rows.(i).(j) +. v) c.coeffs;
+      rhs.(i) <- c.rhs;
       (match c.op with
       | Le ->
-          a.(i).(!slack) <- 1.;
-          basis.(i) <- !slack;
-          incr slack
+          rows.(i).(!next_slack) <- 1.;
+          slack_col.(i) <- !next_slack;
+          incr next_slack
       | Ge ->
-          a.(i).(!slack) <- -1.;
-          incr slack;
-          a.(i).(!art) <- 1.;
-          basis.(i) <- !art;
-          incr art
-      | Eq ->
-          a.(i).(!art) <- 1.;
-          basis.(i) <- !art;
-          incr art))
+          rows.(i).(!next_slack) <- -1.;
+          slack_col.(i) <- !next_slack;
+          incr next_slack
+      | Eq -> ());
+      art_col.(i) <- art_start + i)
     cons;
-  let t = { m; n; a; z = Array.make (n + 1) 0.; basis; banned } in
-  let iters = ref 0 in
-  let bland_acts = ref 0 in
-  let stopped reason ~best_objective =
-    Stopped { reason; best_objective; iterations = !iters }
-  in
-  (* ---- Phase 1: maximize -(sum of artificials). The reduced-cost row
-     for the initial artificial basis is the negated sum of rows whose
-     basic variable is artificial. ---- *)
-  let has_art = n_art > 0 in
-  let phase1_failed = ref false in
-  let phase1_stopped = ref None in
-  if has_art then begin
-    Array.fill t.z 0 (n + 1) 0.;
+  {
+    b_m = m;
+    b_n = n;
+    b_art_start = art_start;
+    b_rows = rows;
+    b_rhs = rhs;
+    b_ops = ops;
+    b_slack_col = slack_col;
+    b_art_col = art_col;
+    b_lo = lo;
+    b_hi = hi;
+  }
+
+let domain_empty bld nv =
+  let empty = ref false in
+  for j = 0 to nv - 1 do
+    if bld.b_lo.(j) > bld.b_hi.(j) then empty := true
+  done;
+  !empty
+
+let snap_of t ~art_neg =
+  {
+    s_nv = t.nv;
+    s_m = t.m;
+    s_basis = Array.copy t.basis;
+    s_at_upper = Array.init t.n (fun j -> t.status.(j) = Vupper);
+    s_art_neg = Array.copy art_neg;
+  }
+
+let extract_solution t ~sign ~c2 =
+  let values = Array.make t.nv 0. in
+  for j = 0 to t.nv - 1 do
+    match t.status.(j) with
+    | Vlower -> values.(j) <- t.lo.(j)
+    | Vupper -> values.(j) <- t.hi.(j)
+    | Vbasic -> ()
+  done;
+  for i = 0 to t.m - 1 do
+    if t.basis.(i) < t.nv then values.(t.basis.(i)) <- t.xb.(i)
+  done;
+  (* snap values resting within tolerance of a bound onto it *)
+  for j = 0 to t.nv - 1 do
+    let v = values.(j) in
+    let v = if Float.abs (v -. t.lo.(j)) <= tol then t.lo.(j) else v in
+    let v =
+      if Float.is_finite t.hi.(j) && Float.abs (v -. t.hi.(j)) <= tol then
+        t.hi.(j)
+      else v
+    in
+    values.(j) <- v
+  done;
+  { objective_value = sign *. objective_of t c2; values }
+
+(* ---- Cold two-phase solve. [p] must already be validated/normalized.
+   Returns the outcome and, on Optimal, a basis snapshot. ---- *)
+let cold_solve ?budget ?bounds p =
+  let bld = build ?bounds p in
+  let m = bld.b_m and n = bld.b_n and nv = p.n_vars in
+  if domain_empty bld nv then (Infeasible, None)
+  else begin
+    let art_start = bld.b_art_start in
+    let art_neg = Array.make m false in
+    let basis = Array.make m (-1) in
+    let status = Array.make n Vlower in
+    let xb = Array.make m 0. in
+    (* Initial basis: structurals at their lower bounds; each row gets its
+       slack when the residual sign permits, otherwise a residual-signed
+       artificial. No rhs-sign normalization pass is needed. *)
     for i = 0 to m - 1 do
-      if basis.(i) >= art_start then
-        for j = 0 to n do
-          t.z.(j) <- t.z.(j) -. a.(i).(j)
+      let resid = ref bld.b_rhs.(i) in
+      for j = 0 to nv - 1 do
+        let aij = bld.b_rows.(i).(j) in
+        if aij <> 0. then resid := !resid -. (aij *. bld.b_lo.(j))
+      done;
+      let r = !resid in
+      let art_basic neg v =
+        art_neg.(i) <- neg;
+        basis.(i) <- bld.b_art_col.(i);
+        xb.(i) <- v
+      in
+      match bld.b_ops.(i) with
+      | Le ->
+          if r >= 0. then begin
+            basis.(i) <- bld.b_slack_col.(i);
+            xb.(i) <- r
+          end
+          else art_basic true (-.r)
+      | Ge ->
+          if r <= 0. then begin
+            basis.(i) <- bld.b_slack_col.(i);
+            xb.(i) <- -.r
+          end
+          else art_basic false r
+      | Eq -> art_basic (r < 0.) (Float.abs r)
+    done;
+    for i = 0 to m - 1 do
+      bld.b_rows.(i).(bld.b_art_col.(i)) <- (if art_neg.(i) then -1. else 1.)
+    done;
+    let a = Array.init m (fun i -> Array.copy bld.b_rows.(i)) in
+    (* canonicalize: basic coefficient +1 in its own row (this IS B^-1 for
+       the initial diagonal basis) *)
+    for i = 0 to m - 1 do
+      if a.(i).(basis.(i)) < 0. then
+        for j = 0 to n - 1 do
+          a.(i).(j) <- -.a.(i).(j)
         done
     done;
-    (* reduced cost of each artificial itself is 0 in the basis *)
-    for j = art_start to n - 1 do
-      t.z.(j) <- t.z.(j) +. 1.
+    for i = 0 to m - 1 do
+      status.(basis.(i)) <- Vbasic
     done;
-    (try optimize ?budget ~iters ~bland_acts t with
-    | Unbounded_exc ->
-        (* Invariant: the phase-1 objective -(Σ artificials) is bounded
-           above by 0, so an unbounded ray is impossible by construction.
-           If float drift ever manufactures one, no feasible basis was
-           certified either way — degrade to Infeasible (the caller-safe
-           answer for "phase 1 did not produce a feasible basis") instead
-           of killing the caller. *)
-        phase1_failed := true
-    | Stop_exc reason -> phase1_stopped := Some reason);
+    (* Artificials may leave the basis but never re-enter: once phase 1
+       drives one to zero it stays there, and if the problem is feasible a
+       point with every artificial at zero exists, so the restriction
+       cannot produce a false Infeasible. *)
+    let banned = Array.make n false in
+    for i = 0 to m - 1 do
+      banned.(bld.b_art_col.(i)) <- true
+    done;
+    let t =
+      {
+        m;
+        n;
+        nv;
+        a;
+        z = Array.make n 0.;
+        lo = bld.b_lo;
+        hi = bld.b_hi;
+        basis;
+        xb;
+        status;
+        banned;
+        cols = [||];
+      }
+    in
+    rebuild_cols t;
+    let iters = ref 0 in
+    let bland_acts = ref 0 in
+    let stopped reason ~best_objective =
+      Stopped { reason; best_objective; iterations = !iters }
+    in
+    let art_sum () =
+      let s = ref 0. in
+      for i = 0 to m - 1 do
+        if basis.(i) >= art_start then s := !s +. Float.abs xb.(i)
+      done;
+      !s
+    in
+    let need_p1 = art_sum () > tol in
+    let phase1_failed = ref false in
+    let phase1_stopped = ref None in
+    if need_p1 then begin
+      let c1 = Array.make n 0. in
+      for i = 0 to m - 1 do
+        c1.(bld.b_art_col.(i)) <- -1.
+      done;
+      set_z t c1;
+      try optimize ?budget ~iters ~bland_acts ~c:c1 t with
+      | Unbounded_exc ->
+          (* Invariant: the phase-1 objective -(Σ artificials) is bounded
+             above by 0, so an unbounded ray is impossible by construction.
+             If float drift ever manufactures one, no feasible basis was
+             certified either way — degrade to Infeasible (the caller-safe
+             answer for "phase 1 did not produce a feasible basis") instead
+             of killing the caller. *)
+          phase1_failed := true
+      | Stop_exc reason -> phase1_stopped := Some reason
+    end;
     if !phase1_stopped = None && not !phase1_failed then begin
-      if t.z.(n) < -.(tol *. 10.) then phase1_failed := true
+      if art_sum () > tol *. 10. then phase1_failed := true
       else begin
-        (* Drive out artificials still basic at zero, ban artificial columns. *)
+        (* Drive out artificials still basic at zero with a degenerate
+           exchange (nothing moves; the entering variable becomes basic at
+           its current bound value), then pin every artificial to [0, 0] —
+           phase 1 certified a feasible point with all of them at zero. *)
         for i = 0 to m - 1 do
           if basis.(i) >= art_start then begin
             let found = ref (-1) in
             for j = 0 to art_start - 1 do
-              if !found = -1 && Float.abs a.(i).(j) > tol then found := j
+              if !found = -1 && (not (fixed t j)) && Float.abs t.a.(i).(j) > tol
+              then found := j
             done;
-            if !found >= 0 then pivot t ~row:i ~col:!found
+            if !found >= 0 then begin
+              let col = !found in
+              let v = nb_value t col in
+              status.(basis.(i)) <- Vlower;
+              status.(col) <- Vbasic;
+              basis.(i) <- col;
+              xb.(i) <- v;
+              pivot_tab t ~row:i ~col
+            end
             (* else: redundant row, harmless to keep with artificial at 0 *)
           end
         done;
-        for j = art_start to n - 1 do
-          banned.(j) <- true
+        for i = 0 to m - 1 do
+          let aj = bld.b_art_col.(i) in
+          t.lo.(aj) <- 0.;
+          t.hi.(aj) <- 0.
         done
       end
-    end
-  end;
-  let phase1_iters = !iters in
-  let outcome =
-    match !phase1_stopped with
-    | Some reason -> stopped reason ~best_objective:None
-    | None ->
-      if !phase1_failed then Infeasible
-      else begin
-        (* ---- Phase 2: real objective, as maximization. ---- *)
-        let sign = if p.maximize then 1. else -1. in
-        let c = Array.make n 0. in
-        List.iter (fun (j, v) -> c.(j) <- c.(j) +. (sign *. v)) p.objective;
-        Array.fill t.z 0 (n + 1) 0.;
-        for j = 0 to n - 1 do
-          t.z.(j) <- -.c.(j)
-        done;
-        (* Make reduced costs of basic variables zero. *)
+    end;
+    let phase1_iters = !iters in
+    let result =
+      match !phase1_stopped with
+      | Some reason -> (stopped reason ~best_objective:None, None)
+      | None ->
+          if !phase1_failed then (Infeasible, None)
+          else begin
+            (* ---- Phase 2: real objective, as maximization. ---- *)
+            let sign = if p.maximize then 1. else -1. in
+            let c2 = Array.make n 0. in
+            List.iter (fun (j, v) -> c2.(j) <- c2.(j) +. (sign *. v)) p.objective;
+            set_z t c2;
+            match optimize ?budget ~iters ~bland_acts ~c:c2 t with
+            | exception Unbounded_exc -> (Unbounded, None)
+            | exception Stop_exc reason ->
+                (* The tableau is primal-feasible throughout phase 2, so
+                   the current objective is the value of a genuine feasible
+                   point (a primal bound), reported as the best-so-far. *)
+                ( stopped reason
+                    ~best_objective:(Some (sign *. objective_of t c2)),
+                  None )
+            | () -> (
+                let sol = extract_solution t ~sign ~c2 in
+                let vlo = Array.sub t.lo 0 nv and vhi = Array.sub t.hi 0 nv in
+                match check_solution_arrays ~vlo ~vhi p sol with
+                | Ok () -> (Optimal sol, Some (snap_of t ~art_neg))
+                | Error msg ->
+                    (* A drifted tableau's answer must not escape into a
+                       hard bound; report distrust and let the caller
+                       degrade. *)
+                    (stopped (Numeric msg) ~best_objective:None, None))
+          end
+    in
+    Counter.incr c_solves;
+    Counter.add c_pivots !iters;
+    Counter.add c_phase1_pivots phase1_iters;
+    Counter.add c_bland !bland_acts;
+    result
+  end
+
+(* ---- Warm re-solve from a basis snapshot under new bounds. ---- *)
+
+exception Fallback of string
+
+(* Past this many dual pivots something is off (cycling on a degenerate
+   basis, or a bound change far too large for a warm start to pay off) —
+   hand the problem to the cold path rather than grind on. *)
+let warm_cap m n = Stdlib.max 64 (4 * (m + n))
+
+let warm_solve ?budget ~snapshot ~bounds p =
+  let bld = build ~bounds p in
+  let m = bld.b_m and n = bld.b_n and nv = p.n_vars in
+  if snapshot.s_nv <> nv || snapshot.s_m <> m
+     || Array.length snapshot.s_at_upper <> n
+  then None (* shape mismatch: the snapshot is from another problem *)
+  else if domain_empty bld nv then Some (Infeasible, None)
+  else begin
+    let iters = ref 0 in
+    let dual_pivs = ref 0 in
+    let bland_acts = ref 0 in
+    let flush () =
+      Counter.add c_pivots !iters;
+      Counter.add c_dual_pivots !dual_pivs;
+      Counter.add c_bland !bland_acts
+    in
+    try
+      for i = 0 to m - 1 do
+        bld.b_rows.(i).(bld.b_art_col.(i)) <-
+          (if snapshot.s_art_neg.(i) then -1. else 1.);
+        (* artificials were pinned by the originating solve's phase 1 *)
+        bld.b_lo.(bld.b_art_col.(i)) <- 0.;
+        bld.b_hi.(bld.b_art_col.(i)) <- 0.
+      done;
+      let a = Array.init m (fun i -> Array.copy bld.b_rows.(i)) in
+      let rhs = Array.copy bld.b_rhs in
+      (* Gauss–Jordan with partial pivoting over unassigned rows: make the
+         snapshot's basis columns an identity. A near-singular pivot means
+         the basis is unusable here — fall back. *)
+      let basis = Array.make m (-1) in
+      let used = Array.make m false in
+      for k = 0 to m - 1 do
+        let c = snapshot.s_basis.(k) in
+        if c < 0 || c >= n then raise (Fallback "snapshot column out of range");
+        let best = ref (-1) and best_mag = ref 1e-9 in
         for i = 0 to m - 1 do
-          let b = basis.(i) in
-          let factor = t.z.(b) in
-          if factor <> 0. then begin
-            for j = 0 to n do
-              t.z.(j) <- t.z.(j) -. (factor *. a.(i).(j))
-            done;
-            t.z.(b) <- 0.
+          let mag = Float.abs a.(i).(c) in
+          if (not used.(i)) && mag > !best_mag then begin
+            best := i;
+            best_mag := mag
           end
         done;
-        match optimize ?budget ~iters ~bland_acts t with
-        | exception Unbounded_exc -> Unbounded
-        | exception Stop_exc reason ->
-            (* The tableau is primal-feasible throughout phase 2, so the
-               current objective is the value of a genuine feasible point
-               (a primal bound), reported as the best-so-far. *)
-            stopped reason ~best_objective:(Some (sign *. t.z.(t.n)))
-        | () ->
-            let values = Array.make p.n_vars 0. in
+        if !best = -1 then raise (Fallback "singular restored basis");
+        let row = !best in
+        used.(row) <- true;
+        basis.(row) <- c;
+        let arow = a.(row) in
+        let inv = 1. /. arow.(c) in
+        for j = 0 to n - 1 do
+          arow.(j) <- arow.(j) *. inv
+        done;
+        arow.(c) <- 1.;
+        rhs.(row) <- rhs.(row) *. inv;
+        for i = 0 to m - 1 do
+          if i <> row then begin
+            let ri = a.(i) in
+            let f = ri.(c) in
+            if f <> 0. then begin
+              for j = 0 to n - 1 do
+                ri.(j) <- ri.(j) -. (f *. arow.(j))
+              done;
+              ri.(c) <- 0.;
+              rhs.(i) <- rhs.(i) -. (f *. rhs.(row))
+            end
+          end
+        done
+      done;
+      let status = Array.make n Vlower in
+      for i = 0 to m - 1 do
+        status.(basis.(i)) <- Vbasic
+      done;
+      for j = 0 to n - 1 do
+        if
+          status.(j) <> Vbasic
+          && snapshot.s_at_upper.(j)
+          && Float.is_finite bld.b_hi.(j)
+        then status.(j) <- Vupper
+      done;
+      (* xb = B^-1 b - Σ_nonbasic (B^-1 A_j) v_j *)
+      let xb = rhs in
+      for j = 0 to n - 1 do
+        if status.(j) <> Vbasic then begin
+          let v =
+            match status.(j) with Vupper -> bld.b_hi.(j) | _ -> bld.b_lo.(j)
+          in
+          if v <> 0. then
             for i = 0 to m - 1 do
-              if basis.(i) < p.n_vars then begin
-                let v = a.(i).(n) in
-                values.(basis.(i)) <- (if Float.abs v < tol then 0. else v)
+              xb.(i) <- xb.(i) -. (a.(i).(j) *. v)
+            done
+        end
+      done;
+      let banned = Array.make n false in
+      for i = 0 to m - 1 do
+        banned.(bld.b_art_col.(i)) <- true
+      done;
+      let t =
+        {
+          m;
+          n;
+          nv;
+          a;
+          z = Array.make n 0.;
+          lo = bld.b_lo;
+          hi = bld.b_hi;
+          basis;
+          xb;
+          status;
+          banned;
+          cols = [||];
+        }
+      in
+      rebuild_cols t;
+      let sign = if p.maximize then 1. else -1. in
+      let c2 = Array.make n 0. in
+      List.iter (fun (j, v) -> c2.(j) <- c2.(j) +. (sign *. v)) p.objective;
+      set_z t c2;
+      (* Dual-feasibility repair: reduced costs depend only on the basis,
+         so after a pure bound change the snapshot statuses are already
+         dual-feasible — unless a status refers to a bound that no longer
+         supports it, in which case flipping to the other (finite) bound
+         restores the sign condition. An unflippable violation means the
+         warm basis is not dual-usable: fall back. *)
+      Array.iter
+        (fun j ->
+          match t.status.(j) with
+          | Vlower when t.z.(j) < -.tol ->
+              if Float.is_finite t.hi.(j) then begin
+                let d = t.hi.(j) -. t.lo.(j) in
+                for i = 0 to m - 1 do
+                  t.xb.(i) <- t.xb.(i) -. (t.a.(i).(j) *. d)
+                done;
+                t.status.(j) <- Vupper
               end
-            done;
-            let obj = sign *. t.z.(n) in
-            let sol = { objective_value = obj; values } in
-            (match check_solution p sol with
-            | Ok () -> Optimal sol
-            | Error msg ->
-                (* A drifted tableau's answer must not escape into a hard
-                   bound; report distrust and let the caller degrade. *)
-                stopped (Numeric msg) ~best_objective:None)
-      end
-  in
-  Counter.incr c_solves;
-  Counter.add c_pivots !iters;
-  Counter.add c_phase1_pivots phase1_iters;
-  Counter.add c_bland !bland_acts;
-  outcome
+              else raise (Fallback "dual-infeasible restored statuses")
+          | Vupper when t.z.(j) > tol ->
+              let d = t.lo.(j) -. t.hi.(j) in
+              for i = 0 to m - 1 do
+                t.xb.(i) <- t.xb.(i) -. (t.a.(i).(j) *. d)
+              done;
+              t.status.(j) <- Vlower
+          | _ -> ())
+        t.cols;
+      (* ---- Dual simplex: drive out-of-bounds basic variables back into
+         their boxes while keeping the reduced costs dual-feasible. ---- *)
+      let cap = warm_cap m n in
+      let infeasible = ref false in
+      let stopped_reason = ref None in
+      (try
+         let continue_ = ref true in
+         while !continue_ do
+           let r = ref (-1) and worst = ref tol in
+           for i = 0 to m - 1 do
+             let b = basis.(i) in
+             let v =
+               Float.max (t.lo.(b) -. t.xb.(i)) (t.xb.(i) -. t.hi.(b))
+             in
+             if v > !worst then begin
+               r := i;
+               worst := v
+             end
+           done;
+           if !r = -1 then continue_ := false
+           else begin
+             if !dual_pivs >= cap then raise (Fallback "dual pivot cap");
+             charge ?budget ~iters ();
+             let row = !r in
+             let b = basis.(row) in
+             let below = t.xb.(row) < t.lo.(b) in
+             let arow = t.a.(row) in
+             (* Entering candidate: a nonbasic that can move x_B(row) back
+                toward the violated bound; min-ratio |z_j| / |alpha_j|
+                keeps dual feasibility. No candidate certifies primal
+                infeasibility: x_B(row) is already extremal over every
+                movable nonbasic. *)
+             let best = ref (-1) and best_ratio = ref infinity in
+             Array.iter
+               (fun j ->
+                 let alpha = arow.(j) in
+                 let adm =
+                   match t.status.(j) with
+                   | Vlower -> if below then alpha < -.tol else alpha > tol
+                   | Vupper -> if below then alpha > tol else alpha < -.tol
+                   | Vbasic -> false
+                 in
+                 if adm then begin
+                   let ratio = Float.abs t.z.(j) /. Float.abs alpha in
+                   if ratio < !best_ratio -. 1e-12 then begin
+                     best := j;
+                     best_ratio := ratio
+                   end
+                 end)
+               t.cols;
+             if !best = -1 then begin
+               infeasible := true;
+               continue_ := false
+             end
+             else begin
+               let col = !best in
+               let target = if below then t.lo.(b) else t.hi.(b) in
+               let delta = (t.xb.(row) -. target) /. arow.(col) in
+               let enter_val = nb_value t col +. delta in
+               for i = 0 to m - 1 do
+                 if i <> row then
+                   t.xb.(i) <- t.xb.(i) -. (t.a.(i).(col) *. delta)
+               done;
+               t.status.(b) <- (if below then Vlower else Vupper);
+               t.status.(col) <- Vbasic;
+               t.basis.(row) <- col;
+               t.xb.(row) <- enter_val;
+               pivot_tab t ~row ~col;
+               incr iters;
+               incr dual_pivs
+             end
+           end
+         done
+       with Stop_exc reason -> stopped_reason := Some reason);
+      let result =
+        match !stopped_reason with
+        | Some reason ->
+            (* starved mid-repair: primal infeasible, so no best-so-far *)
+            (Stopped { reason; best_objective = None; iterations = !iters }, None)
+        | None ->
+            if !infeasible then (Infeasible, None)
+            else begin
+              (* primal cleanup: usually zero pivots — dual-feasible and
+                 primal-feasible together mean optimal *)
+              match optimize ?budget ~iters ~bland_acts ~c:c2 t with
+              | exception Unbounded_exc ->
+                  (* a bound tightening cannot unbound a bounded parent;
+                     treat as numeric trouble *)
+                  raise (Fallback "warm path reported unbounded")
+              | exception Stop_exc reason ->
+                  ( Stopped
+                      {
+                        reason;
+                        best_objective = Some (sign *. objective_of t c2);
+                        iterations = !iters;
+                      },
+                    None )
+              | () -> (
+                  let sol = extract_solution t ~sign ~c2 in
+                  let vlo = Array.sub t.lo 0 nv
+                  and vhi = Array.sub t.hi 0 nv in
+                  match check_solution_arrays ~vlo ~vhi p sol with
+                  | Ok () ->
+                      ( Optimal sol,
+                        Some (snap_of t ~art_neg:snapshot.s_art_neg) )
+                  | Error msg -> raise (Fallback msg))
+            end
+      in
+      Counter.incr c_solves;
+      flush ();
+      Some result
+    with Fallback _ ->
+      flush ();
+      None
+  end
 
-(* Cold path: span + latency histogram around the solve. Kept out of
-   [solve] so the disabled path is a single atomic load and a branch. *)
-let solve_observed ?budget p =
+(* ---- Entry points. ---- *)
+
+let solve_run ?budget ?bounds p =
+  validate p;
+  cold_solve ?budget ?bounds (normalize p)
+
+let solve_from_run ?budget ~snapshot ~bounds p =
+  validate p;
+  Counter.incr c_warm;
+  let p = normalize p in
+  match warm_solve ?budget ~snapshot ~bounds p with
+  | Some result -> result
+  | None ->
+      Counter.incr c_warm_fb;
+      cold_solve ?budget ~bounds p
+
+(* Span + latency histogram around the solve, kept out of the plain entry
+   points so the disabled path is a single atomic load and a branch. *)
+let observed f =
   let run () =
     let t0 = Pc_util.Clock.now_ns () in
-    let r = solve_run ?budget p in
+    let r = f () in
     Pc_obs.Registry.Histogram.observe_ns h_solve
       (Int64.to_float (Int64.sub (Pc_util.Clock.now_ns ()) t0));
     r
@@ -398,10 +1005,17 @@ let solve_observed ?budget p =
   if Pc_obs.Trace.enabled () then Pc_obs.Trace.with_span ~name:"lp.solve" run
   else run ()
 
-let solve ?budget p =
-  if Pc_obs.Trace.enabled () || Pc_obs.Registry.enabled () then
-    solve_observed ?budget p
-  else solve_run ?budget p
+let maybe_observed f =
+  if Pc_obs.Trace.enabled () || Pc_obs.Registry.enabled () then observed f
+  else f ()
+
+let solve ?budget p = fst (maybe_observed (fun () -> solve_run ?budget p))
+
+let solve_snapshot ?budget ?bounds p =
+  maybe_observed (fun () -> solve_run ?budget ?bounds p)
+
+let solve_from ?budget ~snapshot ~bounds p =
+  maybe_observed (fun () -> solve_from_run ?budget ~snapshot ~bounds p)
 
 let feasible ?budget p =
   match solve ?budget { p with objective = []; maximize = true } with

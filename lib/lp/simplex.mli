@@ -1,9 +1,23 @@
-(** Dense two-phase primal simplex over floats.
+(** Dense bounded-variable primal simplex over floats, with a dual-simplex
+    warm start.
 
-    Solves [max/min c^T x] subject to linear constraints and [x >= 0].
+    Solves [max/min c^T x] subject to linear constraints and box bounds
+    [lo_j <= x_j <= hi_j]; the implicit domain is [x >= 0], so per-variable
+    bounds from {!problem.var_bounds} are intersected with [[0, +inf)].
     Phase 1 finds a basic feasible solution with artificial variables;
     phase 2 optimizes the real objective. Pricing is Dantzig's rule with a
     switch to Bland's rule after a stall, which guarantees termination.
+    Nonbasic variables rest at either bound, and a pivot can be a pure
+    bound flip, so box constraints cost no tableau rows.
+
+    {!solve_snapshot} additionally returns an opaque basis {!snapshot};
+    {!solve_from} restores such a snapshot under {e different} variable
+    bounds, repairs dual feasibility, and re-optimizes with dual-simplex
+    pivots — the hot path for branch-and-bound, where a child differs from
+    its parent by a single tightened bound. The warm path falls back to a
+    cold solve on any numeric trouble (singular basis, unrepairable
+    statuses, pivot-cap overrun, failed self-check): soundness is never
+    entrusted to the warm start alone.
 
     Tolerances come from {!Pc_util.Float_eps}; this is a float code and its
     answers are exact only up to those tolerances (see DESIGN.md). Problem
@@ -19,13 +33,21 @@ type relop = Le | Ge | Eq
 
 type constr = { coeffs : (int * float) list; op : relop; rhs : float }
 (** Sparse row: [coeffs] pairs a variable index with its coefficient.
-    Variable indices must be in [0, n_vars). *)
+    Variable indices must be in [0, n_vars). Duplicate indices are
+    canonicalized (summed once) at solve time, so
+    [c_le [(0, 1.); (0, 1.)] 1.] means [2 x0 <= 1]. *)
 
 type problem = {
   n_vars : int;
   maximize : bool;
   objective : (int * float) list;  (** sparse; omitted indices are 0 *)
   constraints : constr list;
+  var_bounds : (int * float * float) list;
+      (** sparse [(j, lo, hi)] box bounds, intersected with the implicit
+          [x_j >= 0] domain (and with each other when [j] repeats); [[]]
+          leaves every variable at [[0, +inf)]. An empty box
+          ([lo > hi] after intersection) makes the problem [Infeasible] —
+          not an error. *)
 }
 
 type solution = { objective_value : float; values : float array }
@@ -54,18 +76,48 @@ type outcome =
   | Unbounded
   | Stopped of stop  (** resource exhaustion or numeric distrust *)
 
+type snapshot
+(** Compact basis snapshot: the final basic column set, the at-upper flags
+    of the nonbasic columns, and the artificial column signs — everything
+    needed to rebuild the tableau under new bounds. Constant-size per
+    problem shape; holds no tableau rows. *)
+
 val solve : ?budget:Pc_budget.Budget.t -> problem -> outcome
-(** Raises [Invalid_argument] on malformed input (bad indices, non-finite
-    coefficients) — caller bugs, not hard instances. Resource pressure is
-    reported as [Stopped], never an exception. Every [Optimal] outcome has
-    passed {!check_solution}. *)
+(** Cold two-phase solve. Raises [Invalid_argument] on malformed input
+    (bad indices, non-finite coefficients, NaN bounds) — caller bugs, not
+    hard instances. Resource pressure is reported as [Stopped], never an
+    exception. Every [Optimal] outcome has passed {!check_solution}. *)
+
+val solve_snapshot :
+  ?budget:Pc_budget.Budget.t ->
+  ?bounds:float array * float array ->
+  problem ->
+  outcome * snapshot option
+(** Like {!solve}, additionally returning a basis snapshot on [Optimal]
+    (and [None] otherwise). [bounds = (lo, hi)], dense of length [n_vars],
+    {e replaces} [problem.var_bounds] when given — the caller owns the
+    box. *)
+
+val solve_from :
+  ?budget:Pc_budget.Budget.t ->
+  snapshot:snapshot ->
+  bounds:float array * float array ->
+  problem ->
+  outcome * snapshot option
+(** Warm re-solve: restore [snapshot]'s basis for [problem] under the new
+    [bounds], repair dual feasibility, and re-optimize with dual-simplex
+    pivots. The problem's rows and objective must be those the snapshot
+    came from; only the variable bounds may differ. Falls back to a cold
+    {!solve_snapshot} internally on shape mismatch or numeric trouble
+    (counted in [lp.warm_fallbacks]), so the outcome is always as
+    trustworthy as a cold solve. *)
 
 val check_solution : problem -> solution -> (unit, string) result
-(** Post-solve self-check: every constraint satisfied and the objective
-    consistent with a recomputation from [values], within
-    {!Pc_util.Float_eps} tolerances scaled by row magnitude. [solve] runs
-    this on every optimal answer and degrades to [Stopped (Numeric _)]
-    when it fails. *)
+(** Post-solve self-check: every constraint satisfied, every variable
+    within its box, and the objective consistent with a recomputation from
+    [values], within {!Pc_util.Float_eps} tolerances scaled by row
+    magnitude. [solve] runs this on every optimal answer and degrades to
+    [Stopped (Numeric _)] when it fails. *)
 
 val feasible : ?budget:Pc_budget.Budget.t -> problem -> bool
 (** Phase-1 feasibility only. A [Stopped] phase 1 answers [true]

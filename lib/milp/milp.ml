@@ -7,6 +7,7 @@ module Trace = Pc_obs.Trace
 let c_solves = Counter.make "milp.solves"
 let c_nodes = Counter.make "milp.nodes"
 let c_incumbents = Counter.make "milp.incumbent_updates"
+let h_node = Pc_obs.Registry.Histogram.make "milp.node.ns"
 
 type result = {
   bound : float;
@@ -20,9 +21,16 @@ type outcome = Optimal of result | Infeasible | Unbounded | Stopped of S.stop
 
 let int_tol = 1e-6
 
-(* A node is the list of branching constraints accumulated on the path
-   from the root. *)
-type node = { extra : S.constr list; relax : S.solution }
+(* A node is a box of variable bounds (the branching decisions on the path
+   from the root, folded into per-variable [lo, hi]) plus the parent's
+   final basis snapshot, which warm-starts the children: branching adds no
+   constraint rows, so every node's LP has the root's shape. *)
+type node = {
+  lo : float array;
+  hi : float array;
+  snap : S.snapshot;
+  relax : S.solution;
+}
 
 let most_fractional integrality values =
   let best = ref (-1) and best_frac = ref int_tol in
@@ -38,7 +46,7 @@ let most_fractional integrality values =
     values;
   if !best = -1 then None else Some !best
 
-let solve_run ?budget ~node_limit ~integrality problem =
+let solve_run ?budget ~node_limit ~integrality ~warm problem =
   let sign = if problem.S.maximize then 1. else -1. in
   let inc_updates = ref 0 in
   let total_nodes = ref 0 in
@@ -51,17 +59,26 @@ let solve_run ?budget ~node_limit ~integrality problem =
   (* Internally treat everything as maximization of sign * objective by
      comparing signed values. *)
   let better a b = sign *. a > sign *. b in
-  let solve_relax extra =
-    S.solve ?budget { problem with S.constraints = problem.S.constraints @ extra }
+  let nv = problem.S.n_vars in
+  let root_lo = Array.make nv 0. and root_hi = Array.make nv infinity in
+  List.iter
+    (fun (j, l, h) ->
+      root_lo.(j) <- Float.max root_lo.(j) l;
+      root_hi.(j) <- Float.min root_hi.(j) h)
+    problem.S.var_bounds;
+  let solve_child snap lo hi =
+    if warm then S.solve_from ?budget ~snapshot:snap ~bounds:(lo, hi) problem
+    else S.solve_snapshot ?budget ~bounds:(lo, hi) problem
   in
-  match solve_relax [] with
-  | S.Infeasible -> flush Infeasible
-  | S.Unbounded -> flush Unbounded
-  | S.Stopped stop -> flush (Stopped stop)
-  | S.Optimal root ->
+  match S.solve_snapshot ?budget ~bounds:(root_lo, root_hi) problem with
+  | S.Infeasible, _ -> flush Infeasible
+  | S.Unbounded, _ -> flush Unbounded
+  | S.Stopped stop, _ -> flush (Stopped stop)
+  | S.Optimal _, None -> assert false (* Optimal always carries a snapshot *)
+  | S.Optimal root, Some root_snap ->
       let open_nodes : node Pc_util.Heap.t = Pc_util.Heap.create () in
       Pc_util.Heap.push open_nodes (sign *. root.S.objective_value)
-        { extra = []; relax = root };
+        { lo = root_lo; hi = root_hi; snap = root_snap; relax = root };
       let incumbent = ref None in
       let incumbent_val = ref neg_infinity (* signed value *) in
       let nodes = total_nodes in
@@ -75,6 +92,7 @@ let solve_run ?budget ~node_limit ~integrality problem =
       let take_budget_node () =
         match budget with None -> true | Some b -> B.take_node b
       in
+      let observe = Pc_obs.Registry.enabled () in
       while !continue_ do
         match Pc_util.Heap.pop open_nodes with
         | None -> continue_ := false
@@ -93,7 +111,8 @@ let solve_run ?budget ~node_limit ~integrality problem =
             end
             else begin
               incr nodes;
-              match most_fractional integrality node.relax.S.values with
+              let t0 = if observe then Pc_util.Clock.now_ns () else 0L in
+              (match most_fractional integrality node.relax.S.values with
               | None ->
                   (* Integral: candidate incumbent. *)
                   if better node.relax.S.objective_value (sign *. !incumbent_val)
@@ -115,35 +134,40 @@ let solve_run ?budget ~node_limit ~integrality problem =
                   end
               | Some j ->
                   let v = node.relax.S.values.(j) in
-                  let fl = Float.of_int (int_of_float (Float.floor v)) in
-                  let branches =
-                    [
-                      S.c_le [ (j, 1.) ] fl;
-                      S.c_ge [ (j, 1.) ] (fl +. 1.);
-                    ]
-                  in
+                  let fl = Float.floor v in
+                  (* Branching is pure bound tightening: x_j <= fl on one
+                     side, x_j >= fl + 1 on the other. *)
                   List.iter
-                    (fun bc ->
-                      let extra = bc :: node.extra in
-                      match solve_relax extra with
-                      | S.Infeasible -> ()
-                      | S.Unbounded | S.Stopped _ ->
-                          (* Unbounded cannot happen if the root is
-                             bounded; a Stopped child gives no bound of
-                             its own. Either way, re-cover the subtree at
-                             the parent's (sound) bound and truncate the
-                             search — repeatedly re-solving a starved or
-                             pathological child would loop. *)
-                          Pc_util.Heap.push open_nodes signed_bound
-                            { extra; relax = node.relax };
-                          stopped_early := true;
-                          continue_ := false
-                      | S.Optimal sol ->
-                          let sb = sign *. sol.S.objective_value in
-                          if sb > !incumbent_val +. int_tol then
-                            Pc_util.Heap.push open_nodes sb
-                              { extra; relax = sol })
-                    branches
+                    (fun up ->
+                      let lo = Array.copy node.lo and hi = Array.copy node.hi in
+                      if up then lo.(j) <- Float.max lo.(j) (fl +. 1.)
+                      else hi.(j) <- Float.min hi.(j) fl;
+                      if lo.(j) > hi.(j) then () (* empty box: no child LP *)
+                      else
+                        match solve_child node.snap lo hi with
+                        | S.Infeasible, _ -> ()
+                        | (S.Unbounded | S.Stopped _), _ ->
+                            (* Unbounded cannot happen if the root is
+                               bounded; a Stopped child gives no bound of
+                               its own. Either way, re-cover the subtree at
+                               the parent's (sound) bound and truncate the
+                               search — repeatedly re-solving a starved or
+                               pathological child would loop. *)
+                            Pc_util.Heap.push open_nodes signed_bound
+                              { lo; hi; snap = node.snap; relax = node.relax };
+                            stopped_early := true;
+                            continue_ := false
+                        | S.Optimal sol, Some snap ->
+                            let sb = sign *. sol.S.objective_value in
+                            if sb > !incumbent_val +. int_tol then
+                              Pc_util.Heap.push open_nodes sb
+                                { lo; hi; snap; relax = sol }
+                        | S.Optimal _, None -> assert false)
+                    [ false; true ]);
+              if observe then
+                Pc_obs.Registry.Histogram.observe_ns h_node
+                  (Int64.to_float
+                     (Int64.sub (Pc_util.Clock.now_ns ()) t0))
             end
       done;
       let open_bound =
@@ -192,11 +216,12 @@ let gap_string r =
       Printf.sprintf "%.3g" g
   | _ -> "inf"
 
-let solve ?budget ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem =
+let solve ?budget ?(node_limit = 10_000) ?(integrality = fun _ -> true)
+    ?(warm = true) problem =
   (* the branch keeps the disabled path closure-free *)
   if Trace.enabled () then
     Trace.with_span ~name:"milp.solve" (fun () ->
-        let r = solve_run ?budget ~node_limit ~integrality problem in
+        let r = solve_run ?budget ~node_limit ~integrality ~warm problem in
         (match r with
         | Optimal res ->
             Trace.add_attr "nodes" (string_of_int res.nodes);
@@ -205,4 +230,4 @@ let solve ?budget ?(node_limit = 10_000) ?(integrality = fun _ -> true) problem 
         | Unbounded -> Trace.add_attr "outcome" "unbounded"
         | Stopped _ -> Trace.add_attr "outcome" "stopped");
         r)
-  else solve_run ?budget ~node_limit ~integrality problem
+  else solve_run ?budget ~node_limit ~integrality ~warm problem

@@ -8,6 +8,14 @@
     most-fractional-variable; all variables are non-negative, and all are
     integer unless [integrality] says otherwise.
 
+    Branching on [x_j <= floor v / x_j >= ceil v] is a pure bound
+    tightening on the {!Pc_lp.Simplex} box, so every node's LP has the
+    root's shape (no accumulated constraint rows), and each child
+    re-optimizes from its parent's final basis snapshot with dual-simplex
+    pivots ({!Pc_lp.Simplex.solve_from}). Pass [~warm:false] to force a
+    cold LP solve per node — the reference the warm path is tested
+    against.
+
     There is no exception-raising path on this surface: resource
     exhaustion (per-call [node_limit], the budget's node pool, its
     deadline, or a starved LP underneath) either truncates the search —
@@ -40,9 +48,13 @@ val solve :
   ?budget:Pc_budget.Budget.t ->
   ?node_limit:int ->
   ?integrality:(int -> bool) ->
+  ?warm:bool ->
   Pc_lp.Simplex.problem ->
   outcome
 (** [node_limit] defaults to 10_000 and is a per-call cap; the budget's
     node pool (if any) is shared across calls. [node_limit = 0] yields the
     root LP-relaxation dual bound ([truncated], no incumbent).
-    [Unbounded] is reported when the relaxation is unbounded. *)
+    [Unbounded] is reported when the relaxation is unbounded. [warm]
+    (default [true]) warm-starts each child LP from its parent's basis;
+    results are identical either way (the warm path cold-falls-back on
+    any numeric doubt), only the pivot counts differ. *)

@@ -114,7 +114,7 @@ a zero-node budget keeps the LP-relaxation dual bound:
   [75-, 125+]
     lower bound: 75
     upper bound: 125
-    provenance: relaxed (cells=2 sat=1 nodes=0 iters=9)
+    provenance: relaxed (cells=2 sat=1 nodes=0 iters=8)
 
 --trace writes a Chrome trace_event file and --metrics=FILE writes the
 instrument registry as JSON; both artifacts must validate, and the
@@ -124,9 +124,9 @@ budget's consumption snapshot is echoed:
   [75-, 125+]
     lower bound: 75
     upper bound: 125
-    provenance: relaxed (cells=2 sat=1 nodes=0 iters=9)
+    provenance: relaxed (cells=2 sat=1 nodes=0 iters=8)
   trace: 8 spans -> trace.json
-  budget: cells=2 sat-calls=1 nodes=0 iterations=9
+  budget: cells=2 sat-calls=1 nodes=0 iterations=8
   metrics: -> metrics.json
 
   $ ../tools/json_check.exe trace.json metrics.json
@@ -160,9 +160,12 @@ here so that adding or renaming a counter shows up in review:
   cells.emitted
   cells.witness_hits
   lp.bland_activations
+  lp.dual_pivots
   lp.phase1_pivots
   lp.pivots
   lp.solves
+  lp.warm_fallbacks
+  lp.warm_starts
   milp.incumbent_updates
   milp.nodes
   milp.solves
@@ -170,6 +173,7 @@ here so that adding or renaming a counter shows up in review:
   sat.calls
   bound.ns
   lp.solve.ns
+  milp.node.ns
   pool.queue_wait_ns
   pool.run_ns
 

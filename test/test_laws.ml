@@ -238,7 +238,7 @@ let prop_milp_duality =
       let objective =
         List.init n (fun j -> (j, float_of_int (Pc_util.Rng.int rng 7 - 3)))
       in
-      let p = { S.n_vars = n; maximize = false; objective; constraints } in
+      let p = { S.n_vars = n; maximize = false; objective; constraints; var_bounds = [] } in
       let neg =
         {
           p with

@@ -18,6 +18,7 @@ let test_basic_max () =
       maximize = true;
       objective = [ (0, 3.); (1, 2.) ];
       constraints = [ S.c_le [ (0, 1.); (1, 1.) ] 4.; S.c_le [ (0, 1.); (1, 3.) ] 6. ];
+      var_bounds = [];
     }
   in
   let s = get_opt (S.solve p) in
@@ -33,6 +34,7 @@ let test_basic_min () =
       maximize = false;
       objective = [ (0, 1.); (1, 1.) ];
       constraints = [ S.c_ge [ (0, 1.); (1, 2.) ] 6.; S.c_ge [ (0, 3.); (1, 1.) ] 9. ];
+      var_bounds = [];
     }
   in
   let s = get_opt (S.solve p) in
@@ -46,6 +48,7 @@ let test_equality () =
       maximize = true;
       objective = [ (0, 1.) ];
       constraints = [ S.c_eq [ (0, 1.); (1, 1.) ] 5.; S.c_le [ (0, 1.) ] 3. ];
+      var_bounds = [];
     }
   in
   let s = get_opt (S.solve p) in
@@ -59,6 +62,7 @@ let test_infeasible () =
       maximize = true;
       objective = [ (0, 1.) ];
       constraints = [ S.c_ge [ (0, 1.) ] 5.; S.c_le [ (0, 1.) ] 3. ];
+      var_bounds = [];
     }
   in
   (match S.solve p with
@@ -69,7 +73,7 @@ let test_infeasible () =
 
 let test_unbounded () =
   let p =
-    { S.n_vars = 1; maximize = true; objective = [ (0, 1.) ]; constraints = [] }
+    { S.n_vars = 1; maximize = true; objective = [ (0, 1.) ]; constraints = []; var_bounds = [] }
   in
   match S.solve p with
   | S.Unbounded -> ()
@@ -85,6 +89,7 @@ let test_negative_rhs () =
       maximize = true;
       objective = [ (0, 1.) ];
       constraints = [ S.c_le [ (0, -1.) ] (-2.); S.c_le [ (0, 1.) ] 5. ];
+      var_bounds = [];
     }
   in
   let s = get_opt (S.solve p) in
@@ -108,6 +113,7 @@ let test_degenerate () =
           S.c_le [ (0, 1.); (1, 1.) ] 2.;
           S.c_eq [ (0, 1.); (1, 1.) ] 2.;
         ];
+      var_bounds = [];
     }
   in
   let s = get_opt (S.solve p) in
@@ -134,6 +140,7 @@ let test_pc_shaped () =
       maximize = true;
       objective = [ (0, 129.99); (1, 149.99) ];
       constraints = cons;
+      var_bounds = [];
     }
   in
   let s = get_opt (S.solve p) in
@@ -149,7 +156,7 @@ let test_validation () =
     (Invalid_argument "Simplex: variable index out of range") (fun () ->
       ignore
         (S.solve
-           { S.n_vars = 1; maximize = true; objective = [ (3, 1.) ]; constraints = [] }))
+           { S.n_vars = 1; maximize = true; objective = [ (3, 1.) ]; constraints = []; var_bounds = [] }))
 
 (* --- randomized cross-check against brute-force vertex enumeration on a
    grid: for small problems with x in {0..6}^2 and <= constraints with
@@ -166,7 +173,7 @@ let random_problem rng =
         S.c_le [ (0, c0); (1, c1) ] rhs)
   in
   let objective = [ (0, float_of_int (R.int rng 5)); (1, float_of_int (R.int rng 5)) ] in
-  { S.n_vars = 2; maximize = true; objective; constraints }
+  { S.n_vars = 2; maximize = true; objective; constraints; var_bounds = [] }
 
 let prop_dominates_grid =
   QCheck.Test.make ~name:"LP optimum dominates all feasible grid points" ~count:300
@@ -233,6 +240,7 @@ let random_mixed_problem rng =
     maximize = R.int rng 2 = 0;
     objective = sparse_row ();
     constraints;
+    var_bounds = [];
   }
 
 let prop_solution_self_check =
@@ -273,6 +281,169 @@ let prop_solution_self_check =
               && Float.abs (row p.S.objective -. s.S.objective_value)
                  <= eps *. Float.max 1. (Float.abs s.S.objective_value)))
 
+(* --- duplicate variable indices are canonicalized (summed once) --- *)
+
+let test_duplicate_indices () =
+  (* [(0,1.);(0,1.)] must mean 2 x0, in rows and in the objective *)
+  let p =
+    {
+      S.n_vars = 1;
+      maximize = true;
+      objective = [ (0, 1.) ];
+      constraints = [ S.c_le [ (0, 1.); (0, 1.) ] 1. ];
+      var_bounds = [];
+    }
+  in
+  let s = get_opt (S.solve p) in
+  check_float "2 x0 <= 1 caps x0 at 0.5" 0.5 s.S.values.(0);
+  let reference =
+    get_opt (S.solve { p with constraints = [ S.c_le [ (0, 2.) ] 1. ] })
+  in
+  check_float "identical to the pre-summed row" reference.S.values.(0)
+    s.S.values.(0);
+  let dup_obj =
+    get_opt (S.solve { p with objective = [ (0, 1.); (0, 1.) ] })
+  in
+  check_float "objective duplicates also sum" 1. dup_obj.S.objective_value
+
+(* --- explicit variable bounds --- *)
+
+let test_var_bounds () =
+  (* max x + y s.t. x + y <= 4 with x in [1,3], y in [0,2] *)
+  let p =
+    {
+      S.n_vars = 2;
+      maximize = true;
+      objective = [ (0, 1.); (1, 1.) ];
+      constraints = [ S.c_le [ (0, 1.); (1, 1.) ] 4. ];
+      var_bounds = [ (0, 1., 3.); (1, 0., 2.) ];
+    }
+  in
+  let s = get_opt (S.solve p) in
+  check_float "objective" 4. s.S.objective_value;
+  Alcotest.(check bool) "x within box" true
+    (s.S.values.(0) >= 1. -. 1e-9 && s.S.values.(0) <= 3. +. 1e-9);
+  (* minimization rests on the lower bounds *)
+  let s_min = get_opt (S.solve { p with maximize = false }) in
+  check_float "min objective" 1. s_min.S.objective_value;
+  check_float "x at its lower bound" 1. s_min.S.values.(0);
+  (* bounds alone make an otherwise unbounded problem finite *)
+  let free =
+    {
+      S.n_vars = 1;
+      maximize = true;
+      objective = [ (0, 1.) ];
+      constraints = [];
+      var_bounds = [ (0, 0., 7.) ];
+    }
+  in
+  check_float "upper bound caps the optimum" 7.
+    (get_opt (S.solve free)).S.objective_value;
+  (* a fixed variable (lo = hi) is honored exactly *)
+  let fixed = { free with var_bounds = [ (0, 3., 3.) ] } in
+  check_float "fixed variable" 3. (get_opt (S.solve fixed)).S.values.(0)
+
+let test_empty_box_infeasible () =
+  (* lo > hi is Infeasible, not an error; repeated entries intersect *)
+  let p =
+    {
+      S.n_vars = 1;
+      maximize = true;
+      objective = [ (0, 1.) ];
+      constraints = [];
+      var_bounds = [ (0, 2., 5.); (0, 0., 1.) ];
+    }
+  in
+  match S.solve p with
+  | S.Infeasible -> ()
+  | S.Optimal _ | S.Unbounded | S.Stopped _ ->
+      Alcotest.fail "expected Infeasible on an empty box"
+
+(* --- warm starts: solve_from matches a cold solve under the new box --- *)
+
+let chain_problem =
+  {
+    S.n_vars = 3;
+    maximize = true;
+    objective = [ (0, 5.); (1, 4.); (2, 3.) ];
+    constraints =
+      [
+        S.c_le [ (0, 2.); (1, 3.); (2, 1.) ] 5.;
+        S.c_le [ (0, 4.); (1, 1.); (2, 2.) ] 11.;
+        S.c_le [ (0, 3.); (1, 4.); (2, 2.) ] 8.;
+      ];
+    var_bounds = [];
+  }
+
+let test_solve_from_matches_cold () =
+  let lo = [| 0.; 0.; 0. |] and hi = [| infinity; infinity; infinity |] in
+  let snap =
+    match S.solve_snapshot ~bounds:(lo, hi) chain_problem with
+    | S.Optimal _, Some snap -> snap
+    | _ -> Alcotest.fail "root solve failed"
+  in
+  (* tighten bounds one at a time, as branch-and-bound would *)
+  let boxes =
+    [
+      ([| 0.; 0.; 0. |], [| 1.; infinity; infinity |]);
+      ([| 2.; 0.; 0. |], [| infinity; infinity; infinity |]);
+      ([| 0.; 1.; 0. |], [| infinity; 1.; 2. |]);
+    ]
+  in
+  List.iter
+    (fun (lo, hi) ->
+      let warm, _ = S.solve_from ~snapshot:snap ~bounds:(lo, hi) chain_problem in
+      let cold, _ = S.solve_snapshot ~bounds:(lo, hi) chain_problem in
+      match (warm, cold) with
+      | S.Optimal w, S.Optimal c ->
+          check_float "warm = cold objective" c.S.objective_value
+            w.S.objective_value
+      | S.Infeasible, S.Infeasible -> ()
+      | _ -> Alcotest.fail "warm and cold outcomes disagree")
+    boxes;
+  (* tightening into an empty feasible region is certified infeasible *)
+  let warm_inf, _ =
+    S.solve_from ~snapshot:snap
+      ~bounds:([| 10.; 0.; 0. |], [| infinity; infinity; infinity |])
+      chain_problem
+  in
+  match warm_inf with
+  | S.Infeasible -> ()
+  | _ -> Alcotest.fail "expected Infeasible from the warm path"
+
+let test_solve_from_shape_fallback () =
+  (* a snapshot from a different problem shape must fall back to a cold
+     solve — and still return the right answer *)
+  let other =
+    {
+      S.n_vars = 2;
+      maximize = true;
+      objective = [ (0, 1.) ];
+      constraints = [ S.c_le [ (0, 1.); (1, 1.) ] 2. ];
+      var_bounds = [];
+    }
+  in
+  let snap =
+    match S.solve_snapshot other with
+    | S.Optimal _, Some snap -> snap
+    | _ -> Alcotest.fail "setup solve failed"
+  in
+  let module C = Pc_obs.Registry.Counter in
+  let fb = C.make "lp.warm_fallbacks" in
+  let before = C.get fb in
+  let outcome, _ =
+    S.solve_from ~snapshot:snap
+      ~bounds:([| 0.; 0.; 0. |], [| infinity; infinity; infinity |])
+      chain_problem
+  in
+  (match outcome with
+  | S.Optimal s ->
+      let cold = get_opt (S.solve chain_problem) in
+      check_float "fallback matches cold" cold.S.objective_value
+        s.S.objective_value
+  | _ -> Alcotest.fail "expected Optimal via fallback");
+  Alcotest.(check bool) "fallback was counted" true (C.get fb > before)
+
 (* --- budget integration: a crushed budget yields Stopped, never an
    exception, and phase-2 stops carry a primal best-so-far. --- *)
 
@@ -284,6 +455,7 @@ let test_budget_stop () =
       maximize = true;
       objective = [ (0, 3.); (1, 2.) ];
       constraints = [ S.c_le [ (0, 1.); (1, 1.) ] 4. ];
+      var_bounds = [];
     }
   in
   (match S.solve ~budget:b p with
@@ -299,7 +471,7 @@ let test_deadline_stop () =
   let b = Pc_budget.Budget.start (Pc_budget.Budget.spec ~timeout:0. ()) in
   let p =
     { S.n_vars = 1; maximize = true; objective = [ (0, 1.) ];
-      constraints = [ S.c_le [ (0, 1.) ] 1. ] }
+      constraints = [ S.c_le [ (0, 1.) ] 1. ]; var_bounds = [] }
   in
   match S.solve ~budget:b p with
   | S.Stopped _ -> ()
@@ -322,6 +494,11 @@ let () =
           tc "validation" `Quick test_validation;
           tc "budget stop" `Quick test_budget_stop;
           tc "deadline stop" `Quick test_deadline_stop;
+          tc "duplicate indices" `Quick test_duplicate_indices;
+          tc "variable bounds" `Quick test_var_bounds;
+          tc "empty box infeasible" `Quick test_empty_box_infeasible;
+          tc "solve_from matches cold" `Quick test_solve_from_matches_cold;
+          tc "solve_from shape fallback" `Quick test_solve_from_shape_fallback;
         ] );
       ( "properties",
         [

@@ -20,6 +20,7 @@ let test_knapsack () =
       maximize = true;
       objective = [ (0, 5.); (1, 4.) ];
       constraints = [ S.c_le [ (0, 6.); (1, 5.) ] 10. ];
+      var_bounds = [];
     }
   in
   let r = get_opt (Milp.solve p) in
@@ -39,6 +40,7 @@ let test_fractional_lp_gap () =
       maximize = true;
       objective = [ (0, 1.); (1, 1.) ];
       constraints = [ S.c_le [ (0, 2.); (1, 2.) ] 3. ];
+      var_bounds = [];
     }
   in
   let r = get_opt (Milp.solve p) in
@@ -55,6 +57,7 @@ let test_minimization () =
       maximize = false;
       objective = [ (0, 3.); (1, 4.) ];
       constraints = [ S.c_ge [ (0, 1.); (1, 1.) ] 2.5 ];
+      var_bounds = [];
     }
   in
   let r = get_opt (Milp.solve p) in
@@ -69,6 +72,7 @@ let test_integer_infeasible () =
       maximize = true;
       objective = [ (0, 1.) ];
       constraints = [ S.c_ge [ (0, 1.) ] 0.4; S.c_le [ (0, 1.) ] 0.6 ];
+      var_bounds = [];
     }
   in
   match Milp.solve p with
@@ -90,6 +94,7 @@ let test_node_limit_sound () =
           S.c_le [ (0, 4.); (1, 1.); (2, 2.) ] 11.;
           S.c_le [ (0, 3.); (1, 4.); (2, 2.) ] 8.;
         ];
+      var_bounds = [];
     }
   in
   let exact = get_opt (Milp.solve p) in
@@ -106,6 +111,7 @@ let test_zero_node_budget () =
       maximize = true;
       objective = [ (0, 5.); (1, 4.) ];
       constraints = [ S.c_le [ (0, 6.); (1, 5.) ] 10. ];
+      var_bounds = [];
     }
   in
   let exact = get_opt (Milp.solve p) in
@@ -136,6 +142,7 @@ let test_starved_budget_stops () =
       maximize = true;
       objective = [ (0, 1.) ];
       constraints = [ S.c_le [ (0, 1.) ] 1.5 ];
+      var_bounds = [];
     }
   in
   match Milp.solve ~budget:b p with
@@ -152,6 +159,7 @@ let test_partial_integrality () =
       objective = [ (0, 1.); (1, 1.) ];
       constraints =
         [ S.c_le [ (0, 1.) ] 1.5; S.c_le [ (1, 1.) ] 0.5; S.c_le [ (0, 1.); (1, 1.) ] 1.8 ];
+      var_bounds = [];
     }
   in
   let r = get_opt (Milp.solve ~integrality:(fun j -> j = 0) p) in
@@ -175,6 +183,7 @@ let test_pc_interval_milp () =
           S.c_ge [ (1, 1.); (2, 1.) ] 2.;
           S.c_le [ (1, 1.); (2, 1.) ] 4.;
         ];
+      var_bounds = [];
     }
   in
   let r = get_opt (Milp.solve p) in
@@ -205,7 +214,7 @@ let random_ip rng =
       (2, float_of_int (R.int rng 7 - 2));
     ]
   in
-  { S.n_vars = 3; maximize = true; objective; constraints }
+  { S.n_vars = 3; maximize = true; objective; constraints; var_bounds = [] }
 
 let brute_force p =
   (* enumerate x in {0..8}^3 *)
@@ -263,6 +272,81 @@ let prop_matches_bruteforce =
       | Milp.Stopped _, _ ->
           false)
 
+(* --- warm-start equivalence and work reduction --- *)
+
+let random_bounded_ip rng =
+  (* random_ip plus a random box on each variable, so branching interacts
+     with pre-existing var_bounds, not just the implicit x >= 0 domain *)
+  let module R = Pc_util.Rng in
+  let p = random_ip rng in
+  let var_bounds =
+    List.init p.S.n_vars (fun j ->
+        let lo = float_of_int (R.int rng 2) in
+        let hi = lo +. float_of_int (R.int rng 7) in
+        (j, lo, hi))
+  in
+  { p with S.var_bounds }
+
+let prop_warm_matches_cold =
+  QCheck.Test.make
+    ~name:"warm-started B&B matches the cold-start reference" ~count:200
+    QCheck.small_int (fun seed ->
+      let rng = Pc_util.Rng.create (seed + 5000) in
+      let p = random_bounded_ip rng in
+      match (Milp.solve ~warm:true p, Milp.solve ~warm:false p) with
+      | Milp.Optimal w, Milp.Optimal c ->
+          Float.abs (w.Milp.bound -. c.Milp.bound) <= 1e-6
+          && w.Milp.exact = c.Milp.exact
+          && Option.is_some w.Milp.incumbent = Option.is_some c.Milp.incumbent
+      | Milp.Infeasible, Milp.Infeasible -> true
+      | Milp.Unbounded, Milp.Unbounded -> true
+      | _, _ -> false)
+
+(* lp.pivots counts every pivot; lp.phase1_pivots and lp.dual_pivots are
+   breakdowns of it, not additions *)
+let total_pivots () =
+  let module C = Pc_obs.Registry.Counter in
+  C.get (C.make "lp.pivots")
+
+let test_warm_does_less_work () =
+  (* A nested-bound chain: prefix-sum caps at k + 0.5 force a branching
+     at every depth, so the search dives through a chain of boxes that
+     each tighten one bound. Warm children re-optimize the parent basis
+     with a few dual pivots; cold children redo phase 1 + phase 2. *)
+  let n = 6 in
+  let p =
+    {
+      S.n_vars = n;
+      maximize = true;
+      objective = List.init n (fun j -> (j, 1.));
+      constraints =
+        List.init n (fun k ->
+            S.c_le
+              (List.init (k + 1) (fun i -> (i, 1.)))
+              (float_of_int k +. 1.5));
+      var_bounds = [];
+    }
+  in
+  let pivots_of warm =
+    let before = total_pivots () in
+    (match (Milp.solve ~warm p, Milp.solve ~warm:false p) with
+    | Milp.Optimal a, Milp.Optimal b ->
+        Alcotest.(check (float 1e-6)) "same bound" b.Milp.bound a.Milp.bound
+    | _ -> Alcotest.fail "expected Optimal both ways");
+    total_pivots () - before
+  in
+  (* each measurement also runs the cold reference, so comparing the two
+     measurements compares warm+cold against cold+cold *)
+  let warm_total = pivots_of true and cold_total = pivots_of false in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm (%d) strictly fewer pivots than cold (%d)"
+       warm_total cold_total)
+    true
+    (warm_total < cold_total);
+  let module C = Pc_obs.Registry.Counter in
+  Alcotest.(check bool) "warm starts were recorded" true
+    (C.get (C.make "lp.warm_starts") > 0)
+
 let () =
   Alcotest.run "pc_milp"
     [
@@ -277,6 +361,11 @@ let () =
           tc "starved budget stops" `Quick test_starved_budget_stops;
           tc "partial integrality" `Quick test_partial_integrality;
           tc "pc interval shape" `Quick test_pc_interval_milp;
+          tc "warm does less work" `Quick test_warm_does_less_work;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_matches_bruteforce ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_matches_bruteforce;
+          QCheck_alcotest.to_alcotest prop_warm_matches_cold;
+        ] );
     ]
