@@ -294,6 +294,131 @@ let write_baseline ~queries ~rows path =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Closed-loop server load generator (BENCH_serve.json)                *)
+(* ------------------------------------------------------------------ *)
+
+(* N clients in a closed loop against an in-process `pcda serve` engine:
+   each sends a bound request, waits for the reply, thinks, repeats.
+   Latency is measured around the request only (think time excluded);
+   qps is end-to-end completed requests over wall clock, the closed-loop
+   convention. Schema documented in DESIGN.md, "Serving, admission
+   control & fault injection". *)
+let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
+  let module S = Pc_server.Server in
+  let module C = Pc_server.Client in
+  let module J = Pc_obs.Json in
+  Printf.printf
+    "driving in-process server: %d clients x %d requests, think %.1f ms...\n%!"
+    clients requests think_ms;
+  let missing = Pc_synth.Sensor.generate (Pc_util.Rng.create 3) ~rows:2_000 in
+  (* Partition on the integer device attribute only: [to_dsl] rounds
+     float boundaries, so a float-bucketed partition (e.g. on [time])
+     does not round-trip disjoint through the [load] op and decomposing
+     the resulting accidentally-overlapping 50-PC set blows up
+     exponentially. Integer boundaries survive the round trip. *)
+  let pcs =
+    Pc_core.Generate.corr_partition missing ~attrs:[ "device" ] ~n:50 ()
+  in
+  let text =
+    String.concat "\n" (List.map Pc_parse.Pc_parser.to_dsl pcs) ^ "\n"
+  in
+  let srv =
+    S.create
+      {
+        S.default_config with
+        S.policy = Pc_server.Admission.policy ~max_inflight;
+      }
+  in
+  (match S.load_dataset srv ~name:"default" ~constraints:text () with
+  | Ok _ -> ()
+  | Error e ->
+      Printf.eprintf "FATAL: constraint preload failed: %s\n" e;
+      exit 1);
+  let th = Thread.create S.run srv in
+  let port = S.port srv in
+  let queries =
+    [|
+      "SELECT COUNT(*)";
+      "SELECT SUM(light)";
+      "SELECT AVG(light)";
+      "SELECT MIN(light)";
+      "SELECT MAX(light)";
+    |]
+  in
+  let lat_ns = Array.make (clients * requests) nan in
+  let degraded = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let t0 = Clock.now () in
+  let worker w =
+    Thread.create
+      (fun () ->
+        let c = C.connect ~host:"127.0.0.1" ~port in
+        for i = 0 to requests - 1 do
+          let q = queries.((w + i) mod Array.length queries) in
+          let line = Printf.sprintf {|{"op":"bound","query":"%s"}|} q in
+          let r0 = Clock.now_ns () in
+          (match C.request c line with
+          | Some reply -> (
+              lat_ns.((w * requests) + i) <-
+                Int64.to_float (Int64.sub (Clock.now_ns ()) r0);
+              match J.parse reply with
+              | Ok v -> (
+                  (match J.member "degraded" v with
+                  | Some (J.Bool true) -> Atomic.incr degraded
+                  | _ -> ());
+                  match J.member "ok" v with
+                  | Some (J.Bool true) -> ()
+                  | _ -> Atomic.incr errors)
+              | Error _ -> Atomic.incr errors)
+          | None -> Atomic.incr errors);
+          if think_ms > 0. then Thread.delay (think_ms /. 1e3)
+        done;
+        C.close c)
+      ()
+  in
+  let threads = List.init clients worker in
+  List.iter Thread.join threads;
+  let wall = Clock.elapsed_s ~since:t0 in
+  S.initiate_drain srv;
+  Thread.join th;
+  let completed =
+    Array.to_list lat_ns |> List.filter (fun x -> not (Float.is_nan x))
+  in
+  let sorted = Array.of_list (List.sort compare completed) in
+  let n = Array.length sorted in
+  if n = 0 then begin
+    Printf.eprintf "FATAL: no request completed\n";
+    exit 1
+  end;
+  let pct q = sorted.(min (n - 1) (int_of_float (q *. float_of_int n))) in
+  let total = clients * requests in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let p fmt = Printf.fprintf oc fmt in
+      p "{\n";
+      p "  \"benchmark\": \"BENCH_serve\",\n";
+      p "  \"schema_version\": 1,\n";
+      p "  \"config\": { \"clients\": %d, \"requests_per_client\": %d, \"think_ms\": %.1f, \"max_inflight\": %d },\n"
+        clients requests think_ms max_inflight;
+      p "  \"total_requests\": %d,\n" total;
+      p "  \"completed\": %d,\n" n;
+      p "  \"errors\": %d,\n" (Atomic.get errors);
+      p "  \"wall_s\": %.4f,\n" wall;
+      p "  \"qps\": %.1f,\n" (float_of_int n /. Float.max 1e-9 wall);
+      p "  \"p50_ns\": %.0f,\n" (pct 0.50);
+      p "  \"p99_ns\": %.0f,\n" (pct 0.99);
+      p "  \"degraded_fraction\": %.4f\n"
+        (float_of_int (Atomic.get degraded) /. float_of_int total);
+      p "}\n");
+  Printf.printf "wrote %s\n" path;
+  if Atomic.get errors > 0 then begin
+    Printf.eprintf "FATAL: %d requests failed\n" (Atomic.get errors);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -305,6 +430,11 @@ let () =
   let jobs = ref 1 in
   let list_only = ref false in
   let baseline_out = ref None in
+  let serve_out = ref None in
+  let clients = ref 8 in
+  let requests = ref 40 in
+  let think_ms = ref 1. in
+  let max_inflight = ref 64 in
   let trace_out = ref None in
   let specs =
     [
@@ -319,6 +449,20 @@ let () =
       ( "--baseline",
         Arg.String (fun s -> baseline_out := Some s),
         "FILE write the machine-readable bench baseline (JSON) and exit" );
+      ( "--serve-baseline",
+        Arg.String (fun s -> serve_out := Some s),
+        "FILE drive the bound server with a closed-loop load and write \
+         qps/latency/degradation JSON" );
+      ("--clients", Arg.Set_int clients, "N concurrent load-generator clients (default 8)");
+      ( "--requests",
+        Arg.Set_int requests,
+        "N requests per client for --serve-baseline (default 40)" );
+      ( "--think",
+        Arg.Set_float think_ms,
+        "MS think time between closed-loop requests (default 1)" );
+      ( "--max-inflight",
+        Arg.Set_int max_inflight,
+        "N server admission-control knob for --serve-baseline (default 64)" );
       ( "--trace",
         Arg.String (fun s -> trace_out := Some s),
         "FILE record a Chrome trace_event JSON of the run (chrome://tracing)" );
@@ -338,13 +482,16 @@ let () =
     | Some _ ->
         Pc_obs.Trace.set_enabled true;
         Pc_obs.Trace.reset ());
-    (match !baseline_out with
-    | Some path ->
+    (match (!baseline_out, !serve_out) with
+    | _, Some path ->
+        serve_baseline ~clients:!clients ~requests:!requests
+          ~think_ms:!think_ms ~max_inflight:!max_inflight path
+    | Some path, None ->
         write_baseline
           ~queries:(min !queries 50)
           ~rows:(max 100 (int_of_float (2_000. *. !scale)))
           path
-    | None ->
+    | None, None ->
         let cfg =
           { E.seed = !seed; scale = !scale; queries = !queries; jobs = !jobs }
         in

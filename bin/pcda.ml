@@ -11,23 +11,34 @@
 
 open Cmdliner
 
+(* I/O errors surface as [Failure] so every command's existing
+   user-error path (one line on stderr, exit 2) covers unreadable
+   paths too — cmdliner's [file] converter would reject them earlier
+   but with usage noise and exit 124. *)
 let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> s
+  | exception Sys_error msg -> failwith msg
+
+let read_csv path =
+  try Pc_data.Csv.read_file path with Sys_error msg -> failwith msg
 
 let constraints_arg =
   let doc = "File of predicate-constraints in the PC DSL." in
-  Arg.(required & opt (some file) None & info [ "c"; "constraints" ] ~docv:"FILE" ~doc)
+  Arg.(required & opt (some string) None & info [ "c"; "constraints" ] ~docv:"FILE" ~doc)
 
 let csv_doc = "CSV file with the certain (observed) rows."
 
 let csv_opt_arg =
-  Arg.(value & opt (some file) None & info [ "csv" ] ~docv:"FILE" ~doc:csv_doc)
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:csv_doc)
 
 let csv_req_arg =
-  Arg.(required & opt (some file) None & info [ "csv" ] ~docv:"FILE" ~doc:csv_doc)
+  Arg.(required & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:csv_doc)
 
 let query_arg =
   let doc =
@@ -192,10 +203,20 @@ let load_constraints path =
   try Ok (Pc_core.Pc_set.make (Pc_parse.Pc_parser.parse (read_file path)))
   with Failure msg -> Error msg
 
+(* Error-handling contract (pinned by test/cli/pcda.t): every
+   user-input error — bad path, parse error, malformed spec — is one
+   line on stderr and exit 2; anything else escaping a command is a bug,
+   reported as an internal error (exit 125), never an uncaught
+   exception. *)
 let with_errors f =
   match f () with
   | Ok () -> `Ok ()
-  | Error msg -> `Error (false, msg)
+  | Error msg ->
+      Printf.eprintf "pcda: error: %s\n" msg;
+      exit 2
+  | exception e ->
+      Printf.eprintf "pcda: internal error: %s\n" (Printexc.to_string e);
+      exit 125
 
 (* ---- bound ---- *)
 
@@ -240,7 +261,7 @@ let bound_cmd =
           try
             match (csv, missing_only) with
             | Some path, false ->
-                let certain = Pc_data.Csv.read_file path in
+                let certain = read_csv path in
                 Ok
                   (Pc_core.Bounds.bound_budgeted ~opts ~budget:b ~certain set
                      query)
@@ -265,7 +286,7 @@ let bound_cmd =
         | Some _, None ->
             print_endline "(--group-by needs --csv for the group keys)"
         | Some by, Some path ->
-            let certain = Pc_data.Csv.read_file path in
+            let certain = read_csv path in
             let result =
               Pc_core.Group_by.bound ~opts set ~certain ~by query
             in
@@ -310,7 +331,7 @@ let check_cmd =
         let ( let* ) = Result.bind in
         let* set = load_constraints constraints in
         let* rel =
-          try Ok (Pc_data.Csv.read_file csv) with Failure m -> Error m
+          try Ok (read_csv csv) with Failure m -> Error m
         in
         let violations = Pc_core.Pc_set.violations rel set in
         let closed = Pc_core.Pc_set.closed_over rel set in
@@ -380,7 +401,7 @@ let generate_cmd =
   let run csv attrs n exact out =
     with_errors (fun () ->
         let ( let* ) = Result.bind in
-        let* rel = try Ok (Pc_data.Csv.read_file csv) with Failure m -> Error m in
+        let* rel = try Ok (read_csv csv) with Failure m -> Error m in
         let* pcs =
           try
             Ok
@@ -469,7 +490,7 @@ let workload_cmd =
         setup_obs ~trace:None ~metrics;
         let* set = load_constraints constraints in
         let* missing =
-          try Ok (Pc_data.Csv.read_file csv) with Failure m -> Error m
+          try Ok (read_csv csv) with Failure m -> Error m
         in
         let* agg = parse_agg agg in
         let* queries =
@@ -540,10 +561,176 @@ let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(ret (const run $ constraints_arg $ query_arg))
 
+(* ---- serve ---- *)
+
+let host_arg =
+  let doc = "Address to bind (serve) or connect to (client)." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+
+let serve_cmd =
+  let port_arg =
+    let doc = "TCP port; 0 picks an ephemeral port (printed at startup)." in
+    Arg.(value & opt int 0 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+  in
+  let constraints_opt_arg =
+    let doc = "Preload this constraint file as dataset \"default\"." in
+    Arg.(value & opt (some string) None & info [ "c"; "constraints" ] ~docv:"FILE" ~doc)
+  in
+  let max_inflight_arg =
+    let doc =
+      "Admission-control knob: past 1/4 of this many in-flight requests \
+       answers degrade to LP dual bounds, past 1/2 to early-stopped \
+       decomposition, at or past it to the trivial floor. 0 disables \
+       admission control."
+    in
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let faults_arg =
+    let doc =
+      "Arm the deterministic fault-injection harness (testing only): \
+       comma-separated key=V pairs; keys: seed, slow_ms, skew_s and the \
+       per-site rates sat_fail, sat_slow, lp_doubt, clock_skew, sock_tear, \
+       sock_close. Example: --faults seed=7,sat_fail=0.2,sock_tear=0.05."
+    in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let run host port constraints csv strategy timeout budget max_inflight jobs
+      faults trace metrics =
+    with_errors (fun () ->
+        let ( let* ) = Result.bind in
+        if jobs > 1 then Pc_par.Pool.set_default_jobs jobs;
+        setup_obs ~trace ~metrics;
+        let* strategy = parse_strategy strategy in
+        let* spec = parse_budget_spec ~timeout budget in
+        let* () =
+          match faults with
+          | None -> Ok ()
+          | Some s ->
+              Result.map Pc_fault.Fault.configure
+                (Pc_fault.Fault.config_of_string s)
+        in
+        let metrics_path =
+          match metrics with Some "-" -> None | m -> m
+        in
+        let cfg =
+          {
+            Pc_server.Server.default_config with
+            Pc_server.Server.host;
+            port;
+            base_spec = spec;
+            opts =
+              { Pc_core.Bounds.default_opts with Pc_core.Bounds.strategy };
+            policy = Pc_server.Admission.policy ~max_inflight;
+            trace_path = trace;
+            metrics_path;
+          }
+        in
+        let* srv =
+          try Ok (Pc_server.Server.create cfg)
+          with Unix.Unix_error (e, _, _) ->
+            Error
+              (Printf.sprintf "cannot bind %s:%d: %s" host port
+                 (Unix.error_message e))
+        in
+        let* () =
+          match constraints with
+          | None -> Ok ()
+          | Some cpath ->
+              let* text =
+                try Ok (read_file cpath) with Failure m -> Error m
+              in
+              let* csv =
+                match csv with
+                | None -> Ok None
+                | Some p -> (
+                    try Ok (Some (read_file p)) with Failure m -> Error m)
+              in
+              Result.map ignore
+                (Pc_server.Server.load_dataset srv ~name:"default"
+                   ~constraints:text ?csv ())
+        in
+        (* handlers go in before the banner: a supervisor that reacts to
+           "listening on" with a signal must get the drain, not the
+           default kill *)
+        Pc_server.Server.install_signal_handlers srv;
+        Printf.printf "listening on %s:%d\n%!" host (Pc_server.Server.port srv);
+        Pc_server.Server.run srv;
+        if metrics = Some "-" then print_string (Pc_obs.Registry.dump_text ());
+        print_endline "drained";
+        Ok ())
+  in
+  let doc =
+    "Serve bound queries over a line-oriented JSON protocol (ops: ping, \
+     load, bound, stats, shutdown; one object per line). Requests degrade \
+     under load per the admission policy and every reply carries its \
+     provenance; SIGTERM/SIGINT drain gracefully. See DESIGN.md, \
+     \"Serving, admission control & fault injection\"."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg $ constraints_opt_arg $ csv_opt_arg
+       $ strategy_arg $ timeout_arg $ budget_arg $ max_inflight_arg $ jobs_arg
+       $ faults_arg $ trace_arg $ metrics_arg))
+
+(* ---- client ---- *)
+
+let client_cmd =
+  let port_arg =
+    let doc = "Server port." in
+    Arg.(required & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+  in
+  let run host port =
+    with_errors (fun () ->
+        let ( let* ) = Result.bind in
+        let* c =
+          try Ok (Pc_server.Client.connect ~host ~port)
+          with Unix.Unix_error (e, _, _) ->
+            Error
+              (Printf.sprintf "cannot connect to %s:%d: %s" host port
+                 (Unix.error_message e))
+        in
+        let rec loop () =
+          match input_line stdin with
+          | exception End_of_file -> Ok ()
+          | line -> (
+              match Pc_server.Client.request c line with
+              | Some reply ->
+                  print_endline reply;
+                  loop ()
+              | None -> Error "connection closed by server")
+        in
+        let result = loop () in
+        Pc_server.Client.close c;
+        result)
+  in
+  let doc =
+    "Drive a running `pcda serve`: reads request lines from stdin, prints \
+     one reply line each."
+  in
+  Cmd.v (Cmd.info "client" ~doc) Term.(ret (const run $ host_arg $ port_arg))
+
 let main_cmd =
   let doc = "missing-data contingency analysis with predicate-constraints" in
   let info = Cmd.info "pcda" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ bound_cmd; check_cmd; show_cmd; explain_cmd; generate_cmd; workload_cmd ]
+    [
+      bound_cmd;
+      check_cmd;
+      show_cmd;
+      explain_cmd;
+      generate_cmd;
+      workload_cmd;
+      serve_cmd;
+      client_cmd;
+    ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  (* a client vanishing mid-write must never kill the process (or any
+     pipeline `pcda` is part of) with SIGPIPE *)
+  Pc_server.Net.ignore_sigpipe ();
+  let code = Cmd.eval main_cmd in
+  (* cmdliner reports its own usage errors (unknown flag, missing
+     required arg) with 124; fold them into the documented user-error
+     exit code *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -87,7 +87,15 @@ let out_of_time t =
       match t.deadline with
       | None -> false
       | Some d ->
-          if now () >= d then begin
+          (* Clock-skew fault injection: deadline checks may see a clock
+             jumped forward. Firing a deadline early only degrades the
+             answer down the ladder — never corrupts it — which is
+             exactly the property the chaos tests pin. *)
+          let skew =
+            if Pc_fault.Fault.enabled () then Pc_fault.Fault.clock_skew_s ()
+            else 0.
+          in
+          if now () +. skew >= d then begin
             Atomic.set t.deadline_hit true;
             mark_dead t Deadline;
             true

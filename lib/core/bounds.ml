@@ -921,6 +921,11 @@ let with_floor ~ctx f floor =
   | B.Exhausted r -> fall ("exhausted:" ^ B.resource_name r)
   | Degrade -> fall "starved"
   | Invalid_argument msg when is_decompose_guard msg -> fall "enumeration-guard"
+  | Pc_fault.Fault.Injected site ->
+      (* an injected SAT/solver failure degrades exactly like budget
+         exhaustion; the floor below is solver-free, so it cannot be
+         re-injected *)
+      fall ("fault:" ^ Pc_fault.Fault.site_name site)
 
 let missing_answer ~ctx set query =
   with_floor ~ctx
@@ -957,15 +962,15 @@ let combined_answer ~ctx set ~certain (query : Q.t) =
         if c_count = 0. then 0.
         else Pc_util.Stat.sum (Pc_data.Relation.column certain_sel a)
       in
-      if use_greedy_path ~opts set then
-        Greedy.bound ~opts set query ~c_count ~c_sum
-      else
-        with_floor ~ctx
-          (fun () ->
+      with_floor ~ctx
+        (fun () ->
+          if use_greedy_path ~opts set then
+            Greedy.bound ~opts set query ~c_count ~c_sum
+          else
             match prepare ~ctx set query with
             | Error ans -> ans
             | Ok prep -> avg_bounds ~ctx prep ~c_count ~c_sum)
-          (fun () -> Trivial.bound set query ~c_count ~c_sum))
+        (fun () -> Trivial.bound set query ~c_count ~c_sum))
   | Q.Min a | Q.Max a -> (
       let is_max = match query.Q.agg with Q.Max _ -> true | _ -> false in
       let certain_extreme =
@@ -983,7 +988,14 @@ let combined_answer ~ctx set ~certain (query : Q.t) =
       | Empty, Some m -> Range (Range.point m)
       | Range r, None -> Range r
       | Range r, Some m ->
-          let empty_ok = can_be_empty set query in
+          let empty_ok =
+            (* an injected SAT failure here is absorbed conservatively:
+               claiming "may be empty" only widens the combined range *)
+            try can_be_empty set query
+            with Pc_fault.Fault.Injected _ ->
+              ctx.trace.relaxed <- true;
+              true
+          in
           if is_max then begin
             (* MAX(union) = max(m*, MAX(missing)); an allowed-empty
                missing partition pins the low end at m*. *)

@@ -1,0 +1,186 @@
+type site = Sat_fail | Sat_slow | Lp_doubt | Clock_skew | Sock_tear | Sock_close
+
+let site_name = function
+  | Sat_fail -> "sat_fail"
+  | Sat_slow -> "sat_slow"
+  | Lp_doubt -> "lp_doubt"
+  | Clock_skew -> "clock_skew"
+  | Sock_tear -> "sock_tear"
+  | Sock_close -> "sock_close"
+
+let all_sites = [ Sat_fail; Sat_slow; Lp_doubt; Clock_skew; Sock_tear; Sock_close ]
+let n_sites = List.length all_sites
+
+let site_index = function
+  | Sat_fail -> 0
+  | Sat_slow -> 1
+  | Lp_doubt -> 2
+  | Clock_skew -> 3
+  | Sock_tear -> 4
+  | Sock_close -> 5
+
+exception Injected of site
+
+let () =
+  Printexc.register_printer (function
+    | Injected s -> Some (Printf.sprintf "Pc_fault.Fault.Injected(%s)" (site_name s))
+    | _ -> None)
+
+type config = {
+  seed : int;
+  rates : (site * float) list;
+  slow_s : float;
+  skew_s : float;
+}
+
+let config ?(seed = 0) ?(slow_s = 0.002) ?(skew_s = 60.) rates =
+  { seed; rates; slow_s; skew_s }
+
+let config_of_string s =
+  let site_of_key k =
+    List.find_opt (fun site -> site_name site = k) all_sites
+  in
+  let parse_item acc part =
+    Result.bind acc (fun cfg ->
+        let part = String.trim part in
+        match String.index_opt part '=' with
+        | None -> Error (Printf.sprintf "bad fault item %S (want key=value)" part)
+        | Some i -> (
+            let k = String.trim (String.sub part 0 i) in
+            let v = String.trim (String.sub part (i + 1) (String.length part - i - 1)) in
+            let float_v () =
+              match float_of_string_opt v with
+              | Some f when Float.is_finite f -> Ok f
+              | _ -> Error (Printf.sprintf "fault %s: %S is not a number" k v)
+            in
+            match k with
+            | "seed" -> (
+                match int_of_string_opt v with
+                | Some n -> Ok { cfg with seed = n }
+                | None -> Error (Printf.sprintf "fault seed: %S is not an integer" v))
+            | "slow_ms" ->
+                Result.map (fun f -> { cfg with slow_s = f /. 1000. }) (float_v ())
+            | "skew_s" -> Result.map (fun f -> { cfg with skew_s = f }) (float_v ())
+            | _ -> (
+                match site_of_key k with
+                | None -> Error (Printf.sprintf "unknown fault site %S" k)
+                | Some site ->
+                    Result.bind (float_v ()) (fun f ->
+                        if f < 0. || f > 1. then
+                          Error
+                            (Printf.sprintf "fault %s: rate %g outside [0, 1]" k f)
+                        else Ok { cfg with rates = (site, f) :: cfg.rates }))))
+  in
+  List.fold_left parse_item
+    (Ok { seed = 0; rates = []; slow_s = 0.002; skew_s = 60. })
+    (String.split_on_char ',' s)
+
+(* ------------------------------------------------------------------ *)
+(* Armed state                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One injection event per fired visit, rare enough to count directly. *)
+let c_injected = Pc_obs.Registry.Counter.make "fault.injections"
+
+type armed = {
+  cfg : config;
+  rate : float array;  (** dense per-site rates *)
+  visits : int Atomic.t array;  (** per-site visit sequence numbers *)
+  fired : int Atomic.t array;
+}
+
+(* [enabled_flag] is the one-load fast-path gate; [state] only changes
+   while disabled, so sites that pass the gate read a consistent
+   schedule. *)
+let enabled_flag = Atomic.make false
+let state : armed option Atomic.t = Atomic.make None
+
+let enabled () = Atomic.get enabled_flag
+
+(* Keep the last armed state so post-run accounting ([injected]) still
+   reads after the schedule is turned off. *)
+let disable () = Atomic.set enabled_flag false
+
+let configure cfg =
+  Atomic.set enabled_flag false;
+  let rate = Array.make n_sites 0. in
+  List.iter
+    (fun (site, r) -> rate.(site_index site) <- Float.max 0. (Float.min 1. r))
+    cfg.rates;
+  Atomic.set state
+    (Some
+       {
+         cfg;
+         rate;
+         visits = Array.init n_sites (fun _ -> Atomic.make 0);
+         fired = Array.init n_sites (fun _ -> Atomic.make 0);
+       });
+  Atomic.set enabled_flag true
+
+let with_faults cfg f =
+  configure cfg;
+  Fun.protect ~finally:disable f
+
+(* splitmix64: decisions depend only on (seed, site, visit number). *)
+let splitmix64 x =
+  let open Int64 in
+  let x = add x 0x9E3779B97F4A7C15L in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+  logxor x (shift_right_logical x 31)
+
+let unit_float h =
+  (* top 53 bits -> [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical h 11) *. (1. /. 9007199254740992.)
+
+let decide a site n =
+  let i = site_index site in
+  let r = a.rate.(i) in
+  if r <= 0. then false
+  else if r >= 1. then true
+  else begin
+    let key =
+      Int64.add
+        (Int64.mul (Int64.of_int a.cfg.seed) 0x100000001B3L)
+        (Int64.add (Int64.mul (Int64.of_int i) 0x1000003L) (Int64.of_int n))
+    in
+    unit_float (splitmix64 key) < r
+  end
+
+let fire site =
+  if not (Atomic.get enabled_flag) then false
+  else
+    match Atomic.get state with
+    | None -> false
+    | Some a ->
+        let i = site_index site in
+        let n = Atomic.fetch_and_add a.visits.(i) 1 in
+        let hit = decide a site n in
+        if hit then begin
+          Atomic.incr a.fired.(i);
+          Pc_obs.Registry.Counter.incr c_injected
+        end;
+        hit
+
+let point site = if fire site then raise (Injected site)
+
+let slow_point () =
+  if fire Sat_slow then
+    match Atomic.get state with
+    | None -> ()
+    | Some a -> Unix.sleepf (Float.max 0. a.cfg.slow_s)
+
+let clock_skew_s () =
+  if fire Clock_skew then
+    match Atomic.get state with None -> 0. | Some a -> a.cfg.skew_s
+  else 0.
+
+let injected site =
+  match Atomic.get state with
+  | None -> 0
+  | Some a -> Atomic.get a.fired.(site_index site)
+
+let total_injected () =
+  match Atomic.get state with
+  | None -> 0
+  | Some a -> Array.fold_left (fun acc c -> acc + Atomic.get c) 0 a.fired

@@ -986,7 +986,14 @@ let solve_from_run ?budget ~snapshot ~bounds p =
   validate p;
   Counter.incr c_warm;
   let p = normalize p in
-  match warm_solve ?budget ~snapshot ~bounds p with
+  (* Fault injection: distrust the warm basis outright, as a failed
+     post-solve self-check would, and take the cold fallback. The
+     fallback is the soundness story for every real numeric doubt, so
+     chaos runs exercise precisely the path they must prove. *)
+  let doubt =
+    Pc_fault.Fault.enabled () && Pc_fault.Fault.fire Pc_fault.Fault.Lp_doubt
+  in
+  match (if doubt then None else warm_solve ?budget ~snapshot ~bounds p) with
   | Some result -> result
   | None ->
       Counter.incr c_warm_fb;

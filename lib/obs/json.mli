@@ -11,3 +11,37 @@ val validate : string -> (unit, string) result
     whitespace allowed); [Error msg] with a position otherwise. *)
 
 val is_valid : string -> bool
+
+(** {2 Values}
+
+    A concrete JSON tree, for the places that must {e read} JSON rather
+    than just emit it — the bound server's line-oriented request
+    protocol ([Pc_server]). The parser accepts exactly what {!validate}
+    accepts; the printer emits RFC 8259 output (non-finite numbers
+    become [null], the same policy as every other emitter in this
+    repository). *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+val parse : string -> (value, string) result
+(** One JSON value spanning the whole input (surrounding whitespace
+    allowed). [\uXXXX] escapes are decoded to UTF-8; surrogate pairs are
+    combined. *)
+
+val to_string : value -> string
+(** Compact single-line rendering; always valid JSON. *)
+
+(* -------- accessors (shape-checking helpers) -------- *)
+
+val member : string -> value -> value option
+(** Field of an [Obj] ([None] on missing field or non-object). *)
+
+val to_str : value -> string option
+val to_num : value -> float option
+val to_bool : value -> bool option

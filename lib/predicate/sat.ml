@@ -45,6 +45,14 @@ let solve_search box cnf =
   result
 
 let solve ?(box = Box.top) cnf =
+  (* Fault injection: a real deployment's SAT call can die or stall.
+     [Sat_fail] raises out of here and is absorbed by the degradation
+     ladder; [Sat_slow] sleeps so deadlines fire. Disabled (the default)
+     this is one atomic load. *)
+  if Pc_fault.Fault.enabled () then begin
+    Pc_fault.Fault.point Pc_fault.Fault.Sat_fail;
+    Pc_fault.Fault.slow_point ()
+  end;
   Counter.incr call_count;
   (* the branch keeps the disabled path closure-free *)
   if Pc_obs.Trace.enabled () then

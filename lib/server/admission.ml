@@ -1,0 +1,58 @@
+module B = Pc_budget.Budget
+
+type level = Full | Dual_only | Early_only | Floor_only
+
+let level_name = function
+  | Full -> "full"
+  | Dual_only -> "dual-only"
+  | Early_only -> "early-only"
+  | Floor_only -> "floor-only"
+
+let level_order = function
+  | Full -> 0
+  | Dual_only -> 1
+  | Early_only -> 2
+  | Floor_only -> 3
+
+type policy = { full_below : int; dual_below : int; early_below : int }
+
+let policy ~max_inflight =
+  if max_inflight <= 0 then
+    { full_below = max_int; dual_below = max_int; early_below = max_int }
+  else
+    {
+      full_below = max 1 (max_inflight / 4);
+      dual_below = max 2 (max_inflight / 2);
+      early_below = max 3 max_inflight;
+    }
+
+let level_for p ~inflight =
+  if inflight < p.full_below then Full
+  else if inflight < p.dual_below then Dual_only
+  else if inflight < p.early_below then Early_only
+  else Floor_only
+
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (min a b)
+
+(* Each level pins the budget to a ladder rung by crushing exactly the
+   resources that rung does without: [nodes = 0] starves branch-and-bound
+   into its LP dual bound (Relaxed); [sat_calls = 0] additionally makes
+   decomposition admit cells unchecked (Early_stopped); [timeout = 0] is
+   dead on arrival, so the ladder driver falls straight to the trivial
+   floor. All three are the same mechanisms a client-supplied deadline
+   would trigger — admission control just triggers them up front, before
+   any work is sunk. *)
+let crush (spec : B.spec) = function
+  | Full -> spec
+  | Dual_only -> { spec with B.max_nodes = min_opt spec.B.max_nodes (Some 0) }
+  | Early_only ->
+      {
+        spec with
+        B.max_nodes = min_opt spec.B.max_nodes (Some 0);
+        B.max_sat_calls = min_opt spec.B.max_sat_calls (Some 0);
+      }
+  | Floor_only ->
+      { spec with B.timeout = min_opt spec.B.timeout (Some 0.) }

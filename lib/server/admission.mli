@@ -1,0 +1,43 @@
+(** Admission control: overload degrades, it does not queue.
+
+    The server maps its instantaneous load (requests in flight across
+    all connections) to one of four admission levels, each of which
+    pins the per-request budget to a rung of the PR 1 degradation
+    ladder. Requests are therefore {e never} rejected or queued
+    unboundedly: past every threshold the server still answers, just
+    from progressively cheaper rungs — a dual bound, an early-stopped
+    decomposition, and finally the O(n) frequency-caps floor, which no
+    load level can exhaust. Every reply carries its admission level and
+    provenance, so a degraded answer is visible, not silent.
+
+    Thresholds are fractions of [max_inflight] (defaults: full below
+    1/4, dual bounds below 1/2, early-stop below 1, floor at or
+    past it). See DESIGN.md, "Serving, admission control & fault
+    injection". *)
+
+type level =
+  | Full  (** base budget untouched — exact answers within budget *)
+  | Dual_only  (** branch-and-bound off ([nodes = 0]): LP dual bounds *)
+  | Early_only  (** SAT pool off too: admit-unchecked decomposition *)
+  | Floor_only  (** expired deadline: frequency-caps floor, O(n) *)
+
+val level_name : level -> string
+val level_order : level -> int
+(** [Full] = 0 … [Floor_only] = 3; higher sheds more load. *)
+
+type policy = {
+  full_below : int;  (** in-flight < this: [Full] *)
+  dual_below : int;  (** else in-flight < this: [Dual_only] *)
+  early_below : int;  (** else in-flight < this: [Early_only]; else floor *)
+}
+
+val policy : max_inflight:int -> policy
+(** Quarter-point thresholds from a single knob; [max_inflight <= 0]
+    means uncapped ([Full] always). *)
+
+val level_for : policy -> inflight:int -> level
+
+val crush : Pc_budget.Budget.spec -> level -> Pc_budget.Budget.spec
+(** Tighten a base per-request budget to the level: caps only ever
+    shrink (an existing tighter cap is kept), so admission control can
+    never {e grant} resources the operator's base budget withheld. *)

@@ -1,0 +1,76 @@
+exception Closed
+exception Line_too_long
+
+let ignore_sigpipe () =
+  (* [sigpipe] is not wired up on every platform; ignore failures. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let closed_error = function
+  | Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN | Unix.EBADF | Unix.ENOTCONN ->
+      true
+  | _ -> false
+
+let write_string fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    match Unix.write fd b !pos (len - !pos) with
+    | 0 -> raise Closed
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) when closed_error e -> raise Closed
+  done
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (** bytes read but not yet returned *)
+  max_line : int;
+  mutable eof : bool;
+}
+
+let reader ?(max_line = 16 * 1024 * 1024) fd =
+  { fd; buf = Buffer.create 256; max_line; eof = false }
+
+(* Take one complete line out of the buffer, if present. *)
+let take_line r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      let stop = if i > 0 && s.[i - 1] = '\r' then i - 1 else i in
+      let line = String.sub s 0 stop in
+      Buffer.clear r.buf;
+      Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+      Some line
+
+let chunk = 8192
+
+let read_line ?(stop = fun () -> false) ?(poll_s = 0.1) r =
+  let bytes = Bytes.create chunk in
+  let rec go () =
+    match take_line r with
+    | Some line -> `Line line
+    | None ->
+        if r.eof then `Eof
+        else if Buffer.length r.buf > r.max_line then raise Line_too_long
+        else if stop () then `Stopped
+        else begin
+          match Unix.select [ r.fd ] [] [] poll_s with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | [], _, _ -> go () (* poll slice elapsed; re-check [stop] *)
+          | _ -> (
+              match Unix.read r.fd bytes 0 chunk with
+              | 0 ->
+                  r.eof <- true;
+                  go ()
+              | n ->
+                  Buffer.add_subbytes r.buf bytes 0 n;
+                  go ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+              | exception Unix.Unix_error (e, _, _) when closed_error e ->
+                  r.eof <- true;
+                  go ())
+        end
+  in
+  go ()

@@ -1,0 +1,50 @@
+(** Robust socket plumbing for the bound server and its clients.
+
+    Wraps the handful of [Unix] calls the server relies on so that the
+    two classic line-protocol killers cannot reach process scope:
+
+    - {b SIGPIPE}: a client hanging up mid-reply turns the next write
+      into a fatal signal unless it is ignored process-wide
+      ({!ignore_sigpipe}); with it ignored, the write fails with
+      [EPIPE], which these wrappers turn into {!Closed} — an ordinary,
+      per-connection exception.
+    - {b EINTR}: every read/write/accept/connect here retries on
+      [EINTR], so signal delivery (SIGTERM starting a drain, SIGCHLD
+      from a harness) never surfaces as a spurious I/O error.
+
+    Reads are buffered line-at-a-time with a hard length cap, and poll
+    via [select] so a blocked reader observes a drain flag within
+    [poll_s] instead of hanging shutdown forever. *)
+
+exception Closed
+(** The peer is gone ([EPIPE], [ECONNRESET], [ESHUTDOWN], or a write
+    after close). Connection-scoped: handlers catch it, drop the
+    connection, and the server keeps serving. *)
+
+exception Line_too_long
+(** The peer sent more than the configured cap without a newline; the
+    stream cannot be resynchronized and must be dropped. *)
+
+val ignore_sigpipe : unit -> unit
+(** Idempotent; call once at process start (both [pcda] and the server
+    do). No-op on platforms without [SIGPIPE]. *)
+
+val write_string : Unix.file_descr -> string -> unit
+(** Write the whole string, retrying partial writes and [EINTR];
+    raises {!Closed} when the peer is gone. *)
+
+type reader
+(** Buffered line reader over one descriptor. *)
+
+val reader : ?max_line:int -> Unix.file_descr -> reader
+(** [max_line] caps the bytes buffered while hunting for a newline
+    (default 16 MiB — inline CSV loads are legitimate, unbounded
+    garbage is not). *)
+
+val read_line :
+  ?stop:(unit -> bool) -> ?poll_s:float -> reader -> [ `Line of string | `Eof | `Stopped ]
+(** Next LF-terminated line (the terminator, and a preceding CR, are
+    stripped). Blocks in [select] slices of [poll_s] (default 0.1 s),
+    re-checking [stop] between slices: [`Stopped] reports a drain
+    request, [`Eof] a clean hangup (a final unterminated partial line
+    is discarded). Raises {!Line_too_long} past the cap. *)

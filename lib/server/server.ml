@@ -1,0 +1,422 @@
+module B = Pc_budget.Budget
+module Bounds = Pc_core.Bounds
+module J = Pc_obs.Json
+module Counter = Pc_obs.Registry.Counter
+module Fault = Pc_fault.Fault
+
+(* Global instruments (the [--metrics] face); per-instance counts for the
+   [stats] op live on [t] so several servers in one test process don't
+   bleed into each other. *)
+let c_requests = Counter.make "server.requests"
+let c_errors = Counter.make "server.errors"
+let c_degraded = Counter.make "server.degraded"
+let c_crushed = Counter.make "server.admission_crushed"
+let h_request = Pc_obs.Registry.Histogram.make "server.request_ns"
+
+type config = {
+  host : string;
+  port : int;
+  base_spec : B.spec;
+  opts : Bounds.opts;
+  policy : Admission.policy;
+  max_line : int;
+  poll_s : float;
+  trace_path : string option;
+  metrics_path : string option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    base_spec = B.unlimited_spec;
+    opts = Bounds.default_opts;
+    policy = Admission.policy ~max_inflight:64;
+    max_line = 16 * 1024 * 1024;
+    poll_s = 0.1;
+    trace_path = None;
+    metrics_path = None;
+  }
+
+type dataset = {
+  set : Pc_core.Pc_set.t;
+  certain : Pc_data.Relation.t option;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  datasets : (string, dataset) Hashtbl.t;
+  mu : Mutex.t;  (** guards [datasets] *)
+  drain : bool Atomic.t;
+  conns : int Atomic.t;  (** live connection threads *)
+  inflight : int Atomic.t;  (** requests being computed right now *)
+  n_requests : int Atomic.t;
+  n_errors : int Atomic.t;
+  n_degraded : int Atomic.t;
+  t0 : float;
+}
+
+let create cfg =
+  Net.ignore_sigpipe ();
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port) in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd addr;
+     Unix.listen fd 128
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> cfg.port
+  in
+  {
+    cfg;
+    listen_fd = fd;
+    bound_port;
+    datasets = Hashtbl.create 8;
+    mu = Mutex.create ();
+    drain = Atomic.make false;
+    conns = Atomic.make 0;
+    inflight = Atomic.make 0;
+    n_requests = Atomic.make 0;
+    n_errors = Atomic.make 0;
+    n_degraded = Atomic.make 0;
+    t0 = Pc_util.Clock.now ();
+  }
+
+let port t = t.bound_port
+let draining t = Atomic.get t.drain
+let initiate_drain t = Atomic.set t.drain true
+
+let install_signal_handlers t =
+  let handle = Sys.Signal_handle (fun _ -> initiate_drain t) in
+  (try Sys.set_signal Sys.sigterm handle with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigint handle with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Dataset management                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let load_dataset t ~name ~constraints ?csv () =
+  match
+    let set = Pc_core.Pc_set.make (Pc_parse.Pc_parser.parse constraints) in
+    let certain = Option.map (fun text -> Pc_data.Csv.read_string text) csv in
+    (set, certain)
+  with
+  | set, certain ->
+      Mutex.lock t.mu;
+      Hashtbl.replace t.datasets name { set; certain };
+      Mutex.unlock t.mu;
+      Ok
+        ( Pc_core.Pc_set.size set,
+          match certain with
+          | None -> 0
+          | Some r -> Pc_data.Relation.cardinality r )
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let find_dataset t name =
+  Mutex.lock t.mu;
+  let d = Hashtbl.find_opt t.datasets name in
+  Mutex.unlock t.mu;
+  d
+
+let dataset_names t =
+  Mutex.lock t.mu;
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) t.datasets [] in
+  Mutex.unlock t.mu;
+  List.sort String.compare names
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let err_value code msg =
+  J.Obj
+    [
+      ("ok", J.Bool false);
+      ("error", J.Obj [ ("code", J.Str code); ("msg", J.Str msg) ]);
+    ]
+
+let answer_value = function
+  | Bounds.Range r ->
+      J.Obj
+        [
+          ("kind", J.Str "range");
+          ("lo", J.Num r.Pc_core.Range.lo);
+          ("hi", J.Num r.Pc_core.Range.hi);
+          ("lo_exact", J.Bool r.Pc_core.Range.lo_exact);
+          ("hi_exact", J.Bool r.Pc_core.Range.hi_exact);
+        ]
+  | Bounds.Empty -> J.Obj [ ("kind", J.Str "empty") ]
+  | Bounds.Infeasible -> J.Obj [ ("kind", J.Str "infeasible") ]
+
+let stats_value (s : Bounds.stats) =
+  J.Obj
+    [
+      ("cells", J.Num (float_of_int s.Bounds.cells));
+      ("sat_calls", J.Num (float_of_int s.Bounds.sat_calls));
+      ("nodes", J.Num (float_of_int s.Bounds.milp_nodes));
+      ("iters", J.Num (float_of_int s.Bounds.lp_iterations));
+      ("elapsed_ms", J.Num (s.Bounds.elapsed *. 1e3));
+      ("deadline_hit", J.Bool s.Bounds.deadline_hit);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Request handlers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let str_field v name = Option.bind (J.member name v) J.to_str
+let num_field v name = Option.bind (J.member name v) J.to_num
+let bool_field v name = Option.bind (J.member name v) J.to_bool
+
+let handle_load t v =
+  match str_field v "name" with
+  | None -> err_value "bad-request" "load: missing string field \"name\""
+  | Some name -> (
+      match str_field v "constraints" with
+      | None ->
+          err_value "bad-request" "load: missing string field \"constraints\""
+      | Some constraints -> (
+          let csv = str_field v "csv" in
+          match load_dataset t ~name ~constraints ?csv () with
+          | Error msg -> err_value "parse-error" msg
+          | Ok (n_constraints, n_rows) ->
+              J.Obj
+                [
+                  ("ok", J.Bool true);
+                  ("op", J.Str "load");
+                  ("name", J.Str name);
+                  ("constraints", J.Num (float_of_int n_constraints));
+                  ("certain_rows", J.Num (float_of_int n_rows));
+                ]))
+
+let handle_bound t v =
+  match str_field v "query" with
+  | None -> err_value "bad-request" "bound: missing string field \"query\""
+  | Some qtext -> (
+      let dname = Option.value (str_field v "dataset") ~default:"default" in
+      match find_dataset t dname with
+      | None -> err_value "unknown-dataset" (Printf.sprintf "no dataset %S loaded" dname)
+      | Some ds -> (
+          match Pc_parse.Query_parser.parse qtext with
+          | exception Failure msg -> err_value "parse-error" msg
+          | query ->
+              (* Admission: the level is decided from the in-flight count
+                 *before* this request joins it, then the request holds a
+                 slot for its whole compute. Drain floors new arrivals so
+                 shutdown cannot be outrun by traffic. *)
+              let inflight = Atomic.fetch_and_add t.inflight 1 in
+              Fun.protect
+                ~finally:(fun () -> Atomic.decr t.inflight)
+                (fun () ->
+                  let level =
+                    if Atomic.get t.drain then Admission.Floor_only
+                    else Admission.level_for t.cfg.policy ~inflight
+                  in
+                  if level <> Admission.Full then Counter.incr c_crushed;
+                  let spec = Admission.crush t.cfg.base_spec level in
+                  let spec =
+                    match num_field v "timeout_ms" with
+                    | None -> spec
+                    | Some ms ->
+                        let s = Float.max 0. (ms /. 1e3) in
+                        {
+                          spec with
+                          B.timeout =
+                            (match spec.B.timeout with
+                            | None -> Some s
+                            | Some t -> Some (Float.min t s));
+                        }
+                  in
+                  let missing_only =
+                    Option.value (bool_field v "missing_only") ~default:false
+                  in
+                  let budget = B.start spec in
+                  let certain = if missing_only then None else ds.certain in
+                  let outcome =
+                    Bounds.bound_budgeted ~opts:t.cfg.opts ~budget ?certain
+                      ds.set query
+                  in
+                  let s = outcome.Bounds.stats in
+                  let degraded = s.Bounds.provenance <> Bounds.Exact in
+                  if degraded then begin
+                    Counter.incr c_degraded;
+                    Atomic.incr t.n_degraded
+                  end;
+                  J.Obj
+                    [
+                      ("ok", J.Bool true);
+                      ("op", J.Str "bound");
+                      ("answer", answer_value outcome.Bounds.answer);
+                      ( "provenance",
+                        J.Str (Bounds.provenance_name s.Bounds.provenance) );
+                      ("degraded", J.Bool degraded);
+                      ("admission", J.Str (Admission.level_name level));
+                      ("stats", stats_value s);
+                    ])))
+
+let handle_stats t =
+  J.Obj
+    [
+      ("ok", J.Bool true);
+      ("op", J.Str "stats");
+      ("uptime_s", J.Num (Pc_util.Clock.now () -. t.t0));
+      ("requests", J.Num (float_of_int (Atomic.get t.n_requests)));
+      ("errors", J.Num (float_of_int (Atomic.get t.n_errors)));
+      ("degraded", J.Num (float_of_int (Atomic.get t.n_degraded)));
+      ("inflight", J.Num (float_of_int (Atomic.get t.inflight)));
+      ("connections", J.Num (float_of_int (Atomic.get t.conns)));
+      ("datasets", J.Arr (List.map (fun n -> J.Str n) (dataset_names t)));
+      ("draining", J.Bool (Atomic.get t.drain));
+      ("faults_injected", J.Num (float_of_int (Fault.total_injected ())));
+    ]
+
+(* Dispatch one request line. Total: every failure mode, including an
+   exception escaping a handler, becomes a structured error reply. *)
+let handle_line t line =
+  Atomic.incr t.n_requests;
+  Counter.incr c_requests;
+  let reply, shutdown =
+    match J.parse line with
+    | Error msg -> (err_value "bad-json" msg, false)
+    | Ok v -> (
+        match str_field v "op" with
+        | None -> (err_value "bad-request" "missing string field \"op\"", false)
+        | Some "ping" ->
+            (J.Obj [ ("ok", J.Bool true); ("op", J.Str "pong") ], false)
+        | Some "load" -> (handle_load t v, false)
+        | Some "bound" -> (handle_bound t v, false)
+        | Some "stats" -> (handle_stats t, false)
+        | Some "shutdown" ->
+            ( J.Obj
+                [
+                  ("ok", J.Bool true);
+                  ("op", J.Str "shutdown");
+                  ("draining", J.Bool true);
+                ],
+              true )
+        | Some op -> (err_value "unknown-op" (Printf.sprintf "unknown op %S" op), false))
+    | exception e ->
+        (* [J.parse] returns [result]; this arm only guards against bugs
+           in our own dispatch — isolation beats precision here *)
+        (err_value "internal" (Printexc.to_string e), false)
+  in
+  let reply =
+    (* crash isolation for the handlers themselves *)
+    match reply with
+    | r -> r
+    | exception e -> err_value "internal" (Printexc.to_string e)
+  in
+  (match reply with
+  | J.Obj (("ok", J.Bool false) :: _) ->
+      Atomic.incr t.n_errors;
+      Counter.incr c_errors
+  | _ -> ());
+  (reply, shutdown)
+
+(* ------------------------------------------------------------------ *)
+(* Connection loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Socket fault injection lives at the reply boundary: a torn socket
+   mid-write or a close-before-reply is indistinguishable from a client
+   dying at the worst moment. *)
+let send_reply fd line =
+  if Fault.enabled () then begin
+    if Fault.fire Fault.Sock_close then begin
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise Net.Closed
+    end;
+    if Fault.fire Fault.Sock_tear then begin
+      let half = String.sub line 0 (String.length line / 2) in
+      (try Net.write_string fd half with Net.Closed -> ());
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      raise Net.Closed
+    end
+  end;
+  Net.write_string fd (line ^ "\n")
+
+let handle_conn t fd =
+  let reader = Net.reader ~max_line:t.cfg.max_line fd in
+  let stop () = Atomic.get t.drain in
+  let rec loop () =
+    match Net.read_line ~stop ~poll_s:t.cfg.poll_s reader with
+    | `Eof | `Stopped -> ()
+    | exception Net.Line_too_long ->
+        (* cannot resync a stream with an unbounded line: answer, drop *)
+        Atomic.incr t.n_errors;
+        Counter.incr c_errors;
+        (try send_reply fd (J.to_string (err_value "line-too-long" "request line exceeds the configured cap"))
+         with Net.Closed -> ())
+    | `Line line ->
+        let t0 = Pc_util.Clock.now_ns () in
+        let reply, shutdown = handle_line t line in
+        let sent =
+          match send_reply fd (J.to_string reply) with
+          | () -> true
+          | exception Net.Closed -> false
+        in
+        Pc_obs.Registry.Histogram.observe_ns h_request
+          (Int64.to_float (Int64.sub (Pc_util.Clock.now_ns ()) t0));
+        if shutdown then initiate_drain t else if sent then loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and drain                                               *)
+(* ------------------------------------------------------------------ *)
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let flush_artifacts t =
+  let write path content =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content)
+  in
+  (match t.cfg.trace_path with
+  | None -> ()
+  | Some path -> write path (Pc_obs.Trace.to_chrome_json ()));
+  match t.cfg.metrics_path with
+  | None -> ()
+  | Some path -> write path (Pc_obs.Registry.dump_json ())
+
+let run t =
+  while not (Atomic.get t.drain) do
+    match Unix.select [ t.listen_fd ] [] [] t.cfg.poll_s with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+            ()
+        | fd, _ ->
+            Atomic.incr t.conns;
+            ignore
+              (Thread.create
+                 (fun () ->
+                   Fun.protect
+                     ~finally:(fun () ->
+                       close_noerr fd;
+                       Atomic.decr t.conns)
+                     (fun () ->
+                       (* last-ditch isolation: a connection thread never
+                          takes the server down, whatever escapes *)
+                       try handle_conn t fd with _ -> ()))
+                 ()))
+  done;
+  close_noerr t.listen_fd;
+  (* connections observe the drain flag within one poll slice; in-flight
+     requests run to completion under their budgets *)
+  while Atomic.get t.conns > 0 do
+    Thread.yield ();
+    Unix.sleepf 0.005
+  done;
+  flush_artifacts t

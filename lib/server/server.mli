@@ -1,0 +1,78 @@
+(** The `pcda serve` engine: a fault-isolated, line-oriented JSON bound
+    server.
+
+    One process, one listening socket, one OS thread per connection
+    (systhreads; solver work also fans out through [Pc_par] when the
+    caller configured a pool). Clients send one JSON object per line
+    and receive one JSON object per line; see DESIGN.md, "Serving,
+    admission control & fault injection" for the protocol grammar.
+
+    Robustness contract, which the chaos tests pin:
+
+    - {b Per-request crash isolation.} A malformed line, an unknown op,
+      a parse error, or {e any} exception escaping a handler produces a
+      structured [{"ok":false,"error":{...}}] reply on that connection;
+      nothing ever unwinds past the request loop, kills a sibling
+      connection, or kills the process.
+    - {b Per-request deadlines.} Every [bound] runs under a
+      {!Pc_budget.Budget.t} started from the server's base spec, the
+      request's [timeout_ms], and the admission level — monotonic-clock
+      deadlines, so degradation under pressure, never a hang.
+    - {b Admission control} ({!Admission}): overload maps to cheaper
+      ladder rungs instead of an unbounded queue. Replies carry both
+      the admission level and the answer's provenance.
+    - {b Graceful drain.} SIGTERM/SIGINT (or a [shutdown] request) stop
+      the accept loop; in-flight requests finish (their budgets bound
+      how long that takes), idle connections close at the next poll
+      slice, then trace/metrics artifacts are flushed and {!run}
+      returns. A second signal does not escalate; the drain is already
+      as fast as the budgets allow.
+    - {b Fault injection} ({!Pc_fault.Fault}): with a schedule armed,
+      injected SAT failures/stalls, simplex doubt, clock skew and torn
+      client sockets must all degrade or drop a single request or
+      connection, never the server. *)
+
+type config = {
+  host : string;
+  port : int;  (** [0] binds an ephemeral port; read it back with {!port} *)
+  base_spec : Pc_budget.Budget.spec;  (** per-request budget before admission *)
+  opts : Pc_core.Bounds.opts;
+  policy : Admission.policy;
+  max_line : int;
+  poll_s : float;  (** blocked-reader / accept-loop drain poll slice *)
+  trace_path : string option;  (** Chrome trace written at drain *)
+  metrics_path : string option;  (** metrics JSON written at drain *)
+}
+
+val default_config : config
+(** 127.0.0.1:0, unlimited base budget, default bound opts, admission
+    for 64 in-flight, 16 MiB lines, 0.1 s poll, no artifacts. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen (with [SO_REUSEADDR]); raises [Unix.Unix_error] on
+    bind failure. Also installs the process-wide SIGPIPE ignore. *)
+
+val port : t -> int
+(** The bound port (resolves [port = 0]). *)
+
+val load_dataset :
+  t -> name:string -> constraints:string -> ?csv:string -> unit -> (int * int, string) result
+(** Parse and install a dataset (constraint DSL text, optional CSV text
+    for the certain partition) under [name], replacing any previous
+    binding. [Ok (n_constraints, n_certain_rows)]. Also the CLI's
+    preload path. *)
+
+val run : t -> unit
+(** Serve until drained. Returns after the listen socket is closed,
+    every connection thread has exited, and artifacts are flushed. *)
+
+val initiate_drain : t -> unit
+(** Stop accepting and begin the drain; safe from any thread and from
+    signal handlers; idempotent. *)
+
+val draining : t -> bool
+
+val install_signal_handlers : t -> unit
+(** SIGTERM and SIGINT call {!initiate_drain}. *)

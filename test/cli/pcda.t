@@ -76,9 +76,9 @@ a violated constraint is reported and fails the check:
   > TXT
 
   $ ../../bin/pcda.exe check --csv bad.csv -c pcs.txt
-  pcda: constraints violated
   VIOLATION: chicago_cap: 1 rows violate price in [0, 149.99]
-  [124]
+  pcda: error: constraints violated
+  [2]
 
 overlapping constraints take the MILP path; a resource budget degrades
 the answer down the ladder instead of failing, and says so:
@@ -159,6 +159,7 @@ here so that adding or renaming a counter shows up in review:
   cells.decompositions
   cells.emitted
   cells.witness_hits
+  fault.injections
   lp.bland_activations
   lp.dual_pivots
   lp.phase1_pivots
@@ -171,11 +172,16 @@ here so that adding or renaming a counter shows up in review:
   milp.solves
   sat.atom_ops
   sat.calls
+  server.admission_crushed
+  server.degraded
+  server.errors
+  server.requests
   bound.ns
   lp.solve.ns
   milp.node.ns
   pool.queue_wait_ns
   pool.run_ns
+  server.request_ns
 
 an expired deadline still answers, from value bounds alone:
 
@@ -202,12 +208,12 @@ can tell "no consistent relation exists" from ordinary failures:
 a malformed budget spec is rejected up front:
 
   $ ../../bin/pcda.exe bound -c over.txt --missing-only -q "SELECT COUNT(*)" --budget gremlins=9
-  pcda: unknown budget key "gremlins"
-  [124]
+  pcda: error: unknown budget key "gremlins"
+  [2]
 
   $ ../../bin/pcda.exe bound -c over.txt --missing-only -q "SELECT COUNT(*)" --budget cells=-1
-  pcda: budget cells: -1 is negative
-  [124]
+  pcda: error: budget cells: -1 is negative
+  [2]
 
 parse errors are reported cleanly:
 
@@ -216,5 +222,29 @@ parse errors are reported cleanly:
   > TXT
 
   $ ../../bin/pcda.exe bound -c broken.txt --missing-only -q "SELECT COUNT(*)"
-  pcda: parse error: Pc.make: kl > ku
-  [124]
+  pcda: error: parse error: Pc.make: kl > ku
+  [2]
+
+the error-handling contract: every user-input error is one line on
+stderr and exit 2 — a missing file, a bad flag, an unreachable server:
+
+  $ ../../bin/pcda.exe bound -c does-not-exist.txt -q "SELECT COUNT(*)"
+  pcda: error: does-not-exist.txt: No such file or directory
+  [2]
+
+  $ ../../bin/pcda.exe check --csv does-not-exist.csv -c pcs.txt
+  pcda: error: does-not-exist.csv: No such file or directory
+  [2]
+
+  $ ../../bin/pcda.exe client --port 1 </dev/null
+  pcda: error: cannot connect to 127.0.0.1:1: Connection refused
+  [2]
+
+cmdliner usage errors fold into the same exit code:
+
+  $ ../../bin/pcda.exe bound --no-such-flag 2>/dev/null
+  [2]
+
+  $ ../../bin/pcda.exe serve --faults gremlins=1
+  pcda: error: unknown fault site "gremlins"
+  [2]

@@ -1,0 +1,274 @@
+(* The fault-injection harness: deterministic schedules, and the chaos
+   soundness property — under any seeded fault schedule the bound engine
+   still returns a sound, provenance-tagged answer; no injected
+   exception ever escapes. *)
+
+open Pc_core
+module B = Pc_budget.Budget
+module F = Pc_fault.Fault
+module I = Pc_interval.Interval
+module Atom = Pc_predicate.Atom
+module Pred = Pc_predicate.Pred
+module Q = Pc_query.Query
+module R = Pc_util.Rng
+
+let tc = Alcotest.test_case
+let mk ?name pred values freq = Pc.make ?name ~pred ~values ~freq ()
+
+(* ----------------------- schedule mechanics -------------------------- *)
+
+let test_disabled_is_noop () =
+  F.disable ();
+  Alcotest.(check bool) "disabled" false (F.enabled ());
+  Alcotest.(check bool) "fire is false" false (F.fire F.Sat_fail);
+  (* a point never raises when disabled *)
+  F.point F.Sat_fail;
+  F.slow_point ();
+  Alcotest.(check (float 0.)) "no skew" 0. (F.clock_skew_s ())
+
+let fire_sequence cfg n site =
+  F.with_faults cfg (fun () -> List.init n (fun _ -> F.fire site))
+
+let test_deterministic_replay () =
+  let cfg = F.config ~seed:42 [ (F.Sat_fail, 0.5) ] in
+  let a = fire_sequence cfg 64 F.Sat_fail in
+  let b = fire_sequence cfg 64 F.Sat_fail in
+  Alcotest.(check (list bool)) "same seed, same schedule" a b;
+  Alcotest.(check bool) "schedule is not constant" true
+    (List.exists Fun.id a && List.exists (fun x -> not x) a);
+  let c = fire_sequence (F.config ~seed:43 [ (F.Sat_fail, 0.5) ]) 64 F.Sat_fail in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_rate_extremes () =
+  let never = fire_sequence (F.config ~seed:1 [ (F.Sat_fail, 0.) ]) 50 F.Sat_fail in
+  Alcotest.(check bool) "rate 0 never fires" false (List.exists Fun.id never);
+  let always =
+    fire_sequence (F.config ~seed:1 [ (F.Sat_fail, 1.) ]) 50 F.Sat_fail
+  in
+  Alcotest.(check bool) "rate 1 always fires" true (List.for_all Fun.id always);
+  (* unlisted sites default to rate 0 *)
+  let other = fire_sequence (F.config ~seed:1 [ (F.Sat_fail, 1.) ]) 50 F.Lp_doubt in
+  Alcotest.(check bool) "unlisted site silent" false (List.exists Fun.id other)
+
+let test_counters_survive_disable () =
+  let cfg = F.config ~seed:9 [ (F.Sock_tear, 1.) ] in
+  F.with_faults cfg (fun () ->
+      ignore (F.fire F.Sock_tear);
+      ignore (F.fire F.Sock_tear));
+  Alcotest.(check bool) "disabled after with_faults" false (F.enabled ());
+  Alcotest.(check int) "counts readable after disable" 2 (F.injected F.Sock_tear)
+
+let test_config_of_string () =
+  (match F.config_of_string "seed=7,sat_fail=0.25,slow_ms=5,skew_s=2" with
+  | Error e -> Alcotest.fail e
+  | Ok cfg ->
+      Alcotest.(check int) "seed" 7 cfg.F.seed;
+      Alcotest.(check (float 1e-9)) "slow" 0.005 cfg.F.slow_s;
+      Alcotest.(check (float 1e-9)) "skew" 2. cfg.F.skew_s;
+      Alcotest.(check (float 1e-9)) "rate" 0.25 (List.assoc F.Sat_fail cfg.F.rates));
+  (match F.config_of_string "sat_fail=2.0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "rate out of [0,1] accepted");
+  match F.config_of_string "bogus_site=0.5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown key accepted"
+
+(* ----------------- injection sites degrade soundly -------------------- *)
+
+let t1 =
+  mk ~name:"t1"
+    [ Atom.Num_range ("utc", I.make_exn (I.Closed 11.) (I.Open 12.)) ]
+    [ ("price", I.closed 0.99 129.99) ]
+    (50, 100)
+
+let t2 =
+  mk ~name:"t2"
+    [ Atom.Num_range ("utc", I.make_exn (I.Closed 11.) (I.Open 13.)) ]
+    [ ("price", I.closed 0.99 149.99) ]
+    (75, 125)
+
+let overlapping = Pc_set.make [ t1; t2 ]
+let count = Q.count ()
+
+let range_of = function
+  | Bounds.Range r -> r
+  | Bounds.Empty -> Alcotest.fail "unexpected Empty"
+  | Bounds.Infeasible -> Alcotest.fail "unexpected Infeasible"
+
+let exact = lazy (range_of (Bounds.bound overlapping count))
+
+let check_contains (d : Range.t) =
+  let e = Lazy.force exact in
+  Alcotest.(check bool) "lo sound" true (d.Range.lo <= e.Range.lo +. 1e-6);
+  Alcotest.(check bool) "hi sound" true (d.Range.hi >= e.Range.hi -. 1e-6)
+
+let test_sat_fail_falls_to_floor () =
+  ignore (Lazy.force exact);
+  let o =
+    F.with_faults
+      (F.config ~seed:3 [ (F.Sat_fail, 1.) ])
+      (fun () -> Bounds.bound_budgeted overlapping count)
+  in
+  Alcotest.(check bool) "degraded provenance" true
+    (Bounds.provenance_order o.Bounds.stats.Bounds.provenance > 0);
+  check_contains (range_of o.Bounds.answer);
+  Alcotest.(check bool) "injections recorded" true (F.injected F.Sat_fail > 0)
+
+let test_lp_doubt_keeps_answer () =
+  (* forced cold fallback is the existing numeric-doubt soundness path:
+     slower, same optimum *)
+  ignore (Lazy.force exact);
+  let o =
+    F.with_faults
+      (F.config ~seed:5 [ (F.Lp_doubt, 1.) ])
+      (fun () -> Bounds.bound_budgeted overlapping count)
+  in
+  let r = range_of o.Bounds.answer in
+  let e = Lazy.force exact in
+  Alcotest.(check (float 1e-6)) "lo unchanged" e.Range.lo r.Range.lo;
+  Alcotest.(check (float 1e-6)) "hi unchanged" e.Range.hi r.Range.hi
+
+let test_clock_skew_only_degrades () =
+  ignore (Lazy.force exact);
+  let o =
+    F.with_faults
+      (F.config ~seed:11 ~skew_s:3600. [ (F.Clock_skew, 1.) ])
+      (fun () ->
+        let b = B.start (B.spec ~timeout:30. ()) in
+        Bounds.bound_budgeted ~budget:b overlapping count)
+  in
+  (* an hour of skew against a 30 s deadline: expired on arrival *)
+  Alcotest.(check bool) "deadline hit" true o.Bounds.stats.Bounds.deadline_hit;
+  check_contains (range_of o.Bounds.answer)
+
+(* -------------------- qcheck: chaos soundness ------------------------- *)
+(* Mirrors test_budget's generators so the property quantifies over the
+   same space, now with a fault schedule layered on top of the crushed
+   budgets. *)
+
+let random_pc rng i =
+  let pred =
+    if R.int rng 4 = 0 then Pred.tt
+    else
+      let lo = float_of_int (R.int rng 10) in
+      let w = float_of_int (1 + R.int rng 10) in
+      [ Atom.Num_range ("x", I.closed lo (lo +. w)) ]
+  in
+  let values =
+    if R.int rng 4 = 0 then []
+    else
+      let vlo = float_of_int (R.int rng 20 - 10) in
+      let vw = float_of_int (R.int rng 15) in
+      [ ("v", I.closed vlo (vlo +. vw)) ]
+  in
+  let ku = R.int rng 8 in
+  let kl = if R.int rng 3 = 0 then min ku (R.int rng 4) else 0 in
+  mk ~name:(Printf.sprintf "p%d" i) pred values (kl, ku)
+
+let random_set rng = Pc_set.make (List.init (2 + R.int rng 3) (random_pc rng))
+
+let random_query rng =
+  let where_ =
+    if R.int rng 2 = 0 then Pred.tt
+    else
+      let lo = float_of_int (R.int rng 12) in
+      let w = float_of_int (1 + R.int rng 8) in
+      [ Atom.Num_range ("x", I.closed lo (lo +. w)) ]
+  in
+  match R.int rng 5 with
+  | 0 -> Q.count ~where_ ()
+  | 1 -> Q.sum ~where_ "v"
+  | 2 -> Q.avg ~where_ "v"
+  | 3 -> Q.min_ ~where_ "v"
+  | _ -> Q.max_ ~where_ "v"
+
+let le_tol a b =
+  a <= b
+  || Float.is_finite a && Float.is_finite b
+     && a -. b <= 1e-6 *. Float.max 1. (Float.abs b)
+
+let sound ~exact ~degraded =
+  match (exact, degraded) with
+  | Bounds.Infeasible, _ -> true
+  | Bounds.Empty, (Bounds.Empty | Bounds.Range _) -> true
+  | Bounds.Empty, Bounds.Infeasible -> false
+  | Bounds.Range r, Bounds.Range d ->
+      le_tol d.Range.lo r.Range.lo && le_tol r.Range.hi d.Range.hi
+  | Bounds.Range _, (Bounds.Empty | Bounds.Infeasible) -> false
+
+let answer_to_string = function
+  | Bounds.Range r -> Range.to_string r
+  | Bounds.Empty -> "empty"
+  | Bounds.Infeasible -> "infeasible"
+
+let random_schedule rng =
+  let rate site = (site, float_of_int (R.int rng 11) /. 10.) in
+  F.config ~seed:(R.int rng 10_000)
+    ~slow_s:(float_of_int (R.int rng 3) *. 1e-4)
+    ~skew_s:(float_of_int (R.int rng 100))
+    [
+      rate F.Sat_fail;
+      rate F.Sat_slow;
+      rate F.Lp_doubt;
+      rate F.Clock_skew;
+    ]
+
+let specs =
+  [
+    ("unlimited", B.unlimited_spec);
+    ("nodes=0", B.spec ~nodes:0 ());
+    ("sat=0", B.spec ~sat_calls:0 ());
+    ("all-crushed", B.spec ~timeout:0. ~cells:1 ~sat_calls:0 ~nodes:0 ~iters:1 ());
+  ]
+
+let prop_chaos_soundness =
+  QCheck.Test.make
+    ~name:"any fault schedule: sound answer, valid provenance, no raise"
+    ~count:200 QCheck.small_int (fun seed ->
+      let rng = R.create (seed + 271) in
+      let set = random_set rng in
+      let query = random_query rng in
+      let exact = Bounds.bound set query in
+      let cfg = random_schedule rng in
+      List.for_all
+        (fun (label, spec) ->
+          let o =
+            try
+              F.with_faults cfg (fun () ->
+                  Bounds.bound_budgeted ~budget:(B.start spec) set query)
+            with e ->
+              QCheck.Test.fail_reportf "budget %s: escaped exception %s" label
+                (Printexc.to_string e)
+          in
+          let rung =
+            Bounds.provenance_order o.Bounds.stats.Bounds.provenance
+          in
+          (rung >= 0 && rung <= 3
+          || QCheck.Test.fail_reportf "budget %s: bad provenance" label)
+          &&
+          (sound ~exact ~degraded:o.Bounds.answer
+          || QCheck.Test.fail_reportf
+               "budget %s unsound under faults on %s: exact %s, got %s" label
+               (Q.to_string query) (answer_to_string exact)
+               (answer_to_string o.Bounds.answer)))
+        specs)
+
+let () =
+  Alcotest.run "pc_fault"
+    [
+      ( "schedule",
+        [
+          tc "disabled is a no-op" `Quick test_disabled_is_noop;
+          tc "deterministic replay" `Quick test_deterministic_replay;
+          tc "rate extremes" `Quick test_rate_extremes;
+          tc "counters survive disable" `Quick test_counters_survive_disable;
+          tc "config_of_string" `Quick test_config_of_string;
+        ] );
+      ( "sites",
+        [
+          tc "sat failure falls to the floor" `Quick test_sat_fail_falls_to_floor;
+          tc "lp doubt keeps the optimum" `Quick test_lp_doubt_keeps_answer;
+          tc "clock skew only degrades" `Quick test_clock_skew_only_degrades;
+        ] );
+      ("chaos", [ QCheck_alcotest.to_alcotest prop_chaos_soundness ]);
+    ]

@@ -1,0 +1,345 @@
+(* The bound server: protocol, per-request crash isolation, admission
+   control, graceful drain, and the chaos acceptance test (faults armed,
+   8 concurrent clients, torn sockets — every well-formed request is
+   answered soundly or with a structured error; the server never dies;
+   the drain leaves valid artifacts). *)
+
+module S = Pc_server.Server
+module A = Pc_server.Admission
+module C = Pc_server.Client
+module B = Pc_budget.Budget
+module F = Pc_fault.Fault
+module J = Pc_obs.Json
+
+let tc = Alcotest.test_case
+
+let constraints_text =
+  "constraint chicago_cap:\n\
+  \  branch = 'Chicago' => price in [0.0, 149.99], count [0, 5];\n\
+   constraint newyork_cap:\n\
+  \  branch = 'New York' => price in [0.0, 100.0], count [0, 10];\n"
+
+let sum_query = "SELECT SUM(price) WHERE branch = 'Chicago'"
+
+let start ?(cfg = S.default_config) () =
+  let srv = S.create { cfg with S.port = 0 } in
+  (match
+     S.load_dataset srv ~name:"default" ~constraints:constraints_text ()
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (srv, Thread.create S.run srv)
+
+let stop (srv, th) =
+  S.initiate_drain srv;
+  Thread.join th
+
+let connect srv = C.connect ~host:"127.0.0.1" ~port:(S.port srv)
+
+let parse reply =
+  match J.parse reply with
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Printf.sprintf "bad reply %S: %s" reply e)
+
+let req c line =
+  match C.request c line with
+  | Some reply -> parse reply
+  | None -> Alcotest.fail "connection closed instead of replying"
+
+let ok v =
+  match J.member "ok" v with
+  | Some (J.Bool b) -> b
+  | _ -> Alcotest.fail "reply without \"ok\""
+
+let str v k = Option.bind (J.member k v) J.to_str
+let num v k = Option.bind (J.member k v) J.to_num
+
+let err_code v =
+  match Option.bind (J.member "error" v) (fun e -> str e "code") with
+  | Some c -> c
+  | None -> Alcotest.fail "error reply without code"
+
+(* ------------------------------ protocol ------------------------------ *)
+
+let test_session () =
+  let ((srv, _) as s) = start () in
+  let c = connect srv in
+  let v = req c {|{"op":"ping"}|} in
+  Alcotest.(check bool) "pong ok" true (ok v);
+  let v = req c (Printf.sprintf {|{"op":"bound","query":%s}|} (J.to_string (J.Str sum_query))) in
+  Alcotest.(check bool) "bound ok" true (ok v);
+  Alcotest.(check (option string)) "exact" (Some "exact") (str v "provenance");
+  (match J.member "answer" v with
+  | Some a ->
+      Alcotest.(check (option string)) "range" (Some "range") (str a "kind");
+      (match (num a "lo", num a "hi") with
+      | Some lo, Some hi -> Alcotest.(check bool) "lo<=hi" true (lo <= hi)
+      | _ -> Alcotest.fail "range without lo/hi")
+  | None -> Alcotest.fail "no answer");
+  let v = req c {|{"op":"stats"}|} in
+  Alcotest.(check bool) "stats ok" true (ok v);
+  Alcotest.(check bool) "requests counted" true
+    (match num v "requests" with Some n -> n >= 2. | None -> false);
+  C.close c;
+  stop s
+
+let test_crash_isolation () =
+  let ((srv, _) as s) = start () in
+  let c = connect srv in
+  (* a barrage of garbage, then a real request on the same connection *)
+  let v = req c "this is not json" in
+  Alcotest.(check bool) "garbage rejected" false (ok v);
+  Alcotest.(check string) "bad-json" "bad-json" (err_code v);
+  let v = req c {|{"op":"frobnicate"}|} in
+  Alcotest.(check string) "unknown-op" "unknown-op" (err_code v);
+  let v = req c {|{"op":"bound"}|} in
+  Alcotest.(check string) "missing field" "bad-request" (err_code v);
+  let v = req c {|{"op":"bound","query":"SELECT BOGUS(*)"}|} in
+  Alcotest.(check string) "query parse error" "parse-error" (err_code v);
+  let v = req c {|{"op":"bound","query":"SELECT COUNT(*)","dataset":"nope"}|} in
+  Alcotest.(check string) "unknown dataset" "unknown-dataset" (err_code v);
+  let v = req c {|{"op":"load","name":"d2","constraints":"syntax error!"}|} in
+  Alcotest.(check string) "constraint parse error" "parse-error" (err_code v);
+  let v = req c (Printf.sprintf {|{"op":"bound","query":%s}|} (J.to_string (J.Str sum_query))) in
+  Alcotest.(check bool) "still serving after the barrage" true (ok v);
+  C.close c;
+  stop s
+
+let test_load_op () =
+  let ((srv, _) as s) = start () in
+  let c = connect srv in
+  let line =
+    J.to_string
+      (J.Obj
+         [
+           ("op", J.Str "load");
+           ("name", J.Str "second");
+           ("constraints", J.Str constraints_text);
+         ])
+  in
+  let v = req c line in
+  Alcotest.(check bool) "load ok" true (ok v);
+  Alcotest.(check (option (float 0.))) "two constraints" (Some 2.)
+    (num v "constraints");
+  let v =
+    req c {|{"op":"bound","dataset":"second","query":"SELECT COUNT(*)"}|}
+  in
+  Alcotest.(check bool) "bound on new dataset" true (ok v);
+  C.close c;
+  stop s
+
+let test_torn_socket_isolated () =
+  let ((srv, _) as s) = start () in
+  (* half a request, no newline, then vanish *)
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", S.port srv));
+  let half = {|{"op":"pi|} in
+  ignore (Unix.write_substring fd half 0 (String.length half));
+  Unix.close fd;
+  (* the server shrugs; a well-behaved client is unaffected *)
+  let c = connect srv in
+  Alcotest.(check bool) "still alive" true (ok (req c {|{"op":"ping"}|}));
+  C.close c;
+  stop s
+
+(* --------------------------- concurrency ------------------------------ *)
+
+let test_concurrent_clients () =
+  let ((srv, _) as s) = start () in
+  let failures = Atomic.make 0 in
+  let worker _ =
+    Thread.create
+      (fun () ->
+        let c = connect srv in
+        for _ = 1 to 5 do
+          let line =
+            Printf.sprintf {|{"op":"bound","query":%s}|}
+              (J.to_string (J.Str sum_query))
+          in
+          match C.request c line with
+          | Some reply when ok (parse reply) -> ()
+          | _ -> Atomic.incr failures
+        done;
+        C.close c)
+      ()
+  in
+  let threads = List.init 8 worker in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "all 40 requests answered" 0 (Atomic.get failures);
+  stop s
+
+(* ------------------------- admission control -------------------------- *)
+
+let test_admission_unit () =
+  let p = A.policy ~max_inflight:8 in
+  Alcotest.(check bool) "idle is full" true (A.level_for p ~inflight:0 = A.Full);
+  Alcotest.(check bool) "saturated is floor" true
+    (A.level_for p ~inflight:8 = A.Floor_only);
+  (* monotone: more load never yields a cheaper level *)
+  let rec mono i prev =
+    if i > 10 then ()
+    else
+      let l = A.level_order (A.level_for p ~inflight:i) in
+      Alcotest.(check bool) "monotone" true (l >= prev);
+      mono (i + 1) l
+  in
+  mono 0 0;
+  (* crush only tightens: an operator cap below the crush survives *)
+  let base = B.spec ~sat_calls:0 ~nodes:3 () in
+  let crushed = A.crush base A.Early_only in
+  Alcotest.(check (option int)) "nodes crushed" (Some 0) crushed.B.max_nodes;
+  Alcotest.(check (option int)) "sat cap kept" (Some 0) crushed.B.max_sat_calls
+
+let test_overload_degrades () =
+  (* thresholds of zero: every request lands on the trivial floor. The
+     dataset must be overlapping — a disjoint set takes the budget-free
+     O(n) greedy path, which a floored budget rightly leaves exact. *)
+  let overlapping =
+    "constraint a: branch = 'Chicago' => price in [0.0, 100.0], count [0, 5];\n\
+     constraint b: branch = 'Chicago' => price in [0.0, 150.0], count [2, 10];\n"
+  in
+  let cfg =
+    {
+      S.default_config with
+      S.policy = { A.full_below = 0; A.dual_below = 0; A.early_below = 0 };
+    }
+  in
+  let ((srv, _) as s) = start ~cfg () in
+  (match S.load_dataset srv ~name:"ov" ~constraints:overlapping () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let c = connect srv in
+  let v = req c {|{"op":"bound","dataset":"ov","query":"SELECT COUNT(*)"}|} in
+  Alcotest.(check bool) "still answered" true (ok v);
+  Alcotest.(check (option string)) "admission reported" (Some "floor-only")
+    (str v "admission");
+  Alcotest.(check (option string)) "floor provenance" (Some "trivial")
+    (str v "provenance");
+  (match J.member "degraded" v with
+  | Some (J.Bool b) -> Alcotest.(check bool) "marked degraded" true b
+  | _ -> Alcotest.fail "no degraded flag");
+  C.close c;
+  stop s
+
+(* ------------------------------- drain -------------------------------- *)
+
+let test_drain_flushes_artifacts () =
+  let trace = Filename.temp_file "pcda_trace" ".json" in
+  let metrics = Filename.temp_file "pcda_metrics" ".json" in
+  Pc_obs.Trace.set_enabled true;
+  Pc_obs.Registry.set_enabled true;
+  let cfg =
+    { S.default_config with S.trace_path = Some trace; metrics_path = Some metrics }
+  in
+  let ((srv, th) as s) = start ~cfg () in
+  let c = connect srv in
+  ignore (req c (Printf.sprintf {|{"op":"bound","query":%s}|} (J.to_string (J.Str sum_query))));
+  (* shutdown over the wire: reply first, then drain *)
+  let v = req c {|{"op":"shutdown"}|} in
+  Alcotest.(check bool) "shutdown acknowledged" true (ok v);
+  Thread.join th;
+  Alcotest.(check bool) "drained" true (S.draining srv);
+  List.iter
+    (fun path ->
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (match J.parse text with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "%s: invalid JSON: %s" path e));
+      Sys.remove path)
+    [ trace; metrics ];
+  Pc_obs.Trace.set_enabled false;
+  C.close c;
+  ignore s
+
+(* ------------------------------- chaos -------------------------------- *)
+
+let test_chaos () =
+  let ((srv, _) as s) = start () in
+  let bad_replies = Atomic.make 0 in
+  let answered = Atomic.make 0 in
+  let cfg =
+    F.config ~seed:2026 ~slow_s:0.0005
+      [
+        (F.Sat_fail, 0.3);
+        (F.Sat_slow, 0.2);
+        (F.Lp_doubt, 0.3);
+        (F.Clock_skew, 0.1);
+        (F.Sock_tear, 0.1);
+        (F.Sock_close, 0.1);
+      ]
+  in
+  F.with_faults cfg (fun () ->
+      let requests =
+        [
+          Printf.sprintf {|{"op":"bound","query":%s}|}
+            (J.to_string (J.Str sum_query));
+          {|{"op":"bound","query":"SELECT COUNT(*)"}|};
+          {|{"op":"bound","query":"SELECT AVG(price) WHERE branch = 'New York'"}|};
+          "garbage %% line";
+          {|{"op":"bound","query":"SELECT MIN(price)"}|};
+        ]
+      in
+      let worker _ =
+        Thread.create
+          (fun () ->
+            let c = ref (connect srv) in
+            for i = 1 to 10 do
+              let line = List.nth requests (i mod List.length requests) in
+              match C.request !c line with
+              | Some reply ->
+                  (* every reply line must be a well-formed protocol
+                     object: ok:true with an answer, or a structured
+                     error — nothing in between *)
+                  (match J.parse reply with
+                  | Error _ -> Atomic.incr bad_replies
+                  | Ok v -> (
+                      Atomic.incr answered;
+                      match (J.member "ok" v, J.member "error" v) with
+                      | Some (J.Bool true), None -> ()
+                      | Some (J.Bool false), Some _ -> ()
+                      | _ -> Atomic.incr bad_replies))
+              | None ->
+                  (* injected socket fault killed the connection —
+                     isolation means a fresh one works *)
+                  C.close !c;
+                  c := connect srv
+            done;
+            C.close !c)
+          ()
+      in
+      let threads = List.init 8 worker in
+      List.iter Thread.join threads);
+  Alcotest.(check int) "every reply well-formed" 0 (Atomic.get bad_replies);
+  Alcotest.(check bool) "most requests answered" true (Atomic.get answered > 0);
+  (* the server survived: a clean client still gets service *)
+  let c = connect srv in
+  Alcotest.(check bool) "alive after the storm" true
+    (ok (req c {|{"op":"stats"}|}));
+  C.close c;
+  stop s
+
+let () =
+  Alcotest.run "pc_server"
+    [
+      ( "protocol",
+        [
+          tc "session" `Quick test_session;
+          tc "crash isolation" `Quick test_crash_isolation;
+          tc "load op" `Quick test_load_op;
+          tc "torn socket isolated" `Quick test_torn_socket_isolated;
+        ] );
+      ("concurrency", [ tc "8 clients" `Quick test_concurrent_clients ]);
+      ( "admission",
+        [
+          tc "policy unit" `Quick test_admission_unit;
+          tc "overload degrades, never rejects" `Quick test_overload_degrades;
+        ] );
+      ("drain", [ tc "artifacts flushed" `Quick test_drain_flushes_artifacts ]);
+      ("chaos", [ tc "faults + 8 clients" `Quick test_chaos ]);
+    ]
