@@ -17,12 +17,16 @@ module Clock = Pc_util.Clock
 (* Bechamel micro-benchmarks of the solver stack                       *)
 (* ------------------------------------------------------------------ *)
 
-(* the decomposition stress fixture: 10 overlapping one-attribute ranges *)
-let overlapping_set () =
+(* the decomposition stress fixture: n overlapping one-attribute ranges.
+   The domain grows with n (6 units per PC) so overlap depth stays flat
+   and cell count stays linear — the regime where the FDD path walk wins
+   and the DFS SAT-probe cost is pure overhead. n = 10 reproduces the
+   original fixture draw-for-draw (seed 7, hi = 60). *)
+let overlapping_set_n n =
   let rng = Pc_util.Rng.create 7 in
   let pcs =
-    List.init 10 (fun i ->
-        let lo = Pc_util.Rng.uniform rng ~lo:0. ~hi:60. in
+    List.init n (fun i ->
+        let lo = Pc_util.Rng.uniform rng ~lo:0. ~hi:(6. *. float_of_int n) in
         let w = Pc_util.Rng.uniform rng ~lo:20. ~hi:50. in
         Pc_core.Pc.make
           ~name:(Printf.sprintf "p%d" i)
@@ -31,6 +35,8 @@ let overlapping_set () =
           ~freq:(0, 10) ())
   in
   Pc_core.Pc_set.make pcs
+
+let overlapping_set () = overlapping_set_n 10
 
 (* Interval rows (a >=/<= pair per PC) over overlapping cell coverage:
    the MILP shape the PC framework emits, and the one where warm starts
@@ -103,6 +109,8 @@ let micro_tests () =
     }
   in
   let set = overlapping_set () in
+  let set100 = overlapping_set_n 100 in
+  let set1000 = overlapping_set_n 1000 in
   let milp_interval = milp_interval_problem in
   let missing = Pc_synth.Sensor.generate (Pc_util.Rng.create 3) ~rows:5_000 in
   let disjoint_set =
@@ -133,6 +141,15 @@ let micro_tests () =
     Test.make ~name:"cells.decompose (10 overlapping PCs)"
       (Staged.stage (fun () ->
            ignore (Pc_core.Cells.decompose ~strategy:Pc_core.Cells.Dfs_rewrite set)));
+    Test.make ~name:"cells.decompose_fdd (10 overlapping PCs)"
+      (Staged.stage (fun () ->
+           ignore (Pc_core.Cells.decompose ~strategy:Pc_core.Cells.Fdd set)));
+    Test.make ~name:"cells.decompose_fdd (100 overlapping PCs)"
+      (Staged.stage (fun () ->
+           ignore (Pc_core.Cells.decompose ~strategy:Pc_core.Cells.Fdd set100)));
+    Test.make ~name:"cells.decompose_fdd (1000 overlapping PCs)"
+      (Staged.stage (fun () ->
+           ignore (Pc_core.Cells.decompose ~strategy:Pc_core.Cells.Fdd set1000)));
     Test.make ~name:"bounds.greedy (500 disjoint PCs, SUM)"
       (Staged.stage (fun () -> ignore (Pc_core.Bounds.bound disjoint_set query)));
   ]
@@ -221,9 +238,25 @@ let write_baseline ~queries ~rows path =
   in
   let set = overlapping_set () in
   Pc_predicate.Sat.reset_calls ();
-  let _cells, stats =
+  let dfs_cells, stats =
     Pc_core.Cells.decompose ~strategy:Pc_core.Cells.Dfs_rewrite set
   in
+  (* fdd cross-check: same cell set as the SAT-probed DFS, zero probes *)
+  let fdd_cells, fdd_stats =
+    Pc_core.Cells.decompose ~strategy:Pc_core.Cells.Fdd set
+  in
+  let fdd_matches =
+    let norm cells =
+      List.sort compare (List.map (fun c -> c.Pc_core.Cells.active) cells)
+    in
+    norm dfs_cells = norm fdd_cells
+  in
+  (* the --jobs clamp policy, recorded so a 1-core CI run of this file
+     explains its own speedup_jobs4_over_jobs1 ~ 1.0 *)
+  let jp_requested = 4 in
+  let jp_probe = Pc_par.Pool.create ~jobs:jp_requested in
+  let jp_effective = Pc_par.Pool.effective_jobs jp_probe in
+  Pc_par.Pool.shutdown jp_probe;
   Printf.printf "measuring end-to-end workload (jobs=1, jobs=4)...\n%!";
   let wall1, outs1 = end_to_end_wall ~jobs:1 ~queries ~rows in
   let wall4, outs4 = end_to_end_wall ~jobs:4 ~queries ~rows in
@@ -244,8 +277,8 @@ let write_baseline ~queries ~rows path =
       let p fmt = Printf.fprintf oc fmt in
       p "{\n";
       p "  \"benchmark\": \"BENCH_decompose\",\n";
-      p "  \"schema_version\": 3,\n";
-      p "  \"pre_pr_reference\": { \"cells.decompose (10 overlapping PCs)\": 78755.4 },\n";
+      p "  \"schema_version\": 4,\n";
+      p "  \"pre_pr_reference\": { \"cells.decompose (10 overlapping PCs)\": 78755.4, \"cells.decompose_fdd (10 overlapping PCs)\": 31600.0 },\n";
       p "  \"micro_ns_per_run\": {\n";
       let n = List.length micro in
       List.iteri
@@ -258,6 +291,19 @@ let write_baseline ~queries ~rows path =
       p "  \"decompose_dfs_rewrite\": { \"cells\": %d, \"sat_calls\": %d, \"atom_ops\": %d },\n"
         stats.Pc_core.Cells.n_cells stats.Pc_core.Cells.sat_calls
         stats.Pc_core.Cells.atom_ops;
+      (* schema v4: the fdd strategy's cell count, its zero SAT-call
+         contract, and a hard cross-check against the dfs-rewrite cells *)
+      p "  \"decompose_fdd\": { \"cells\": %d, \"sat_calls\": %d, \"matches_dfs_rewrite\": %b },\n"
+        fdd_stats.Pc_core.Cells.n_cells fdd_stats.Pc_core.Cells.sat_calls
+        fdd_matches;
+      p "  \"jobs_policy\": { \"requested\": %d, \"effective\": %d, \"available_cores\": %d, \"chunk_threshold\": %d, \"reason\": \"%s\" },\n"
+        jp_requested jp_effective
+        (Pc_par.Pool.available_cores ())
+        Pc_par.Pool.chunk_threshold
+        (if jp_effective < jp_requested then
+           "requested jobs clamped to available cores; batches under \
+            chunk_threshold x effective items run sequentially"
+         else "requested jobs within available cores");
       (* schema v3: lp.pivots cost of one warm vs one cold MILP solve of
          the 6-var interval micro, plus cumulative warm-start evidence *)
       p "  \"milp_solve_pivots\": { \"warm\": %d, \"cold\": %d, \"cold_over_warm\": %.2f },\n"
@@ -291,6 +337,10 @@ let write_baseline ~queries ~rows path =
   if warm_starts = 0 then begin
     Printf.eprintf "FATAL: warm path never engaged (lp.warm_starts = 0)\n";
     exit 1
+  end;
+  if not fdd_matches then begin
+    Printf.eprintf "FATAL: fdd decomposition disagrees with dfs-rewrite\n";
+    exit 1
   end
 
 (* ------------------------------------------------------------------ *)
@@ -307,9 +357,9 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
   let module S = Pc_server.Server in
   let module C = Pc_server.Client in
   let module J = Pc_obs.Json in
-  Printf.printf
-    "driving in-process server: %d clients x %d requests, think %.1f ms...\n%!"
-    clients requests think_ms;
+  let module Counter = Pc_obs.Registry.Counter in
+  let c_hits = Counter.make "cache.hits" in
+  let c_misses = Counter.make "cache.misses" in
   let missing = Pc_synth.Sensor.generate (Pc_util.Rng.create 3) ~rows:2_000 in
   (* Partition on the integer device attribute only: [to_dsl] rounds
      float boundaries, so a float-bucketed partition (e.g. on [time])
@@ -322,20 +372,6 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
   let text =
     String.concat "\n" (List.map Pc_parse.Pc_parser.to_dsl pcs) ^ "\n"
   in
-  let srv =
-    S.create
-      {
-        S.default_config with
-        S.policy = Pc_server.Admission.policy ~max_inflight;
-      }
-  in
-  (match S.load_dataset srv ~name:"default" ~constraints:text () with
-  | Ok _ -> ()
-  | Error e ->
-      Printf.eprintf "FATAL: constraint preload failed: %s\n" e;
-      exit 1);
-  let th = Thread.create S.run srv in
-  let port = S.port srv in
   let queries =
     [|
       "SELECT COUNT(*)";
@@ -345,53 +381,110 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
       "SELECT MAX(light)";
     |]
   in
-  let lat_ns = Array.make (clients * requests) nan in
-  let degraded = Atomic.make 0 in
-  let errors = Atomic.make 0 in
-  let t0 = Clock.now () in
-  let worker w =
-    Thread.create
-      (fun () ->
-        let c = C.connect ~host:"127.0.0.1" ~port in
-        for i = 0 to requests - 1 do
-          let q = queries.((w + i) mod Array.length queries) in
-          let line = Printf.sprintf {|{"op":"bound","query":"%s"}|} q in
-          let r0 = Clock.now_ns () in
-          (match C.request c line with
-          | Some reply -> (
-              lat_ns.((w * requests) + i) <-
-                Int64.to_float (Int64.sub (Clock.now_ns ()) r0);
-              match J.parse reply with
-              | Ok v -> (
-                  (match J.member "degraded" v with
-                  | Some (J.Bool true) -> Atomic.incr degraded
-                  | _ -> ());
-                  match J.member "ok" v with
-                  | Some (J.Bool true) -> ()
-                  | _ -> Atomic.incr errors)
-              | Error _ -> Atomic.incr errors)
-          | None -> Atomic.incr errors);
-          if think_ms > 0. then Thread.delay (think_ms /. 1e3)
-        done;
-        C.close c)
-      ()
+  (* One closed-loop phase against a fresh in-process server. The 5
+     queries cycle, so every query repeats many times per phase — the
+     cached phase answers the repeats from the bound cache; the nocache
+     phase recomputes each one. *)
+  let drive ~cache =
+    Printf.printf
+      "driving in-process server (cache=%b): %d clients x %d requests, \
+       think %.1f ms...\n%!"
+      cache clients requests think_ms;
+    let hits0 = Counter.get c_hits and misses0 = Counter.get c_misses in
+    let srv =
+      S.create
+        {
+          S.default_config with
+          S.policy = Pc_server.Admission.policy ~max_inflight;
+          cache;
+        }
+    in
+    (match S.load_dataset srv ~name:"default" ~constraints:text () with
+    | Ok _ -> ()
+    | Error e ->
+        Printf.eprintf "FATAL: constraint preload failed: %s\n" e;
+        exit 1);
+    let th = Thread.create S.run srv in
+    let port = S.port srv in
+    let lat_ns = Array.make (clients * requests) nan in
+    let degraded = Atomic.make 0 in
+    let errors = Atomic.make 0 in
+    let t0 = Clock.now () in
+    let worker w =
+      Thread.create
+        (fun () ->
+          let c = C.connect ~host:"127.0.0.1" ~port in
+          for i = 0 to requests - 1 do
+            let q = queries.((w + i) mod Array.length queries) in
+            let line = Printf.sprintf {|{"op":"bound","query":"%s"}|} q in
+            let r0 = Clock.now_ns () in
+            (match C.request c line with
+            | Some reply -> (
+                lat_ns.((w * requests) + i) <-
+                  Int64.to_float (Int64.sub (Clock.now_ns ()) r0);
+                match J.parse reply with
+                | Ok v -> (
+                    (match J.member "degraded" v with
+                    | Some (J.Bool true) -> Atomic.incr degraded
+                    | _ -> ());
+                    match J.member "ok" v with
+                    | Some (J.Bool true) -> ()
+                    | _ -> Atomic.incr errors)
+                | Error _ -> Atomic.incr errors)
+            | None -> Atomic.incr errors);
+            if think_ms > 0. then Thread.delay (think_ms /. 1e3)
+          done;
+          C.close c)
+        ()
+    in
+    let threads = List.init clients worker in
+    List.iter Thread.join threads;
+    let wall = Clock.elapsed_s ~since:t0 in
+    S.initiate_drain srv;
+    Thread.join th;
+    let completed =
+      Array.to_list lat_ns |> List.filter (fun x -> not (Float.is_nan x))
+    in
+    let sorted = Array.of_list (List.sort compare completed) in
+    let n = Array.length sorted in
+    if n = 0 then begin
+      Printf.eprintf "FATAL: no request completed\n";
+      exit 1
+    end;
+    if Atomic.get errors > 0 then begin
+      Printf.eprintf "FATAL: %d requests failed (cache=%b)\n"
+        (Atomic.get errors) cache;
+      exit 1
+    end;
+    let pct q = sorted.(min (n - 1) (int_of_float (q *. float_of_int n))) in
+    ( wall,
+      n,
+      float_of_int n /. Float.max 1e-9 wall,
+      pct 0.50,
+      pct 0.99,
+      float_of_int (Atomic.get degraded) /. float_of_int (clients * requests),
+      Counter.get c_hits - hits0,
+      Counter.get c_misses - misses0 )
   in
-  let threads = List.init clients worker in
-  List.iter Thread.join threads;
-  let wall = Clock.elapsed_s ~since:t0 in
-  S.initiate_drain srv;
-  Thread.join th;
-  let completed =
-    Array.to_list lat_ns |> List.filter (fun x -> not (Float.is_nan x))
+  let phase_json oc name
+      (wall, n, qps, p50, p99, degraded_frac, hits, misses) =
+    let p fmt = Printf.fprintf oc fmt in
+    p "  \"%s\": {\n" name;
+    p "    \"completed\": %d,\n" n;
+    p "    \"errors\": 0,\n" (* drive exits fatally on any error *);
+    p "    \"wall_s\": %.4f,\n" wall;
+    p "    \"qps\": %.1f,\n" qps;
+    p "    \"p50_ns\": %.0f,\n" p50;
+    p "    \"p99_ns\": %.0f,\n" p99;
+    p "    \"degraded_fraction\": %.4f,\n" degraded_frac;
+    p "    \"cache_hits\": %d,\n" hits;
+    p "    \"cache_misses\": %d\n" misses;
+    p "  }"
   in
-  let sorted = Array.of_list (List.sort compare completed) in
-  let n = Array.length sorted in
-  if n = 0 then begin
-    Printf.eprintf "FATAL: no request completed\n";
-    exit 1
-  end;
-  let pct q = sorted.(min (n - 1) (int_of_float (q *. float_of_int n))) in
-  let total = clients * requests in
+  let nocache = drive ~cache:false in
+  let cached = drive ~cache:true in
+  let qps_of (_, _, q, _, _, _, _, _) = q in
+  let hits_of (_, _, _, _, _, _, h, _) = h in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -399,22 +492,20 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
       let p fmt = Printf.fprintf oc fmt in
       p "{\n";
       p "  \"benchmark\": \"BENCH_serve\",\n";
-      p "  \"schema_version\": 1,\n";
+      p "  \"schema_version\": 2,\n";
       p "  \"config\": { \"clients\": %d, \"requests_per_client\": %d, \"think_ms\": %.1f, \"max_inflight\": %d },\n"
         clients requests think_ms max_inflight;
-      p "  \"total_requests\": %d,\n" total;
-      p "  \"completed\": %d,\n" n;
-      p "  \"errors\": %d,\n" (Atomic.get errors);
-      p "  \"wall_s\": %.4f,\n" wall;
-      p "  \"qps\": %.1f,\n" (float_of_int n /. Float.max 1e-9 wall);
-      p "  \"p50_ns\": %.0f,\n" (pct 0.50);
-      p "  \"p99_ns\": %.0f,\n" (pct 0.99);
-      p "  \"degraded_fraction\": %.4f\n"
-        (float_of_int (Atomic.get degraded) /. float_of_int total);
+      p "  \"total_requests_per_phase\": %d,\n" (clients * requests);
+      phase_json oc "nocache" nocache;
+      p ",\n";
+      phase_json oc "cached" cached;
+      p ",\n";
+      p "  \"qps_speedup_cached_over_nocache\": %.2f\n"
+        (qps_of cached /. Float.max 1e-9 (qps_of nocache));
       p "}\n");
   Printf.printf "wrote %s\n" path;
-  if Atomic.get errors > 0 then begin
-    Printf.eprintf "FATAL: %d requests failed\n" (Atomic.get errors);
+  if hits_of cached = 0 then begin
+    Printf.eprintf "FATAL: cached phase recorded zero cache hits\n";
     exit 1
   end
 

@@ -55,7 +55,9 @@ let group_by_arg =
   Arg.(value & opt (some string) None & info [ "group-by" ] ~docv:"ATTR" ~doc)
 
 let strategy_arg =
-  let doc = "Cell decomposition strategy: dfs, dfs-rewrite, naive, or early:<k>." in
+  let doc =
+    "Cell decomposition strategy: dfs, dfs-rewrite, fdd, naive, or early:<k>."
+  in
   Arg.(value & opt string "dfs-rewrite" & info [ "strategy" ] ~docv:"S" ~doc)
 
 let timeout_arg =
@@ -191,6 +193,7 @@ let parse_strategy s =
   match String.lowercase_ascii s with
   | "dfs" -> Ok Pc_core.Cells.Dfs
   | "dfs-rewrite" -> Ok Pc_core.Cells.Dfs_rewrite
+  | "fdd" -> Ok Pc_core.Cells.Fdd
   | "naive" -> Ok Pc_core.Cells.Naive
   | s when String.length s > 6 && String.sub s 0 6 = "early:" -> begin
       match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
@@ -594,8 +597,24 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
   in
+  let serve_strategy_arg =
+    (* the server defaults to fdd: the per-dataset diagram is compiled
+       once at load and amortized across every request *)
+    let doc =
+      "Cell decomposition strategy: dfs, dfs-rewrite, fdd, naive, or \
+       early:<k>."
+    in
+    Arg.(value & opt string "fdd" & info [ "strategy" ] ~docv:"S" ~doc)
+  in
+  let no_cache_arg =
+    let doc =
+      "Disable the canonicalizing bound cache (repeat bound requests \
+       recompute instead of replaying the cached reply)."
+    in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
   let run host port constraints csv strategy timeout budget max_inflight jobs
-      faults trace metrics =
+      faults no_cache trace metrics =
     with_errors (fun () ->
         let ( let* ) = Result.bind in
         if jobs > 1 then Pc_par.Pool.set_default_jobs jobs;
@@ -623,6 +642,7 @@ let serve_cmd =
             policy = Pc_server.Admission.policy ~max_inflight;
             trace_path = trace;
             metrics_path;
+            cache = not no_cache;
           }
         in
         let* srv =
@@ -670,8 +690,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ host_arg $ port_arg $ constraints_opt_arg $ csv_opt_arg
-       $ strategy_arg $ timeout_arg $ budget_arg $ max_inflight_arg $ jobs_arg
-       $ faults_arg $ trace_arg $ metrics_arg))
+       $ serve_strategy_arg $ timeout_arg $ budget_arg $ max_inflight_arg
+       $ jobs_arg $ faults_arg $ no_cache_arg $ trace_arg $ metrics_arg))
 
 (* ---- client ---- *)
 

@@ -67,7 +67,14 @@ type trace = {
   mutable admitted : int;
 }
 
-type ctx = { opts : opts; budget : B.t; trace : trace }
+type ctx = {
+  opts : opts;
+  budget : B.t;
+  trace : trace;
+  fdd : Pc_predicate.Fdd.compiled option;
+      (** diagram precompiled from the full PC set (server bound cache);
+          only consulted by the [Cells.Fdd] strategy *)
+}
 
 (* Raised when a stage cannot produce any sound value within budget (the
    LP/MILP underneath was starved before a dual bound existed). Caught by
@@ -183,9 +190,12 @@ let prepare ~ctx set (query : Q.t) : (prepared, answer) result =
           raise Found_infeasible)
       (Pc_set.pcs set);
     (* Predicate pushdown at the set level: only PCs overlapping the query
-       region participate in the decomposition. *)
+       region participate in the decomposition. Skipped under [Fdd] so the
+       precompiled diagram's indices stay aligned with [set] — harmless,
+       because a non-overlapping PC never appears in a reachable active
+       set: it contributes no covering row and its effective kl is 0. *)
     let set =
-      if qpred = Pred.tt then set
+      if qpred = Pred.tt || opts.strategy = Cells.Fdd then set
       else
         Pc_set.make
           (List.filter
@@ -196,7 +206,7 @@ let prepare ~ctx set (query : Q.t) : (prepared, answer) result =
              (Pc_set.pcs set))
     in
     let cells, cstats =
-      Cells.decompose ~budget:ctx.budget ~strategy:opts.strategy
+      Cells.decompose ~budget:ctx.budget ?fdd:ctx.fdd ~strategy:opts.strategy
         ~query_pred:qpred set
     in
     if cstats.Cells.admitted_unchecked > 0 then begin
@@ -1019,12 +1029,13 @@ let provenance_counter = function
   | Early_stopped -> c_early
   | Trivial -> c_trivial
 
-let bound_budgeted ?(opts = default_opts) ?budget ?certain set (query : Q.t) =
+let bound_budgeted ?(opts = default_opts) ?budget ?certain ?fdd set
+    (query : Q.t) =
   let budget = match budget with Some b -> b | None -> B.unlimited () in
   let u0 = B.usage budget in
   let t0 = Pc_util.Clock.now () in
   let trace = { relaxed = false; early = false; trivial = false; admitted = 0 } in
-  let ctx = { opts; budget; trace } in
+  let ctx = { opts; budget; trace; fdd } in
   let compute () =
     let answer =
       match certain with

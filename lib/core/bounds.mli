@@ -87,6 +87,7 @@ val bound_budgeted :
   ?opts:opts ->
   ?budget:Pc_budget.Budget.t ->
   ?certain:Pc_data.Relation.t ->
+  ?fdd:Pc_predicate.Fdd.compiled ->
   Pc_set.t ->
   Pc_query.Query.t ->
   outcome
@@ -95,7 +96,14 @@ val bound_budgeted :
     over R? only. [budget] defaults to an unlimited one; budgets are
     single-shot, so pass a freshly {!Pc_budget.Budget.start}ed context per
     call unless deliberately capping a batch. Never raises on budget
-    exhaustion — the answer degrades down the ladder instead. *)
+    exhaustion — the answer degrades down the ladder instead.
+
+    [fdd] supplies a diagram precompiled from exactly [set] (the server
+    compiles one per dataset at load). Only consulted when
+    [opts.strategy = Cells.Fdd]; under that strategy the set-level
+    predicate pushdown is skipped so diagram indices stay aligned with
+    the set — semantics-preserving, since non-overlapping PCs never
+    reach a live cell. *)
 
 val bound : ?opts:opts -> Pc_set.t -> Pc_query.Query.t -> answer
 (** Range of the aggregate over the missing partition only

@@ -15,6 +15,13 @@
     - [Early_stop k]: prune with DFS for the first [k] levels only and
       admit every deeper cell unchecked (Optimization 4) — may yield
       false-positive cells, which loosen but never invalidate the bounds.
+    - [Fdd]: compile the predicate set into a hash-consed interval
+      decision diagram ({!Pc_predicate.Fdd}) and read the satisfiable
+      cells off the reachable leaves — zero solver searches, and the
+      compiled diagram can be built once per PC set and reused across
+      queries via the [?fdd] argument. Output-identical to
+      [Dfs_rewrite] (same cells, same order, same exprs); the DFS
+      decomposer remains the qcheck reference oracle.
 
     The DFS strategies are {e incremental}: instead of re-solving the
     whole prefix CNF at each node (O(depth²) atom work per path), they
@@ -30,7 +37,7 @@ type cell = {
   expr : Pc_predicate.Cnf.t;  (** the cell's region *)
 }
 
-type strategy = Naive | Dfs | Dfs_rewrite | Early_stop of int
+type strategy = Naive | Dfs | Dfs_rewrite | Early_stop of int | Fdd
 
 type stats = {
   sat_calls : int;  (** satisfiability-solver searches *)
@@ -49,11 +56,16 @@ type stats = {
 
 val decompose :
   ?budget:Pc_budget.Budget.t ->
+  ?fdd:Pc_predicate.Fdd.compiled ->
   ?strategy:strategy ->
   ?query_pred:Pc_predicate.Pred.t ->
   Pc_set.t ->
   cell list * stats
-(** Budget semantics: exhausting the SAT-call pool switches to admitting
+(** [?fdd] (only consulted by the [Fdd] strategy) supplies a diagram
+    precompiled from exactly this PC set, skipping the per-call compile;
+    a size mismatch falls back to compiling fresh.
+
+    Budget semantics: exhausting the SAT-call pool switches to admitting
     cells unchecked (bounded by an internal ceiling); exhausting the cell
     cap or the deadline raises {!Pc_budget.Budget.Exhausted} — past those
     there is no sound way to keep enumerating, and the caller is expected

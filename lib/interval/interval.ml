@@ -114,6 +114,40 @@ let hull a b =
   let hi = if compare_upper a.hi b.hi >= 0 then a.hi else b.hi in
   { lo; hi }
 
+let compare_lo a b = compare_lower a.lo b.lo
+let compare_hi a b = compare_upper a.hi b.hi
+
+let abuts a b =
+  match (a.hi, b.lo) with
+  | Closed x, Open y | Open x, Closed y -> x = y
+  | _ -> false
+
+(* Everything strictly below / strictly above an endpoint, as intervals.
+   Used to split ℝ at an interval's edges; [None] when nothing is on that
+   side (the endpoint is infinite). *)
+let below_lo = function
+  | Neg_inf -> None
+  | Pos_inf -> Some full
+  | Closed x -> Some { lo = Neg_inf; hi = Open x }
+  | Open x -> Some { lo = Neg_inf; hi = Closed x }
+
+let above_hi = function
+  | Pos_inf -> None
+  | Neg_inf -> Some full
+  | Closed x -> Some { lo = Open x; hi = Pos_inf }
+  | Open x -> Some { lo = Closed x; hi = Pos_inf }
+
+let refine ivs =
+  let cut piece iv =
+    let part side = Option.bind side (intersect piece) in
+    Option.to_list (part (below_lo iv.lo))
+    @ Option.to_list (intersect piece iv)
+    @ Option.to_list (part (above_hi iv.hi))
+  in
+  List.fold_left
+    (fun pieces iv -> List.concat_map (fun piece -> cut piece iv) pieces)
+    [ full ] ivs
+
 let lo_value t =
   match t.lo with Closed x | Open x -> Some x | Neg_inf | Pos_inf -> None
 

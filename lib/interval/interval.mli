@@ -57,6 +57,29 @@ val complement : t -> t list
 val hull : t -> t -> t
 (** Smallest interval containing both. *)
 
+val compare_lo : t -> t -> int
+(** Compare lower endpoints as restrictions: negative when [a] starts
+    before (or less strictly than) [b] — [Open x] is stronger than
+    [Closed x]. *)
+
+val compare_hi : t -> t -> int
+(** Compare upper endpoints as restrictions: negative when [a] ends
+    before (or more strictly than) [b]. *)
+
+val abuts : t -> t -> bool
+(** [abuts a b]: [a]'s upper and [b]'s lower endpoint split ℝ at a shared
+    finite point with no gap and no overlap — [a = (…, x)] against
+    [b = [x, …)], or [a = (…, x]] against [b = (x, …)]. The invariant
+    behind FDD edge coalescing: two adjacent edges of a partition always
+    abut. *)
+
+val refine : t list -> t list
+(** [refine ivs] is the common refinement of ℝ by the inputs: an
+    ascending list of disjoint intervals covering ℝ, each wholly inside
+    or wholly outside every input. Splits at shared endpoints honour
+    open/closed-ness, so [refine [\[0,10\]; \[10,20\]]] contains the
+    singleton [\[10,10\]]. [refine \[\]] is [[full]]. *)
+
 val lo_value : t -> float option
 (** Finite lower endpoint value, [None] for [Neg_inf]. *)
 

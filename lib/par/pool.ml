@@ -11,7 +11,11 @@ let h_queue_wait = Pc_obs.Registry.Histogram.make "pool.queue_wait_ns"
 let h_run = Pc_obs.Registry.Histogram.make "pool.run_ns"
 
 type t = {
-  jobs : int;
+  jobs : int;  (** requested parallelism, as configured (e.g. --jobs N) *)
+  effective : int;
+      (** parallelism actually used: requested clamped to the cores the
+          runtime reports, so oversubscribed configs don't spawn domains
+          that only add scheduling overhead *)
   q : (unit -> unit) Queue.t;
   m : Mutex.t;
   work : Condition.t;
@@ -26,6 +30,12 @@ type t = {
 let inside_worker = Domain.DLS.new_key (fun () -> false)
 
 let jobs t = t.jobs
+let effective_jobs t = t.effective
+let available_cores () = Domain.recommended_domain_count ()
+
+(* Work sets smaller than this many items per effective worker run
+   sequentially: the spawn/handoff latency outweighs any overlap. *)
+let chunk_threshold = 2
 
 let rec worker_loop pool =
   Mutex.lock pool.m;
@@ -40,9 +50,10 @@ let rec worker_loop pool =
     worker_loop pool
   end
 
-let make jobs =
+let make jobs effective =
   {
     jobs;
+    effective;
     q = Queue.create ();
     m = Mutex.create ();
     work = Condition.create ();
@@ -51,21 +62,25 @@ let make jobs =
     closed = false;
   }
 
-let create ~jobs =
+let create_with ~clamp ~jobs =
   let jobs = max 1 jobs in
-  let pool = make jobs in
-  if jobs > 1 then
+  let effective = if clamp then min jobs (available_cores ()) else jobs in
+  let pool = make jobs effective in
+  if effective > 1 then
     pool.workers <-
-      Array.init (jobs - 1) (fun _ ->
+      Array.init (effective - 1) (fun _ ->
           Domain.spawn (fun () ->
               Domain.DLS.set inside_worker true;
               worker_loop pool));
   pool
 
-let sequential = make 1
+let create ~jobs = create_with ~clamp:true ~jobs
+let create_unclamped ~jobs = create_with ~clamp:false ~jobs
+
+let sequential = make 1 1
 
 let shutdown pool =
-  if pool.jobs > 1 && not pool.closed then begin
+  if Array.length pool.workers > 0 && not pool.closed then begin
     Mutex.lock pool.m;
     pool.closed <- true;
     Condition.broadcast pool.work;
@@ -110,17 +125,21 @@ let run_chunk pool batch lo hi =
   Mutex.unlock pool.m
 
 let parallel_map_run pool f xs =
-  if pool.jobs = 1 || Domain.DLS.get inside_worker then List.map f xs
+  if pool.effective = 1 || Domain.DLS.get inside_worker then List.map f xs
   else begin
     match xs with
     | [] -> []
     | [ x ] -> [ f x ]
+    | xs when List.compare_length_with xs (chunk_threshold * pool.effective) < 0
+      ->
+        (* too little work to amortize the handoff *)
+        List.map f xs
     | _ ->
         let items = Array.of_list xs in
         let n = Array.length items in
         (* a few chunks per worker evens out skewed task costs without
            paying a handoff per element *)
-        let chunk = max 1 (n / (pool.jobs * 4)) in
+        let chunk = max 1 (n / (pool.effective * 4)) in
         let n_chunks = (n + chunk - 1) / chunk in
         let batch =
           { items; results = Array.make n None; f; err = None; remaining = n_chunks }

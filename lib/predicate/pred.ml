@@ -48,6 +48,37 @@ let equal a b =
   let norm = List.sort_uniq Atom.compare in
   List.equal Atom.equal (norm a) (norm b)
 
+let canonical t =
+  let norm_atom = function
+    | Atom.Cat_in (a, ss) -> Atom.Cat_in (a, List.sort_uniq String.compare ss)
+    | Atom.Cat_not_in (a, ss) ->
+        Atom.Cat_not_in (a, List.sort_uniq String.compare ss)
+    | atom -> atom
+  in
+  List.sort_uniq Atom.compare (List.map norm_atom t)
+
+(* Collision-free rendering for cache keys: %h prints floats exactly and
+   %S escapes strings, so distinct canonical predicates never collide. *)
+let canonical_key t =
+  let ep = function
+    | I.Neg_inf -> "-inf"
+    | I.Pos_inf -> "+inf"
+    | I.Closed x -> Printf.sprintf "c%h" x
+    | I.Open x -> Printf.sprintf "o%h" x
+  in
+  let strings ss = String.concat ";" (List.map (Printf.sprintf "%S") ss) in
+  let atom_key = function
+    | Atom.Num_range (a, iv) ->
+        Printf.sprintf "n%S[%s,%s]" a (ep iv.I.lo) (ep iv.I.hi)
+    | Atom.Cat_eq (a, s) -> Printf.sprintf "e%S%S" a s
+    | Atom.Cat_neq (a, s) -> Printf.sprintf "d%S%S" a s
+    | Atom.Cat_in (a, ss) -> Printf.sprintf "i%S{%s}" a (strings ss)
+    | Atom.Cat_not_in (a, ss) -> Printf.sprintf "x%S{%s}" a (strings ss)
+  in
+  match canonical t with
+  | [] -> "TRUE"
+  | atoms -> String.concat "&" (List.map atom_key atoms)
+
 let pp ppf = function
   | [] -> Format.fprintf ppf "TRUE"
   | atoms ->

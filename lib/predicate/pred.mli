@@ -24,5 +24,17 @@ val implies_box : Box.t -> t -> bool
     complete for categorical exclusions over an open universe. *)
 
 val equal : t -> t -> bool
+
+val canonical : t -> t
+(** Canonical form: atoms sorted and deduplicated, categorical sets
+    normalized. Two predicates that are syntactically equal up to atom
+    order and set order share one canonical form. *)
+
+val canonical_key : t -> string
+(** Deterministic, collision-free string rendering of {!canonical}:
+    floats are printed exactly (hex notation) and strings escaped, so
+    equal keys imply equal canonical predicates. Used as the query
+    component of the server's bound-cache key. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

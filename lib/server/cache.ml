@@ -1,0 +1,93 @@
+module Counter = Pc_obs.Registry.Counter
+module Pred = Pc_predicate.Pred
+module Q = Pc_query.Query
+
+(* Global counters (the --metrics face): one cache per dataset, one
+   counter pair per process — the hit rate is a server-level signal. *)
+let c_hits = Counter.make "cache.hits"
+let c_misses = Counter.make "cache.misses"
+
+type t = {
+  capacity : int;
+  tbl : (string, string) Hashtbl.t;
+  order : string Queue.t;  (* insertion order; FIFO eviction *)
+  mu : Mutex.t;
+}
+
+let create ?(capacity = 1024) () =
+  {
+    capacity = max 1 capacity;
+    tbl = Hashtbl.create 64;
+    order = Queue.create ();
+    mu = Mutex.create ();
+  }
+
+let find t key =
+  Mutex.lock t.mu;
+  let r = Hashtbl.find_opt t.tbl key in
+  Mutex.unlock t.mu;
+  (match r with
+  | Some _ -> Counter.incr c_hits
+  | None -> Counter.incr c_misses);
+  r
+
+let store t key value =
+  Mutex.lock t.mu;
+  if not (Hashtbl.mem t.tbl key) then begin
+    if Hashtbl.length t.tbl >= t.capacity then
+      (match Queue.take_opt t.order with
+      | Some oldest -> Hashtbl.remove t.tbl oldest
+      | None -> ());
+    Hashtbl.add t.tbl key value;
+    Queue.push key t.order
+  end;
+  Mutex.unlock t.mu
+
+let size t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.mu;
+  n
+
+(* The dataset digest covers everything a reply depends on besides the
+   query: each PC's canonical predicate, value constraints, and
+   frequency range, plus the raw certain-partition text. Interval
+   endpoints are printed exactly (%h) so near-equal datasets never
+   collide. *)
+let digest_set set ~csv =
+  let module I = Pc_interval.Interval in
+  let ep = function
+    | I.Neg_inf -> "-inf"
+    | I.Pos_inf -> "+inf"
+    | I.Closed x -> Printf.sprintf "c%h" x
+    | I.Open x -> Printf.sprintf "o%h" x
+  in
+  let pc_line (pc : Pc_core.Pc.t) =
+    Printf.sprintf "%s|%s|%d,%d"
+      (Pred.canonical_key pc.Pc_core.Pc.pred)
+      (String.concat ","
+         (List.map
+            (fun (a, iv) -> Printf.sprintf "%S[%s,%s]" a (ep iv.I.lo) (ep iv.I.hi))
+            (List.sort compare pc.Pc_core.Pc.values)))
+      pc.Pc_core.Pc.freq_lo pc.Pc_core.Pc.freq_hi
+  in
+  let body =
+    String.concat "\n" (List.map pc_line (Pc_core.Pc_set.pcs set))
+    ^ "\n--\n"
+    ^ Option.value csv ~default:""
+  in
+  Digest.to_hex (Digest.string body)
+
+let key ~digest ~(query : Q.t) ~missing_only ~timeout_ms =
+  let agg =
+    match query.Q.agg with
+    | Q.Count -> "count"
+    | Q.Sum a -> Printf.sprintf "sum(%S)" a
+    | Q.Avg a -> Printf.sprintf "avg(%S)" a
+    | Q.Min a -> Printf.sprintf "min(%S)" a
+    | Q.Max a -> Printf.sprintf "max(%S)" a
+  in
+  Printf.sprintf "%s|%s|%s|m=%b|t=%s" digest agg
+    (Pred.canonical_key query.Q.where_)
+    missing_only
+    (match timeout_ms with None -> "-" | Some ms -> Printf.sprintf "%h" ms)

@@ -1,0 +1,41 @@
+(** Canonicalizing bound cache: serialized [bound] replies keyed on the
+    canonical form of (dataset digest, aggregate, query predicate,
+    request flags).
+
+    The cached value is the reply's exact serialized text, so a hit is
+    byte-identical to the reply the compute path would have produced —
+    no re-serialization, no float-formatting drift. Only exact,
+    fully-admitted replies are stored (degraded answers depend on the
+    budget race that produced them); the server allocates a fresh cache
+    per dataset load, so [load] naturally invalidates.
+
+    Thread-safe; bounded capacity with FIFO eviction. Hits and misses
+    feed the global [cache.hits] / [cache.misses] metrics counters. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 1024 entries. *)
+
+val find : t -> string -> string option
+(** Counts a hit or a miss. *)
+
+val store : t -> string -> string -> unit
+(** Insert unless present; evicts the oldest entry at capacity. *)
+
+val size : t -> int
+
+val digest_set : Pc_core.Pc_set.t -> csv:string option -> string
+(** Hex digest of the dataset's semantic content: canonical PC
+    predicates, value constraints, frequency ranges, and the raw
+    certain-partition CSV text. *)
+
+val key :
+  digest:string ->
+  query:Pc_query.Query.t ->
+  missing_only:bool ->
+  timeout_ms:float option ->
+  string
+(** The cache key. [timeout_ms] participates because it clips the
+    request budget, which can change the reply's degradation path —
+    two requests differing only in timeout must not share an entry. *)

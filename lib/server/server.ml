@@ -23,6 +23,7 @@ type config = {
   poll_s : float;
   trace_path : string option;
   metrics_path : string option;
+  cache : bool;
 }
 
 let default_config =
@@ -30,17 +31,24 @@ let default_config =
     host = "127.0.0.1";
     port = 0;
     base_spec = B.unlimited_spec;
-    opts = Bounds.default_opts;
+    opts = { Bounds.default_opts with Bounds.strategy = Pc_core.Cells.Fdd };
     policy = Admission.policy ~max_inflight:64;
     max_line = 16 * 1024 * 1024;
     poll_s = 0.1;
     trace_path = None;
     metrics_path = None;
+    cache = true;
   }
 
 type dataset = {
   set : Pc_core.Pc_set.t;
   certain : Pc_data.Relation.t option;
+  fdd : Pc_predicate.Fdd.compiled option;
+      (** compiled once at load when the configured strategy is [Fdd] *)
+  digest : string;  (** canonical content digest — the cache-key prefix *)
+  cache : Cache.t;
+      (** per-dataset reply cache; replaced wholesale on re-[load], which
+          is what invalidates stale entries *)
 }
 
 type t = {
@@ -106,11 +114,22 @@ let load_dataset t ~name ~constraints ?csv () =
   match
     let set = Pc_core.Pc_set.make (Pc_parse.Pc_parser.parse constraints) in
     let certain = Option.map (fun text -> Pc_data.Csv.read_string text) csv in
-    (set, certain)
+    let fdd =
+      if t.cfg.opts.Bounds.strategy = Pc_core.Cells.Fdd then
+        Some
+          (Pc_predicate.Fdd.compile
+             (Array.of_list
+                (List.map
+                   (fun (pc : Pc_core.Pc.t) -> pc.Pc_core.Pc.pred)
+                   (Pc_core.Pc_set.pcs set))))
+      else None
+    in
+    (set, certain, fdd, Cache.digest_set set ~csv)
   with
-  | set, certain ->
+  | set, certain, fdd, digest ->
       Mutex.lock t.mu;
-      Hashtbl.replace t.datasets name { set; certain };
+      Hashtbl.replace t.datasets name
+        { set; certain; fdd; digest; cache = Cache.create () };
       Mutex.unlock t.mu;
       Ok
         ( Pc_core.Pc_set.size set,
@@ -135,6 +154,17 @@ let dataset_names t =
 (* ------------------------------------------------------------------ *)
 (* Replies                                                             *)
 (* ------------------------------------------------------------------ *)
+
+(* A handler's reply: either a JSON value still to be serialized, or the
+   exact bytes of a cached reply. Cached entries are only ever stored
+   for ok replies, so error accounting needs to inspect [Rjson] alone. *)
+type reply = Rjson of J.value | Rtext of string
+
+let reply_text = function Rjson v -> J.to_string v | Rtext s -> s
+
+let reply_is_error = function
+  | Rjson (J.Obj (("ok", J.Bool false) :: _)) -> true
+  | Rjson _ | Rtext _ -> false
 
 let err_value code msg =
   J.Obj
@@ -198,68 +228,101 @@ let handle_load t v =
 
 let handle_bound t v =
   match str_field v "query" with
-  | None -> err_value "bad-request" "bound: missing string field \"query\""
+  | None -> Rjson (err_value "bad-request" "bound: missing string field \"query\"")
   | Some qtext -> (
       let dname = Option.value (str_field v "dataset") ~default:"default" in
       match find_dataset t dname with
-      | None -> err_value "unknown-dataset" (Printf.sprintf "no dataset %S loaded" dname)
+      | None ->
+          Rjson
+            (err_value "unknown-dataset"
+               (Printf.sprintf "no dataset %S loaded" dname))
       | Some ds -> (
           match Pc_parse.Query_parser.parse qtext with
-          | exception Failure msg -> err_value "parse-error" msg
-          | query ->
-              (* Admission: the level is decided from the in-flight count
-                 *before* this request joins it, then the request holds a
-                 slot for its whole compute. Drain floors new arrivals so
-                 shutdown cannot be outrun by traffic. *)
-              let inflight = Atomic.fetch_and_add t.inflight 1 in
-              Fun.protect
-                ~finally:(fun () -> Atomic.decr t.inflight)
-                (fun () ->
-                  let level =
-                    if Atomic.get t.drain then Admission.Floor_only
-                    else Admission.level_for t.cfg.policy ~inflight
-                  in
-                  if level <> Admission.Full then Counter.incr c_crushed;
-                  let spec = Admission.crush t.cfg.base_spec level in
-                  let spec =
-                    match num_field v "timeout_ms" with
-                    | None -> spec
-                    | Some ms ->
-                        let s = Float.max 0. (ms /. 1e3) in
-                        {
-                          spec with
-                          B.timeout =
-                            (match spec.B.timeout with
-                            | None -> Some s
-                            | Some t -> Some (Float.min t s));
-                        }
-                  in
-                  let missing_only =
-                    Option.value (bool_field v "missing_only") ~default:false
-                  in
-                  let budget = B.start spec in
-                  let certain = if missing_only then None else ds.certain in
-                  let outcome =
-                    Bounds.bound_budgeted ~opts:t.cfg.opts ~budget ?certain
-                      ds.set query
-                  in
-                  let s = outcome.Bounds.stats in
-                  let degraded = s.Bounds.provenance <> Bounds.Exact in
-                  if degraded then begin
-                    Counter.incr c_degraded;
-                    Atomic.incr t.n_degraded
-                  end;
-                  J.Obj
-                    [
-                      ("ok", J.Bool true);
-                      ("op", J.Str "bound");
-                      ("answer", answer_value outcome.Bounds.answer);
-                      ( "provenance",
-                        J.Str (Bounds.provenance_name s.Bounds.provenance) );
-                      ("degraded", J.Bool degraded);
-                      ("admission", J.Str (Admission.level_name level));
-                      ("stats", stats_value s);
-                    ])))
+          | exception Failure msg -> Rjson (err_value "parse-error" msg)
+          | query -> (
+              let timeout_ms = num_field v "timeout_ms" in
+              let missing_only =
+                Option.value (bool_field v "missing_only") ~default:false
+              in
+              (* Cache lookup happens before admission: a hit costs no
+                 compute, so it must not occupy an in-flight slot or be
+                 crushed by load it does not add to. *)
+              let ckey =
+                if t.cfg.cache then
+                  Some
+                    (Cache.key ~digest:ds.digest ~query ~missing_only
+                       ~timeout_ms)
+                else None
+              in
+              match Option.bind ckey (Cache.find ds.cache) with
+              | Some text -> Rtext text
+              | None ->
+                  (* Admission: the level is decided from the in-flight
+                     count *before* this request joins it, then the
+                     request holds a slot for its whole compute. Drain
+                     floors new arrivals so shutdown cannot be outrun by
+                     traffic. *)
+                  let inflight = Atomic.fetch_and_add t.inflight 1 in
+                  Fun.protect
+                    ~finally:(fun () -> Atomic.decr t.inflight)
+                    (fun () ->
+                      let level =
+                        if Atomic.get t.drain then Admission.Floor_only
+                        else Admission.level_for t.cfg.policy ~inflight
+                      in
+                      if level <> Admission.Full then Counter.incr c_crushed;
+                      let spec = Admission.crush t.cfg.base_spec level in
+                      let spec =
+                        match timeout_ms with
+                        | None -> spec
+                        | Some ms ->
+                            let s = Float.max 0. (ms /. 1e3) in
+                            {
+                              spec with
+                              B.timeout =
+                                (match spec.B.timeout with
+                                | None -> Some s
+                                | Some t -> Some (Float.min t s));
+                            }
+                      in
+                      let budget = B.start spec in
+                      let certain = if missing_only then None else ds.certain in
+                      let outcome =
+                        Bounds.bound_budgeted ~opts:t.cfg.opts ~budget ?certain
+                          ?fdd:ds.fdd ds.set query
+                      in
+                      let s = outcome.Bounds.stats in
+                      let degraded = s.Bounds.provenance <> Bounds.Exact in
+                      if degraded then begin
+                        Counter.incr c_degraded;
+                        Atomic.incr t.n_degraded
+                      end;
+                      let reply =
+                        J.Obj
+                          [
+                            ("ok", J.Bool true);
+                            ("op", J.Str "bound");
+                            ("answer", answer_value outcome.Bounds.answer);
+                            ( "provenance",
+                              J.Str (Bounds.provenance_name s.Bounds.provenance)
+                            );
+                            ("degraded", J.Bool degraded);
+                            ("admission", J.Str (Admission.level_name level));
+                            ("stats", stats_value s);
+                          ]
+                      in
+                      (* Only exact, fully-admitted replies are
+                         reusable: degraded ones encode this request's
+                         budget race, not the query's answer. Store the
+                         serialized bytes so a hit is byte-identical. *)
+                      match ckey with
+                      | Some k
+                        when level = Admission.Full
+                             && s.Bounds.provenance = Bounds.Exact ->
+                          let text = J.to_string reply in
+                          Cache.store ds.cache k text;
+                          Rtext text
+                      | _ -> Rjson reply))))
 
 let handle_stats t =
   J.Obj
@@ -284,40 +347,43 @@ let handle_line t line =
   Counter.incr c_requests;
   let reply, shutdown =
     match J.parse line with
-    | Error msg -> (err_value "bad-json" msg, false)
+    | Error msg -> (Rjson (err_value "bad-json" msg), false)
     | Ok v -> (
         match str_field v "op" with
-        | None -> (err_value "bad-request" "missing string field \"op\"", false)
+        | None ->
+            (Rjson (err_value "bad-request" "missing string field \"op\""), false)
         | Some "ping" ->
-            (J.Obj [ ("ok", J.Bool true); ("op", J.Str "pong") ], false)
-        | Some "load" -> (handle_load t v, false)
+            (Rjson (J.Obj [ ("ok", J.Bool true); ("op", J.Str "pong") ]), false)
+        | Some "load" -> (Rjson (handle_load t v), false)
         | Some "bound" -> (handle_bound t v, false)
-        | Some "stats" -> (handle_stats t, false)
+        | Some "stats" -> (Rjson (handle_stats t), false)
         | Some "shutdown" ->
-            ( J.Obj
-                [
-                  ("ok", J.Bool true);
-                  ("op", J.Str "shutdown");
-                  ("draining", J.Bool true);
-                ],
+            ( Rjson
+                (J.Obj
+                   [
+                     ("ok", J.Bool true);
+                     ("op", J.Str "shutdown");
+                     ("draining", J.Bool true);
+                   ]),
               true )
-        | Some op -> (err_value "unknown-op" (Printf.sprintf "unknown op %S" op), false))
+        | Some op ->
+            ( Rjson (err_value "unknown-op" (Printf.sprintf "unknown op %S" op)),
+              false ))
     | exception e ->
         (* [J.parse] returns [result]; this arm only guards against bugs
            in our own dispatch — isolation beats precision here *)
-        (err_value "internal" (Printexc.to_string e), false)
+        (Rjson (err_value "internal" (Printexc.to_string e)), false)
   in
   let reply =
     (* crash isolation for the handlers themselves *)
     match reply with
     | r -> r
-    | exception e -> err_value "internal" (Printexc.to_string e)
+    | exception e -> Rjson (err_value "internal" (Printexc.to_string e))
   in
-  (match reply with
-  | J.Obj (("ok", J.Bool false) :: _) ->
-      Atomic.incr t.n_errors;
-      Counter.incr c_errors
-  | _ -> ());
+  if reply_is_error reply then begin
+    Atomic.incr t.n_errors;
+    Counter.incr c_errors
+  end;
   (reply, shutdown)
 
 (* ------------------------------------------------------------------ *)
@@ -358,7 +424,7 @@ let handle_conn t fd =
         let t0 = Pc_util.Clock.now_ns () in
         let reply, shutdown = handle_line t line in
         let sent =
-          match send_reply fd (J.to_string reply) with
+          match send_reply fd (reply_text reply) with
           | () -> true
           | exception Net.Closed -> false
         in

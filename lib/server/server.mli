@@ -42,11 +42,20 @@ type config = {
   poll_s : float;  (** blocked-reader / accept-loop drain poll slice *)
   trace_path : string option;  (** Chrome trace written at drain *)
   metrics_path : string option;  (** metrics JSON written at drain *)
+  cache : bool;
+      (** canonicalizing bound cache: repeat [bound] requests (same
+          dataset content, canonical query predicate, aggregate, and
+          request flags) are answered byte-identically from a
+          per-dataset reply cache without touching the solver stack.
+          Only exact, fully-admitted replies are cached; re-[load]ing a
+          dataset invalidates its entries. Hit/miss rates surface as
+          [cache.hits]/[cache.misses] in [--metrics]. *)
 }
 
 val default_config : config
-(** 127.0.0.1:0, unlimited base budget, default bound opts, admission
-    for 64 in-flight, 16 MiB lines, 0.1 s poll, no artifacts. *)
+(** 127.0.0.1:0, unlimited base budget, FDD decomposition strategy with
+    a per-dataset precompiled diagram, cache enabled, admission for 64
+    in-flight, 16 MiB lines, 0.1 s poll, no artifacts. *)
 
 type t
 

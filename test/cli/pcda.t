@@ -100,6 +100,14 @@ the answer down the ladder instead of failing, and says so:
     lower bound: 75 (attained)
     upper bound: 125 (attained)
 
+the fdd strategy (one compiled interval diagram, cells read off as
+paths) answers identically and without any SAT probes:
+
+  $ ../../bin/pcda.exe bound -c over.txt --missing-only -q "SELECT COUNT(*)" --strategy fdd
+  [75, 125]
+    lower bound: 75 (attained)
+    upper bound: 125 (attained)
+
 a one-cell budget steps down to the trivial frequency-caps floor:
 
   $ ../../bin/pcda.exe bound -c over.txt --missing-only -q "SELECT COUNT(*)" --budget cells=1
@@ -155,11 +163,15 @@ here so that adding or renaming a counter shows up in review:
   bound.trivial
   budget.deadline_hits
   budget.exhaustions
+  cache.hits
+  cache.misses
   cells.admitted_unchecked
   cells.decompositions
   cells.emitted
   cells.witness_hits
   fault.injections
+  fdd.compiles
+  fdd.nodes
   lp.bland_activations
   lp.dual_pivots
   lp.phase1_pivots

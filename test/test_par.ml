@@ -17,8 +17,9 @@ module B = Pc_budget.Budget
 let tc = Alcotest.test_case
 
 (* one shared 4-worker pool: domain spawn/join per test case is the
-   expensive part, not the maps *)
-let pool4 = Pool.create ~jobs:4
+   expensive part, not the maps. Unclamped so the multi-domain paths are
+   exercised even on a single-core CI host. *)
+let pool4 = Pool.create_unclamped ~jobs:4
 
 (* ------------------------- parallel_map ---------------------------- *)
 
@@ -59,8 +60,19 @@ let test_default_pool_roundtrip () =
   Alcotest.(check int) "starts sequential" 1 (Pool.jobs (Pool.default ()));
   Pool.set_default_jobs 3;
   Alcotest.(check int) "resized" 3 (Pool.jobs (Pool.default ()));
+  Alcotest.(check bool) "effective jobs clamped to cores" true
+    (Pool.effective_jobs (Pool.default ())
+    <= min 3 (Pool.available_cores ()));
   Pool.set_default_jobs 1;
   Alcotest.(check int) "back to sequential" 1 (Pool.jobs (Pool.default ()))
+
+let test_small_work_set_stays_sequential () =
+  (* under chunk_threshold × effective items the pool must not pay the
+     handoff; output equality is the only observable, so just pin it *)
+  let xs = List.init (Pool.chunk_threshold * Pool.effective_jobs pool4 - 1) Fun.id in
+  Alcotest.(check (list int))
+    "tiny batch" (List.map succ xs)
+    (Pool.parallel_map pool4 succ xs)
 
 (* -------------------- incremental decomposition -------------------- *)
 
@@ -149,6 +161,8 @@ let () =
           tc "first error by position" `Quick test_first_error_by_position;
           tc "nested map completes" `Quick test_nested_map_completes;
           tc "default pool roundtrip" `Quick test_default_pool_roundtrip;
+          tc "small work set stays sequential" `Quick
+            test_small_work_set_stays_sequential;
         ] );
       ( "incremental",
         [ QCheck_alcotest.to_alcotest prop_incremental_matches_naive ] );

@@ -222,6 +222,95 @@ let test_overload_degrades () =
   C.close c;
   stop s
 
+(* ------------------------------- cache -------------------------------- *)
+
+(* Counter.make dedups by name, so these read the cache's live global
+   counters. The registry is process-wide and other tests also issue
+   bound requests, so assertions are on deltas, never absolutes. *)
+let cache_hits () = Pc_obs.Registry.Counter.(get (make "cache.hits"))
+let cache_misses () = Pc_obs.Registry.Counter.(get (make "cache.misses"))
+
+let raw_req c line =
+  match C.request c line with
+  | Some reply -> reply
+  | None -> Alcotest.fail "connection closed instead of replying"
+
+let test_cache_replay_byte_identical () =
+  let ((srv, _) as s) = start () in
+  let c = connect srv in
+  let line =
+    Printf.sprintf {|{"op":"bound","query":%s}|} (J.to_string (J.Str sum_query))
+  in
+  let h0 = cache_hits () and m0 = cache_misses () in
+  let r1 = raw_req c line in
+  let r2 = raw_req c line in
+  (* the cache stores the serialized reply, so a hit is the same bytes,
+     not merely the same JSON value *)
+  Alcotest.(check string) "replayed reply byte-identical" r1 r2;
+  Alcotest.(check bool) "first request missed" true (cache_misses () > m0);
+  Alcotest.(check bool) "second request hit" true (cache_hits () > h0);
+  let v = parse r2 in
+  Alcotest.(check bool) "hit is ok" true (ok v);
+  Alcotest.(check (option string)) "hit keeps exact provenance"
+    (Some "exact") (str v "provenance");
+  C.close c;
+  stop s
+
+let test_cache_disabled () =
+  let cfg = { S.default_config with S.cache = false } in
+  let ((srv, _) as s) = start ~cfg () in
+  let c = connect srv in
+  let line = {|{"op":"bound","query":"SELECT COUNT(*)"}|} in
+  let h0 = cache_hits () and m0 = cache_misses () in
+  (* uncached replies re-time stats.elapsed_ms, so byte-equality is a
+     cache-hit property only; here just pin that both compute *)
+  Alcotest.(check bool) "first computes" true (ok (parse (raw_req c line)));
+  Alcotest.(check bool) "repeat computes" true (ok (parse (raw_req c line)));
+  Alcotest.(check int) "no hits when disabled" h0 (cache_hits ());
+  Alcotest.(check int) "no misses counted either" m0 (cache_misses ());
+  C.close c;
+  stop s
+
+let test_load_invalidates_cache () =
+  let ((srv, _) as s) = start () in
+  let c = connect srv in
+  let load text =
+    let line =
+      J.to_string
+        (J.Obj
+           [
+             ("op", J.Str "load");
+             ("name", J.Str "inv");
+             ("constraints", J.Str text);
+           ])
+    in
+    Alcotest.(check bool) "load ok" true (ok (req c line))
+  in
+  let bound_hi () =
+    let v = req c {|{"op":"bound","dataset":"inv","query":"SELECT COUNT(*)"}|} in
+    Alcotest.(check bool) "bound ok" true (ok v);
+    match Option.bind (J.member "answer" v) (fun a -> num a "hi") with
+    | Some hi -> hi
+    | None -> Alcotest.fail "no hi in answer"
+  in
+  load constraints_text;
+  Alcotest.(check (float 0.)) "caps 5+10" 15. (bound_hi ());
+  ignore (bound_hi ());
+  (* warm the entry *)
+  let tighter =
+    "constraint chicago_cap:\n\
+    \  branch = 'Chicago' => price in [0.0, 149.99], count [0, 1];\n\
+     constraint newyork_cap:\n\
+    \  branch = 'New York' => price in [0.0, 100.0], count [0, 2];\n"
+  in
+  load tighter;
+  let h = cache_hits () in
+  (* a stale hit would replay 15; re-load must have dropped the entry *)
+  Alcotest.(check (float 0.)) "reloaded caps 1+2" 3. (bound_hi ());
+  Alcotest.(check int) "recomputed, not replayed" h (cache_hits ());
+  C.close c;
+  stop s
+
 (* ------------------------------- drain -------------------------------- *)
 
 let test_drain_flushes_artifacts () =
@@ -339,6 +428,12 @@ let () =
         [
           tc "policy unit" `Quick test_admission_unit;
           tc "overload degrades, never rejects" `Quick test_overload_degrades;
+        ] );
+      ( "cache",
+        [
+          tc "replay is byte-identical" `Quick test_cache_replay_byte_identical;
+          tc "disabled config never hits" `Quick test_cache_disabled;
+          tc "load invalidates" `Quick test_load_invalidates_cache;
         ] );
       ("drain", [ tc "artifacts flushed" `Quick test_drain_flushes_artifacts ]);
       ("chaos", [ tc "faults + 8 clients" `Quick test_chaos ]);
