@@ -381,10 +381,22 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
       "SELECT MAX(light)";
     |]
   in
+  (* One live-telemetry sample: the server's own 1 s window, as the
+     [telemetry] op reports it. *)
+  let jnum v names =
+    let rec get v = function
+      | [] -> J.to_num v
+      | n :: rest -> Option.bind (J.member n v) (fun v -> get v rest)
+    in
+    Option.value (get v names) ~default:0.
+  in
   (* One closed-loop phase against a fresh in-process server. The 5
      queries cycle, so every query repeats many times per phase — the
      cached phase answers the repeats from the bound cache; the nocache
-     phase recomputes each one. *)
+     phase recomputes each one. A sampler thread polls the [telemetry]
+     op mid-load (the windowed series in the artifact), with one
+     guaranteed post-load sample so the series is never empty even for
+     sub-window phases. *)
   let drive ~cache =
     Printf.printf
       "driving in-process server (cache=%b): %d clients x %d requests, \
@@ -395,7 +407,7 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
       S.create
         {
           S.default_config with
-          S.policy = Pc_server.Admission.policy ~max_inflight;
+          S.policy = Pc_server.Admission.policy ~max_inflight ();
           cache;
         }
     in
@@ -410,6 +422,42 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
     let degraded = Atomic.make 0 in
     let errors = Atomic.make 0 in
     let t0 = Clock.now () in
+    let samples = ref [] in
+    let stop_sampler = Atomic.make false in
+    let sampler =
+      Thread.create
+        (fun () ->
+          let c = C.connect ~host:"127.0.0.1" ~port in
+          let sample () =
+            match C.request c {|{"op":"telemetry"}|} with
+            | Some reply -> (
+                match J.parse reply with
+                | Ok v ->
+                    let f name = jnum v [ "windows"; "1s"; name ] in
+                    samples :=
+                      ( Clock.elapsed_s ~since:t0,
+                        f "qps",
+                        f "p99_ns",
+                        f "error_rate",
+                        f "degraded_fraction",
+                        f "cache_hit_rate",
+                        int_of_float (f "n") )
+                      :: !samples
+                | Error _ -> ())
+            | None -> ()
+          in
+          while not (Atomic.get stop_sampler) do
+            sample ();
+            Thread.delay 0.1
+          done;
+          (* guaranteed post-load sample: wait out the 0.25 s slot
+             boundary first so the burst's final slot is complete and
+             visible to the window (in-progress slots are excluded) *)
+          Thread.delay 0.3;
+          sample ();
+          C.close c)
+        ()
+    in
     let worker w =
       Thread.create
         (fun () ->
@@ -440,6 +488,8 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
     let threads = List.init clients worker in
     List.iter Thread.join threads;
     let wall = Clock.elapsed_s ~since:t0 in
+    Atomic.set stop_sampler true;
+    Thread.join sampler;
     S.initiate_drain srv;
     Thread.join th;
     let completed =
@@ -456,6 +506,11 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
         (Atomic.get errors) cache;
       exit 1
     end;
+    let series = List.rev !samples in
+    if series = [] then begin
+      Printf.eprintf "FATAL: telemetry sampler collected no samples\n";
+      exit 1
+    end;
     let pct q = sorted.(min (n - 1) (int_of_float (q *. float_of_int n))) in
     ( wall,
       n,
@@ -464,10 +519,11 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
       pct 0.99,
       float_of_int (Atomic.get degraded) /. float_of_int (clients * requests),
       Counter.get c_hits - hits0,
-      Counter.get c_misses - misses0 )
+      Counter.get c_misses - misses0,
+      series )
   in
   let phase_json oc name
-      (wall, n, qps, p50, p99, degraded_frac, hits, misses) =
+      (wall, n, qps, p50, p99, degraded_frac, hits, misses, series) =
     let p fmt = Printf.fprintf oc fmt in
     p "  \"%s\": {\n" name;
     p "    \"completed\": %d,\n" n;
@@ -478,13 +534,61 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
     p "    \"p99_ns\": %.0f,\n" p99;
     p "    \"degraded_fraction\": %.4f,\n" degraded_frac;
     p "    \"cache_hits\": %d,\n" hits;
-    p "    \"cache_misses\": %d\n" misses;
+    p "    \"cache_misses\": %d,\n" misses;
+    (* the live windowed series, sampled from the server's telemetry op
+       mid-load (1 s window); the last sample is always post-load *)
+    p "    \"telemetry_1s\": [";
+    List.iteri
+      (fun i (t, sq, sp99, serr, sdeg, shit, sn) ->
+        if i > 0 then p ",";
+        p
+          "\n      {\"t_s\": %.3f, \"qps\": %.1f, \"p99_ns\": %.0f, \
+           \"error_rate\": %.4f, \"degraded_fraction\": %.4f, \
+           \"cache_hit_rate\": %.4f, \"n\": %d}"
+          t sq sp99 serr sdeg shit sn)
+      series;
+    p "\n    ],\n";
+    (* agreement: the best-covered sample (max window n) versus what the
+       clients measured end-to-end over the phase. The windowed stats
+       that are well-defined for a sub-window burst — request count,
+       degraded fraction, cache hit rate — must agree; qps is reported
+       too but its ratio is ~wall/window for bursts shorter than the
+       1 s window (the window divides by its span, not the burst). *)
+    let best =
+      List.fold_left
+        (fun acc ((_, _, _, _, _, _, sn) as s) ->
+          match acc with
+          | Some (_, _, _, _, _, _, bn) when bn >= sn -> acc
+          | _ -> Some s)
+        None series
+    in
+    let bq, bdeg, bhit, bn =
+      match best with
+      | Some (_, q, _, _, d, h, sn) -> (q, d, h, sn)
+      | None -> (0., 0., 0., 0)
+    in
+    let client_hit_rate =
+      if hits + misses = 0 then 0.
+      else float_of_int hits /. float_of_int (hits + misses)
+    in
+    p
+      "    \"agreement\": {\"server_window_n\": %d, \"client_completed\": \
+       %d, \"count_ratio\": %.3f, \"server_window_qps\": %.1f, \
+       \"client_qps\": %.1f, \"qps_ratio\": %.3f, \
+       \"server_degraded_fraction\": %.4f, \"client_degraded_fraction\": \
+       %.4f, \"server_cache_hit_rate\": %.4f, \"client_cache_hit_rate\": \
+       %.4f}\n"
+      bn n
+      (float_of_int bn /. Float.max 1. (float_of_int n))
+      bq qps
+      (bq /. Float.max 1e-9 qps)
+      bdeg degraded_frac bhit client_hit_rate;
     p "  }"
   in
   let nocache = drive ~cache:false in
   let cached = drive ~cache:true in
-  let qps_of (_, _, q, _, _, _, _, _) = q in
-  let hits_of (_, _, _, _, _, _, h, _) = h in
+  let qps_of (_, _, q, _, _, _, _, _, _) = q in
+  let hits_of (_, _, _, _, _, _, h, _, _) = h in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -492,7 +596,7 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
       let p fmt = Printf.fprintf oc fmt in
       p "{\n";
       p "  \"benchmark\": \"BENCH_serve\",\n";
-      p "  \"schema_version\": 2,\n";
+      p "  \"schema_version\": 3,\n";
       p "  \"config\": { \"clients\": %d, \"requests_per_client\": %d, \"think_ms\": %.1f, \"max_inflight\": %d },\n"
         clients requests think_ms max_inflight;
       p "  \"total_requests_per_phase\": %d,\n" (clients * requests);

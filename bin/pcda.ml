@@ -613,8 +613,27 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "no-cache" ] ~doc)
   in
+  let flight_arg =
+    let doc =
+      "Write the flight-recorder JSON (last N request records) to this \
+       file at drain and whenever a reply cannot be delivered."
+    in
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+  in
+  let flight_capacity_arg =
+    let doc = "Flight-recorder ring capacity (records retained)." in
+    Arg.(value & opt int 512 & info [ "flight-capacity" ] ~docv:"N" ~doc)
+  in
+  let p99_slo_arg =
+    let doc =
+      "Latency SLO in milliseconds: when the live windowed 1s p99 \
+       exceeds it, admission sheds to cheaper ladder rungs (one rung \
+       per doubling past the SLO)."
+    in
+    Arg.(value & opt (some float) None & info [ "p99-slo" ] ~docv:"MS" ~doc)
+  in
   let run host port constraints csv strategy timeout budget max_inflight jobs
-      faults no_cache trace metrics =
+      faults no_cache flight flight_capacity p99_slo trace metrics =
     with_errors (fun () ->
         let ( let* ) = Result.bind in
         if jobs > 1 then Pc_par.Pool.set_default_jobs jobs;
@@ -639,9 +658,12 @@ let serve_cmd =
             base_spec = spec;
             opts =
               { Pc_core.Bounds.default_opts with Pc_core.Bounds.strategy };
-            policy = Pc_server.Admission.policy ~max_inflight;
+            policy =
+              Pc_server.Admission.policy ?p99_slo_ms:p99_slo ~max_inflight ();
             trace_path = trace;
             metrics_path;
+            flight_path = flight;
+            flight_capacity;
             cache = not no_cache;
           }
         in
@@ -681,17 +703,20 @@ let serve_cmd =
   in
   let doc =
     "Serve bound queries over a line-oriented JSON protocol (ops: ping, \
-     load, bound, stats, shutdown; one object per line). Requests degrade \
-     under load per the admission policy and every reply carries its \
-     provenance; SIGTERM/SIGINT drain gracefully. See DESIGN.md, \
-     \"Serving, admission control & fault injection\"."
+     load, bound, stats, telemetry, shutdown; one object per line). \
+     Requests degrade under load per the admission policy and every reply \
+     carries its provenance; the telemetry op serves live windowed SLOs, \
+     a Prometheus exposition, and the flight recorder; SIGTERM/SIGINT \
+     drain gracefully. See DESIGN.md, \"Serving, admission control & \
+     fault injection\" and \"Live telemetry & flight recorder\"."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       ret
         (const run $ host_arg $ port_arg $ constraints_opt_arg $ csv_opt_arg
        $ serve_strategy_arg $ timeout_arg $ budget_arg $ max_inflight_arg
-       $ jobs_arg $ faults_arg $ no_cache_arg $ trace_arg $ metrics_arg))
+       $ jobs_arg $ faults_arg $ no_cache_arg $ flight_arg
+       $ flight_capacity_arg $ p99_slo_arg $ trace_arg $ metrics_arg))
 
 (* ---- client ---- *)
 
@@ -730,6 +755,126 @@ let client_cmd =
   in
   Cmd.v (Cmd.info "client" ~doc) Term.(ret (const run $ host_arg $ port_arg))
 
+(* ---- top ---- *)
+
+let top_cmd =
+  let module J = Pc_obs.Json in
+  let port_arg =
+    let doc = "Server port." in
+    Arg.(required & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+  in
+  let once_arg =
+    let doc = "Print one dashboard frame and exit (no screen clearing)." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let prom_arg =
+    let doc = "Print the Prometheus text exposition instead of the dashboard." in
+    Arg.(value & flag & info [ "prom" ] ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between polls." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECS" ~doc)
+  in
+  let iterations_arg =
+    let doc = "Stop after this many frames (0 = until interrupted)." in
+    Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N" ~doc)
+  in
+  let jget v names =
+    List.fold_left (fun acc n -> Option.bind acc (J.member n)) (Some v) names
+  in
+  let jnum v names =
+    Option.value (Option.bind (jget v names) J.to_num) ~default:0.
+  in
+  let render host port v =
+    let b = Buffer.create 1024 in
+    let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    addf "pcda top — %s:%d   uptime %.1fs   inflight %.0f   last id %.0f\n"
+      host port (jnum v [ "uptime_s" ]) (jnum v [ "inflight" ])
+      (jnum v [ "last_id" ]);
+    addf "%-8s %9s %9s %9s %7s %7s %7s %7s\n" "window" "qps" "p50" "p99"
+      "err%" "degr%" "hit%" "n";
+    List.iter
+      (fun w ->
+        let f name = jnum v [ "windows"; w; name ] in
+        addf "%-8s %9.1f %8.2fms %8.2fms %7.1f %7.1f %7.1f %7.0f\n" w
+          (f "qps")
+          (f "p50_ns" /. 1e6)
+          (f "p99_ns" /. 1e6)
+          (100. *. f "error_rate")
+          (100. *. f "degraded_fraction")
+          (100. *. f "cache_hit_rate")
+          (f "n"))
+      [ "1s"; "10s"; "60s" ];
+    addf
+      "totals   requests %.0f   errors %.0f   degraded %.0f   cache \
+       %.0f/%.0f hit/miss\n"
+      (jnum v [ "requests" ]) (jnum v [ "errors" ]) (jnum v [ "degraded" ])
+      (jnum v [ "cache"; "hits" ])
+      (jnum v [ "cache"; "misses" ]);
+    addf
+      "admitted full %.0f   dual-only %.0f   early-only %.0f   floor-only \
+       %.0f\n"
+      (jnum v [ "admission"; "full" ])
+      (jnum v [ "admission"; "dual-only" ])
+      (jnum v [ "admission"; "early-only" ])
+      (jnum v [ "admission"; "floor-only" ]);
+    Buffer.contents b
+  in
+  let run host port once prom interval iterations =
+    with_errors (fun () ->
+        let ( let* ) = Result.bind in
+        let* c =
+          try Ok (Pc_server.Client.connect ~host ~port)
+          with Unix.Unix_error (e, _, _) ->
+            Error
+              (Printf.sprintf "cannot connect to %s:%d: %s" host port
+                 (Unix.error_message e))
+        in
+        let req =
+          if prom then {|{"op":"telemetry","view":"prometheus"}|}
+          else {|{"op":"telemetry"}|}
+        in
+        let frames = if once then 1 else iterations in
+        let clear = (not once) && Unix.isatty Unix.stdout in
+        let rec loop i =
+          match Pc_server.Client.request c req with
+          | None -> Error "connection closed by server"
+          | Some reply -> (
+              match J.parse reply with
+              | Error msg -> Error ("bad telemetry reply: " ^ msg)
+              | Ok v -> (
+                  match J.member "ok" v with
+                  | Some (J.Bool true) ->
+                      if clear then print_string "\027[2J\027[H";
+                      (if prom then
+                         match Option.bind (J.member "text" v) J.to_str with
+                         | Some text -> print_string text
+                         | None -> print_endline reply
+                       else print_string (render host port v));
+                      flush stdout;
+                      if frames > 0 && i + 1 >= frames then Ok ()
+                      else begin
+                        Unix.sleepf (Float.max 0.05 interval);
+                        loop (i + 1)
+                      end
+                  | _ -> Error ("server refused telemetry: " ^ reply)))
+        in
+        let result = loop 0 in
+        Pc_server.Client.close c;
+        result)
+  in
+  let doc =
+    "Live dashboard over a running `pcda serve`: polls the telemetry op \
+     and renders windowed qps, latency quantiles, error/degraded/cache \
+     rates (1s/10s/60s), totals and admission counts. --prom prints the \
+     Prometheus exposition; --once prints a single frame (scriptable)."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg $ once_arg $ prom_arg $ interval_arg
+       $ iterations_arg))
+
 let main_cmd =
   let doc = "missing-data contingency analysis with predicate-constraints" in
   let info = Cmd.info "pcda" ~version:"1.0.0" ~doc in
@@ -743,6 +888,7 @@ let main_cmd =
       workload_cmd;
       serve_cmd;
       client_cmd;
+      top_cmd;
     ]
 
 let () =

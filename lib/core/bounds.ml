@@ -37,6 +37,7 @@ let worst_provenance a b = if provenance_order a >= provenance_order b then a el
 
 type stats = {
   provenance : provenance;
+  rungs : provenance list;
   cells : int;
   sat_calls : int;
   admitted_unchecked : int;
@@ -1064,11 +1065,20 @@ let bound_budgeted ?(opts = default_opts) ?budget ?certain ?fdd set
   Counter.incr c_calls;
   Counter.incr (provenance_counter provenance);
   Pc_obs.Registry.Histogram.observe_ns h_bound (elapsed *. 1e9);
+  (* the rungs this call actually engaged, in ladder order: the
+     full-strength attempt always runs first; each degradation event adds
+     its rung. A fall straight to the floor reads [Exact; Trivial]. *)
+  let rungs =
+    (Exact :: (if trace.relaxed then [ Relaxed ] else []))
+    @ (if trace.early then [ Early_stopped ] else [])
+    @ if trace.trivial then [ Trivial ] else []
+  in
   {
     answer;
     stats =
       {
         provenance;
+        rungs;
         cells = u1.B.cells - u0.B.cells;
         sat_calls = u1.B.sat_calls - u0.B.sat_calls;
         admitted_unchecked = trace.admitted;

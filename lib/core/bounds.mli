@@ -58,6 +58,14 @@ val worst_provenance : provenance -> provenance -> provenance
 
 type stats = {
   provenance : provenance;
+  rungs : provenance list;
+      (** the ladder rungs this call engaged, in ladder order: the head
+          is always [Exact] (the full-strength attempt), each
+          degradation event appends its rung, and the last entry equals
+          [provenance]. A query that fell straight from the full attempt
+          to the floor reads [[Exact; Trivial]]. Request-scoped
+          telemetry (the server's flight recorder) records this walk
+          per request. *)
   cells : int;  (** decomposition cells materialized *)
   sat_calls : int;  (** budget-charged satisfiability checks *)
   admitted_unchecked : int;  (** cells admitted after SAT-pool exhaustion *)

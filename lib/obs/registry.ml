@@ -9,6 +9,8 @@ type histogram = {
   buckets : int Atomic.t array;  (* bucket i: values in [2^i, 2^(i+1)) ns *)
   h_count : int Atomic.t;
   h_sum_ns : int Atomic.t;
+  h_min_ns : int Atomic.t;  (* exact extremes: not bucket-quantized *)
+  h_max_ns : int Atomic.t;
 }
 
 type instrument = C of counter | H of histogram
@@ -62,6 +64,8 @@ module Histogram = struct
             buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
             h_count = Atomic.make 0;
             h_sum_ns = Atomic.make 0;
+            h_min_ns = Atomic.make max_int;
+            h_max_ns = Atomic.make 0;
           })
       (function
         | H h -> h
@@ -71,17 +75,33 @@ module Histogram = struct
     if not (v > 1.) then 0
     else min (n_buckets - 1) (int_of_float (Float.log2 v))
 
+  (* monotone CAS fold: lock-free exact extremes *)
+  let rec atomic_min a v =
+    let cur = Atomic.get a in
+    if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+  let rec atomic_max a v =
+    let cur = Atomic.get a in
+    if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
   let observe_ns t ns =
     if Atomic.get enabled_flag then begin
       Atomic.incr t.h_count;
-      ignore
-        (Atomic.fetch_and_add t.h_sum_ns
-           (int_of_float (Float.max 0. (Float.min ns 4.6e18))));
+      let ns_int = int_of_float (Float.max 0. (Float.min ns 4.6e18)) in
+      ignore (Atomic.fetch_and_add t.h_sum_ns ns_int);
+      atomic_min t.h_min_ns ns_int;
+      atomic_max t.h_max_ns ns_int;
       Atomic.incr t.buckets.(bucket_of_ns ns)
     end
 
   let count t = Atomic.get t.h_count
   let sum_ns t = Atomic.get t.h_sum_ns
+  let min_ns t = if count t = 0 then 0 else Atomic.get t.h_min_ns
+  let max_ns t = Atomic.get t.h_max_ns
+
+  let mean_ns t =
+    let n = count t in
+    if n = 0 then 0. else float_of_int (sum_ns t) /. float_of_int n
 
   (* Representative value inside bucket i: 1.5 * 2^i, which maps back to
      bucket i under [bucket_of_ns] — readouts stay within one bucket of
@@ -105,7 +125,9 @@ module Histogram = struct
   let clear t =
     Array.iter (fun b -> Atomic.set b 0) t.buckets;
     Atomic.set t.h_count 0;
-    Atomic.set t.h_sum_ns 0
+    Atomic.set t.h_sum_ns 0;
+    Atomic.set t.h_min_ns max_int;
+    Atomic.set t.h_max_ns 0
 
   let name t = t.h_name
 end
@@ -159,9 +181,11 @@ let dump_json () =
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b
         (Printf.sprintf
-           "\n    \"%s\": {\"count\": %d, \"sum_ns\": %d, \"p50_ns\": %.1f, \
+           "\n    \"%s\": {\"count\": %d, \"sum_ns\": %d, \"min_ns\": %d, \
+            \"max_ns\": %d, \"mean_ns\": %.1f, \"p50_ns\": %.1f, \
             \"p90_ns\": %.1f, \"p99_ns\": %.1f}"
            (Histogram.name h) (Histogram.count h) (Histogram.sum_ns h)
+           (Histogram.min_ns h) (Histogram.max_ns h) (Histogram.mean_ns h)
            (Histogram.percentile_ns h 50.)
            (Histogram.percentile_ns h 90.)
            (Histogram.percentile_ns h 99.)))

@@ -53,6 +53,16 @@ module Histogram : sig
   val count : t -> int
   val sum_ns : t -> int
 
+  val min_ns : t -> int
+  (** Exact smallest observation (not bucket-quantized); [0] when empty. *)
+
+  val max_ns : t -> int
+  (** Exact largest observation; [0] when empty. *)
+
+  val mean_ns : t -> float
+  (** [sum_ns / count] — exact, unlike the bucketed percentiles; [0.]
+      when empty. *)
+
   val percentile_ns : t -> float -> float
   (** [percentile_ns h p] for [p] in [0, 100]: a representative value
       from the bucket where the cumulative count crosses the
@@ -85,5 +95,7 @@ val dump_text : unit -> string
 
 val dump_json : unit -> string
 (** The same data as one JSON object:
-    [{"counters": {...}, "histograms": {name: {count, sum_ns, p50_ns,
-    p90_ns, p99_ns}}}]. Always valid JSON (no NaN / infinity). *)
+    [{"counters": {...}, "histograms": {name: {count, sum_ns, min_ns,
+    max_ns, mean_ns, p50_ns, p90_ns, p99_ns}}}]. Extremes and the mean
+    are exact (tracked beside the buckets); percentiles stay
+    bucket-resolution. Always valid JSON (no NaN / infinity). *)

@@ -14,16 +14,27 @@ let level_order = function
   | Early_only -> 2
   | Floor_only -> 3
 
-type policy = { full_below : int; dual_below : int; early_below : int }
+type policy = {
+  full_below : int;
+  dual_below : int;
+  early_below : int;
+  p99_slo_ms : float option;
+}
 
-let policy ~max_inflight =
+let policy ?p99_slo_ms ~max_inflight () =
   if max_inflight <= 0 then
-    { full_below = max_int; dual_below = max_int; early_below = max_int }
+    {
+      full_below = max_int;
+      dual_below = max_int;
+      early_below = max_int;
+      p99_slo_ms;
+    }
   else
     {
       full_below = max 1 (max_inflight / 4);
       dual_below = max 2 (max_inflight / 2);
       early_below = max 3 max_inflight;
+      p99_slo_ms;
     }
 
 let level_for p ~inflight =
@@ -31,6 +42,24 @@ let level_for p ~inflight =
   else if inflight < p.dual_below then Dual_only
   else if inflight < p.early_below then Early_only
   else Floor_only
+
+(* The latency side of admission: the server feeds the live windowed p99
+   (Pc_obs.Window, 1 s window) here, so an overloaded tail triggers the
+   same ladder rungs the in-flight count does — observable in the
+   telemetry plane and principled (each rung is strictly cheaper). The
+   escalation is geometric in the SLO so a transient blip sheds one
+   rung, a meltdown sheds them all. *)
+let level_for_p99 p ~p99_ms =
+  match p.p99_slo_ms with
+  | None -> Full
+  | Some slo when slo <= 0. -> Full
+  | Some slo ->
+      if p99_ms <= slo then Full
+      else if p99_ms <= 2. *. slo then Dual_only
+      else if p99_ms <= 4. *. slo then Early_only
+      else Floor_only
+
+let combine a b = if level_order a >= level_order b then a else b
 
 let min_opt a b =
   match (a, b) with

@@ -29,13 +29,27 @@ type policy = {
   full_below : int;  (** in-flight < this: [Full] *)
   dual_below : int;  (** else in-flight < this: [Dual_only] *)
   early_below : int;  (** else in-flight < this: [Early_only]; else floor *)
+  p99_slo_ms : float option;
+      (** windowed-latency SLO: when set, the live 1 s p99 (from
+          [Pc_obs.Window]) also selects a level — see {!level_for_p99};
+          [None] (the default) disables the latency dimension. *)
 }
 
-val policy : max_inflight:int -> policy
+val policy : ?p99_slo_ms:float -> max_inflight:int -> unit -> policy
 (** Quarter-point thresholds from a single knob; [max_inflight <= 0]
-    means uncapped ([Full] always). *)
+    means uncapped ([Full] always on the in-flight dimension). *)
 
 val level_for : policy -> inflight:int -> level
+
+val level_for_p99 : policy -> p99_ms:float -> level
+(** Latency-dimension level: [Full] while the windowed p99 meets the
+    SLO, then one rung per doubling past it ([<= 2×] dual-only,
+    [<= 4×] early-only, beyond that the floor). Always [Full] when no
+    [p99_slo_ms] is configured. *)
+
+val combine : level -> level -> level
+(** The more degraded of two levels — the server combines the in-flight
+    and latency dimensions so whichever signal is worse wins. *)
 
 val crush : Pc_budget.Budget.spec -> level -> Pc_budget.Budget.spec
 (** Tighten a base per-request budget to the level: caps only ever

@@ -11,7 +11,10 @@ let c_requests = Counter.make "server.requests"
 let c_errors = Counter.make "server.errors"
 let c_degraded = Counter.make "server.degraded"
 let c_crushed = Counter.make "server.admission_crushed"
+let c_slo_crushed = Counter.make "server.slo_crushed"
 let h_request = Pc_obs.Registry.Histogram.make "server.request_ns"
+
+module W = Pc_obs.Window
 
 type config = {
   host : string;
@@ -23,6 +26,8 @@ type config = {
   poll_s : float;
   trace_path : string option;
   metrics_path : string option;
+  flight_path : string option;
+  flight_capacity : int;
   cache : bool;
 }
 
@@ -32,11 +37,13 @@ let default_config =
     port = 0;
     base_spec = B.unlimited_spec;
     opts = { Bounds.default_opts with Bounds.strategy = Pc_core.Cells.Fdd };
-    policy = Admission.policy ~max_inflight:64;
+    policy = Admission.policy ~max_inflight:64 ();
     max_line = 16 * 1024 * 1024;
     poll_s = 0.1;
     trace_path = None;
     metrics_path = None;
+    flight_path = None;
+    flight_capacity = 512;
     cache = true;
   }
 
@@ -63,8 +70,21 @@ type t = {
   n_requests : int Atomic.t;
   n_errors : int Atomic.t;
   n_degraded : int Atomic.t;
+  n_hits : int Atomic.t;  (** cache hits, this instance *)
+  n_misses : int Atomic.t;
+  n_admitted : int Atomic.t array;  (** per admission level, by order *)
+  req_id : int Atomic.t;  (** monotonically increasing request ids *)
+  window : W.t;  (** live SLO windows (1 s / 10 s / 60 s snapshots) *)
+  flight : Telemetry.Flight.t;  (** last-N request records, always on *)
   t0 : float;
 }
+
+(* The telemetry clock: wall time composed with the injected skew, the
+   same view budget deadline checks get — so the skew fault exercises
+   window rotation, which must never produce a negative rate. *)
+let telemetry_now () =
+  Pc_util.Clock.now ()
+  +. (if Fault.enabled () then Fault.clock_skew_s () else 0.)
 
 let create cfg =
   Net.ignore_sigpipe ();
@@ -94,6 +114,12 @@ let create cfg =
     n_requests = Atomic.make 0;
     n_errors = Atomic.make 0;
     n_degraded = Atomic.make 0;
+    n_hits = Atomic.make 0;
+    n_misses = Atomic.make 0;
+    n_admitted = Array.init 4 (fun _ -> Atomic.make 0);
+    req_id = Atomic.make 0;
+    window = W.create ();
+    flight = Telemetry.Flight.create ~capacity:cfg.flight_capacity;
     t0 = Pc_util.Clock.now ();
   }
 
@@ -205,6 +231,74 @@ let str_field v name = Option.bind (J.member name v) J.to_str
 let num_field v name = Option.bind (J.member name v) J.to_num
 let bool_field v name = Option.bind (J.member name v) J.to_bool
 
+(* The request-scoped telemetry accumulator: one per request line,
+   filled in as the request traverses admission, the cache, and the
+   ladder, then sealed into a [Telemetry.record] at the send boundary
+   (where the latency is known). Mutable because the interesting fields
+   are discovered deep inside [handle_bound]. *)
+type pending = {
+  p_id : int;
+  mutable p_op : string;
+  mutable p_dataset : string;
+  mutable p_admission : string;
+  mutable p_rungs : string list;
+  mutable p_provenance : string;
+  mutable p_cache : W.cache_outcome;
+  mutable p_degraded : bool;
+  mutable p_sat : int;
+  mutable p_pivots : int;
+  mutable p_cells : int;
+  mutable p_nodes : int;
+}
+
+let make_pending id =
+  {
+    p_id = id;
+    p_op = "";
+    p_dataset = "";
+    p_admission = "";
+    p_rungs = [];
+    p_provenance = "";
+    p_cache = W.Uncached;
+    p_degraded = false;
+    p_sat = 0;
+    p_pivots = 0;
+    p_cells = 0;
+    p_nodes = 0;
+  }
+
+let reply_error_code = function
+  | Rjson (J.Obj (("ok", J.Bool false) :: rest)) -> (
+      match List.assoc_opt "error" rest with
+      | Some (J.Obj fields) -> (
+          match List.assoc_opt "code" fields with
+          | Some (J.Str c) -> Some c
+          | _ -> Some "error")
+      | _ -> Some "error")
+  | Rjson _ | Rtext _ -> None
+
+let seal_record pend ~t_s ~latency_ns ~error =
+  {
+    Telemetry.id = pend.p_id;
+    t_s;
+    op = pend.p_op;
+    dataset = pend.p_dataset;
+    admission = pend.p_admission;
+    rungs = pend.p_rungs;
+    provenance = pend.p_provenance;
+    cache =
+      (match pend.p_cache with
+      | W.Hit -> "hit"
+      | W.Miss -> "miss"
+      | W.Uncached -> "uncached");
+    sat_calls = pend.p_sat;
+    pivots = pend.p_pivots;
+    cells = pend.p_cells;
+    nodes = pend.p_nodes;
+    latency_ns;
+    error;
+  }
+
 let handle_load t v =
   match str_field v "name" with
   | None -> err_value "bad-request" "load: missing string field \"name\""
@@ -226,7 +320,7 @@ let handle_load t v =
                   ("certain_rows", J.Num (float_of_int n_rows));
                 ]))
 
-let handle_bound t v =
+let handle_bound t pend v =
   match str_field v "query" with
   | None -> Rjson (err_value "bad-request" "bound: missing string field \"query\"")
   | Some qtext -> (
@@ -237,6 +331,7 @@ let handle_bound t v =
             (err_value "unknown-dataset"
                (Printf.sprintf "no dataset %S loaded" dname))
       | Some ds -> (
+          pend.p_dataset <- ds.digest;
           match Pc_parse.Query_parser.parse qtext with
           | exception Failure msg -> Rjson (err_value "parse-error" msg)
           | query -> (
@@ -255,8 +350,15 @@ let handle_bound t v =
                 else None
               in
               match Option.bind ckey (Cache.find ds.cache) with
-              | Some text -> Rtext text
+              | Some text ->
+                  pend.p_cache <- W.Hit;
+                  Atomic.incr t.n_hits;
+                  Rtext text
               | None ->
+                  if Option.is_some ckey then begin
+                    pend.p_cache <- W.Miss;
+                    Atomic.incr t.n_misses
+                  end;
                   (* Admission: the level is decided from the in-flight
                      count *before* this request joins it, then the
                      request holds a slot for its whole compute. Drain
@@ -268,8 +370,37 @@ let handle_bound t v =
                     (fun () ->
                       let level =
                         if Atomic.get t.drain then Admission.Floor_only
-                        else Admission.level_for t.cfg.policy ~inflight
+                        else begin
+                          let by_load =
+                            Admission.level_for t.cfg.policy ~inflight
+                          in
+                          (* the latency dimension: the live windowed
+                             1 s p99 versus the configured SLO — reading
+                             it only when an SLO is set keeps the
+                             no-SLO hot path snapshot-free *)
+                          let by_slo =
+                            if
+                              t.cfg.policy.Admission.p99_slo_ms = None
+                            then Admission.Full
+                            else begin
+                              let s =
+                                W.snapshot ~now:(telemetry_now ()) t.window
+                                  ~window_s:1.
+                              in
+                              let l =
+                                Admission.level_for_p99 t.cfg.policy
+                                  ~p99_ms:(s.W.p99_ns /. 1e6)
+                              in
+                              if l <> Admission.Full then
+                                Counter.incr c_slo_crushed;
+                              l
+                            end
+                          in
+                          Admission.combine by_load by_slo
+                        end
                       in
+                      Atomic.incr t.n_admitted.(Admission.level_order level);
+                      pend.p_admission <- Admission.level_name level;
                       if level <> Admission.Full then Counter.incr c_crushed;
                       let spec = Admission.crush t.cfg.base_spec level in
                       let spec =
@@ -293,6 +424,15 @@ let handle_bound t v =
                       in
                       let s = outcome.Bounds.stats in
                       let degraded = s.Bounds.provenance <> Bounds.Exact in
+                      pend.p_rungs <-
+                        List.map Bounds.provenance_name s.Bounds.rungs;
+                      pend.p_provenance <-
+                        Bounds.provenance_name s.Bounds.provenance;
+                      pend.p_degraded <- degraded;
+                      pend.p_sat <- s.Bounds.sat_calls;
+                      pend.p_pivots <- s.Bounds.lp_iterations;
+                      pend.p_cells <- s.Bounds.cells;
+                      pend.p_nodes <- s.Bounds.milp_nodes;
                       if degraded then begin
                         Counter.incr c_degraded;
                         Atomic.incr t.n_degraded
@@ -324,39 +464,131 @@ let handle_bound t v =
                           Rtext text
                       | _ -> Rjson reply))))
 
+let ni a = J.Num (float_of_int (Atomic.get a))
+
+let cache_counters t =
+  J.Obj [ ("hits", ni t.n_hits); ("misses", ni t.n_misses) ]
+
+let admission_counters t =
+  J.Obj
+    (List.map
+       (fun level ->
+         ( Admission.level_name level,
+           ni t.n_admitted.(Admission.level_order level) ))
+       [ Admission.Full; Admission.Dual_only; Admission.Early_only;
+         Admission.Floor_only ])
+
 let handle_stats t =
   J.Obj
     [
       ("ok", J.Bool true);
       ("op", J.Str "stats");
       ("uptime_s", J.Num (Pc_util.Clock.now () -. t.t0));
-      ("requests", J.Num (float_of_int (Atomic.get t.n_requests)));
-      ("errors", J.Num (float_of_int (Atomic.get t.n_errors)));
-      ("degraded", J.Num (float_of_int (Atomic.get t.n_degraded)));
-      ("inflight", J.Num (float_of_int (Atomic.get t.inflight)));
-      ("connections", J.Num (float_of_int (Atomic.get t.conns)));
+      ("requests", ni t.n_requests);
+      ("errors", ni t.n_errors);
+      ("degraded", ni t.n_degraded);
+      ("inflight", ni t.inflight);
+      ("connections", ni t.conns);
+      ("cache", cache_counters t);
+      ("admission", admission_counters t);
       ("datasets", J.Arr (List.map (fun n -> J.Str n) (dataset_names t)));
       ("draining", J.Bool (Atomic.get t.drain));
       ("faults_injected", J.Num (float_of_int (Fault.total_injected ())));
     ]
 
+(* ------------------------------------------------------------------ *)
+(* The telemetry op                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let window_labels = [ ("1s", 1.); ("10s", 10.); ("60s", 60.) ]
+
+let window_snapshots t =
+  let now = telemetry_now () in
+  List.map
+    (fun (label, w) -> (label, W.snapshot ~now t.window ~window_s:w))
+    window_labels
+
+let window_stats_value (s : W.stats) =
+  J.Obj
+    [
+      ("window_s", J.Num s.W.window_s);
+      ("n", J.Num (float_of_int s.W.n));
+      ("qps", J.Num s.W.qps);
+      ("error_rate", J.Num s.W.error_rate);
+      ("degraded_fraction", J.Num s.W.degraded_fraction);
+      ("cache_hit_rate", J.Num s.W.cache_hit_rate);
+      ("p50_ns", J.Num s.W.p50_ns);
+      ("p90_ns", J.Num s.W.p90_ns);
+      ("p99_ns", J.Num s.W.p99_ns);
+    ]
+
+let handle_telemetry t v =
+  let base rest =
+    J.Obj
+      (("ok", J.Bool true) :: ("op", J.Str "telemetry")
+      :: ("uptime_s", J.Num (Pc_util.Clock.now () -. t.t0))
+      :: ("last_id", ni t.req_id)
+      :: rest)
+  in
+  match str_field v "view" with
+  | Some "prometheus" ->
+      let text =
+        Telemetry.prometheus
+          ~windows:(window_snapshots t)
+          ~gauges:
+            [
+              ("server.inflight", float_of_int (Atomic.get t.inflight));
+              ("server.connections", float_of_int (Atomic.get t.conns));
+              ("server.uptime_s", Pc_util.Clock.now () -. t.t0);
+            ]
+      in
+      base [ ("view", J.Str "prometheus"); ("text", J.Str text) ]
+  | Some "flight" ->
+      base
+        [
+          ("view", J.Str "flight");
+          ("flight", Telemetry.Flight.to_json t.flight ~reason:"demand");
+        ]
+  | Some view ->
+      err_value "bad-request"
+        (Printf.sprintf "telemetry: unknown view %S" view)
+  | None ->
+      base
+        [
+          ("view", J.Str "windows");
+          ( "windows",
+            J.Obj
+              (List.map
+                 (fun (label, s) -> (label, window_stats_value s))
+                 (window_snapshots t)) );
+          ("requests", ni t.n_requests);
+          ("errors", ni t.n_errors);
+          ("degraded", ni t.n_degraded);
+          ("inflight", ni t.inflight);
+          ("cache", cache_counters t);
+          ("admission", admission_counters t);
+        ]
+
 (* Dispatch one request line. Total: every failure mode, including an
    exception escaping a handler, becomes a structured error reply. *)
-let handle_line t line =
+let handle_line t pend line =
   Atomic.incr t.n_requests;
   Counter.incr c_requests;
   let reply, shutdown =
     match J.parse line with
     | Error msg -> (Rjson (err_value "bad-json" msg), false)
     | Ok v -> (
-        match str_field v "op" with
+        let op = str_field v "op" in
+        pend.p_op <- Option.value op ~default:"";
+        match op with
         | None ->
             (Rjson (err_value "bad-request" "missing string field \"op\""), false)
         | Some "ping" ->
             (Rjson (J.Obj [ ("ok", J.Bool true); ("op", J.Str "pong") ]), false)
         | Some "load" -> (Rjson (handle_load t v), false)
-        | Some "bound" -> (handle_bound t v, false)
+        | Some "bound" -> (handle_bound t pend v, false)
         | Some "stats" -> (Rjson (handle_stats t), false)
+        | Some "telemetry" -> (Rjson (handle_telemetry t v), false)
         | Some "shutdown" ->
             ( Rjson
                 (J.Obj
@@ -408,6 +640,20 @@ let send_reply fd line =
   end;
   Net.write_string fd (line ^ "\n")
 
+let dump_flight t ~reason =
+  match t.cfg.flight_path with
+  | None -> ()
+  | Some path -> (
+      let content = J.to_string (Telemetry.Flight.to_json t.flight ~reason) in
+      try
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc content;
+            output_char oc '\n')
+      with Sys_error _ -> ())
+
 let handle_conn t fd =
   let reader = Net.reader ~max_line:t.cfg.max_line fd in
   let stop () = Atomic.get t.drain in
@@ -422,14 +668,35 @@ let handle_conn t fd =
          with Net.Closed -> ())
     | `Line line ->
         let t0 = Pc_util.Clock.now_ns () in
-        let reply, shutdown = handle_line t line in
+        let pend = make_pending (1 + Atomic.fetch_and_add t.req_id 1) in
+        let reply, shutdown = handle_line t pend line in
         let sent =
           match send_reply fd (reply_text reply) with
           | () -> true
           | exception Net.Closed -> false
         in
-        Pc_obs.Registry.Histogram.observe_ns h_request
-          (Int64.to_float (Int64.sub (Pc_util.Clock.now_ns ()) t0));
+        let latency_ns =
+          Int64.to_float (Int64.sub (Pc_util.Clock.now_ns ()) t0)
+        in
+        Pc_obs.Registry.Histogram.observe_ns h_request latency_ns;
+        (* Seal and publish the request record *before* any crash dump,
+           so a dump triggered by this very request contains it. A
+           failed send is recorded as an error even when the computed
+           reply was fine — the client never saw the answer. *)
+        let error =
+          match reply_error_code reply with
+          | Some _ as e -> e
+          | None -> if sent then None else Some "send-failed"
+        in
+        let now = telemetry_now () in
+        Telemetry.Flight.push t.flight
+          (seal_record pend ~t_s:now
+             ~latency_ns:(int_of_float latency_ns)
+             ~error);
+        W.observe ~now t.window ~latency_ns
+          ~error:(Option.is_some error) ~degraded:pend.p_degraded
+          ~cache:pend.p_cache;
+        if not sent then dump_flight t ~reason:"crash";
         if shutdown then initiate_drain t else if sent then loop ()
   in
   loop ()
@@ -450,9 +717,10 @@ let flush_artifacts t =
   (match t.cfg.trace_path with
   | None -> ()
   | Some path -> write path (Pc_obs.Trace.to_chrome_json ()));
-  match t.cfg.metrics_path with
+  (match t.cfg.metrics_path with
   | None -> ()
-  | Some path -> write path (Pc_obs.Registry.dump_json ())
+  | Some path -> write path (Pc_obs.Registry.dump_json ()));
+  dump_flight t ~reason:"drain"
 
 let run t =
   while not (Atomic.get t.drain) do

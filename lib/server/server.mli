@@ -30,7 +30,19 @@
     - {b Fault injection} ({!Pc_fault.Fault}): with a schedule armed,
       injected SAT failures/stalls, simplex doubt, clock skew and torn
       client sockets must all degrade or drop a single request or
-      connection, never the server. *)
+      connection, never the server.
+    - {b Live telemetry} ({!Telemetry}, [Pc_obs.Window]): every request
+      gets a monotonically increasing id and materializes one record
+      (admission verdict, cache outcome, ladder rungs, SAT calls /
+      pivots / nodes, latency) into the always-on flight recorder and
+      the sliding SLO windows. The [telemetry] op serves windowed
+      qps / p50 / p99 / error-rate / degraded-fraction / cache-hit-rate
+      (1 s / 10 s / 60 s), a Prometheus-style text exposition
+      ([{"view": "prometheus"}]), and the flight dump
+      ([{"view": "flight"}]); [pcda top] renders it live. When
+      [policy.p99_slo_ms] is set, admission also reads the windowed
+      1 s p99 and sheds to cheaper rungs as the tail blows through the
+      SLO. *)
 
 type config = {
   host : string;
@@ -42,6 +54,14 @@ type config = {
   poll_s : float;  (** blocked-reader / accept-loop drain poll slice *)
   trace_path : string option;  (** Chrome trace written at drain *)
   metrics_path : string option;  (** metrics JSON written at drain *)
+  flight_path : string option;
+      (** flight-recorder JSON dump, written at drain ([reason:
+          "drain"]) and whenever a reply cannot be delivered — a torn
+          or closed socket at the send boundary ([reason: "crash"]),
+          which always includes the failing request's record. The
+          [telemetry] op's ["view": "flight"] serves the same dump on
+          demand regardless of this setting. *)
+  flight_capacity : int;  (** flight-recorder ring size (default 512) *)
   cache : bool;
       (** canonicalizing bound cache: repeat [bound] requests (same
           dataset content, canonical query predicate, aggregate, and

@@ -1,0 +1,162 @@
+module J = Pc_obs.Json
+module R = Pc_obs.Registry
+module W = Pc_obs.Window
+
+type record = {
+  id : int;
+  t_s : float;
+  op : string;
+  dataset : string;
+  admission : string;
+  rungs : string list;
+  provenance : string;
+  cache : string;
+  sat_calls : int;
+  pivots : int;
+  cells : int;
+  nodes : int;
+  latency_ns : int;
+  error : string option;
+}
+
+let record_json r =
+  J.Obj
+    [
+      ("id", J.Num (float_of_int r.id));
+      ("t_s", J.Num r.t_s);
+      ("op", J.Str r.op);
+      ("dataset", J.Str r.dataset);
+      ("admission", J.Str r.admission);
+      ("rungs", J.Arr (List.map (fun s -> J.Str s) r.rungs));
+      ("provenance", J.Str r.provenance);
+      ("cache", J.Str r.cache);
+      ("sat_calls", J.Num (float_of_int r.sat_calls));
+      ("pivots", J.Num (float_of_int r.pivots));
+      ("cells", J.Num (float_of_int r.cells));
+      ("nodes", J.Num (float_of_int r.nodes));
+      ("latency_ns", J.Num (float_of_int r.latency_ns));
+      ("error", match r.error with None -> J.Null | Some e -> J.Str e);
+    ]
+
+module Flight = struct
+  (* One atomic per slot holding an immutable record: a reader sees each
+     slot either before or after any overwrite, never torn. [next] hands
+     out distinct slot indices, so concurrent writers cannot clobber one
+     another — eviction is purely "capacity newer records exist". *)
+  type t = { slots : record option Atomic.t array; next : int Atomic.t }
+
+  let create ~capacity =
+    let capacity = max 1 capacity in
+    { slots = Array.init capacity (fun _ -> Atomic.make None); next = Atomic.make 0 }
+
+  let capacity t = Array.length t.slots
+  let pushed t = Atomic.get t.next
+
+  let push t r =
+    let i = Atomic.fetch_and_add t.next 1 in
+    Atomic.set t.slots.(i mod Array.length t.slots) (Some r)
+
+  let records t =
+    let cap = Array.length t.slots in
+    let n = Atomic.get t.next in
+    let first = if n <= cap then 0 else n - cap in
+    let out = ref [] in
+    for k = n - 1 downto first do
+      match Atomic.get t.slots.(k mod cap) with
+      | Some r -> out := r :: !out
+      | None -> ()
+    done;
+    (* records pushed concurrently with this read can land out of id
+       order across the wrap point; present them sorted so the dump is
+       canonical *)
+    List.sort (fun a b -> compare a.id b.id) !out
+
+  let to_json t ~reason =
+    J.Obj
+      [
+        ("schema", J.Str "pcda-flight/1");
+        ("reason", J.Str reason);
+        ("capacity", J.Num (float_of_int (capacity t)));
+        ("pushed", J.Num (float_of_int (pushed t)));
+        ("records", J.Arr (List.map record_json (records t)));
+      ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prom_name name =
+  let b = Bytes.of_string ("pcda_" ^ name) in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let fnum v =
+  if Float.is_finite v then
+    (* shortest-exact like the JSON emitters: integers print bare *)
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.6g" v
+  else "0"
+
+let prometheus ~windows ~gauges =
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  List.iter
+    (fun (name, v) ->
+      let m = prom_name name in
+      line "# HELP %s registry counter %s" m name;
+      line "# TYPE %s counter" m;
+      line "%s %d" m v)
+    (R.counters ());
+  List.iter
+    (fun h ->
+      let name = R.Histogram.name h in
+      let m = prom_name name in
+      line "# HELP %s registry histogram %s (nanoseconds)" m name;
+      line "# TYPE %s summary" m;
+      List.iter
+        (fun q ->
+          line "%s{quantile=\"%.2f\"} %s" m (q /. 100.)
+            (fnum (R.Histogram.percentile_ns h q)))
+        [ 50.; 90.; 99. ];
+      line "%s_sum %d" m (R.Histogram.sum_ns h);
+      line "%s_count %d" m (R.Histogram.count h);
+      line "%s_min %d" m (R.Histogram.min_ns h);
+      line "%s_max %d" m (R.Histogram.max_ns h))
+    (R.histograms ());
+  let window_gauge field help value_of =
+    let m = "pcda_window_" ^ field in
+    line "# HELP %s %s" m help;
+    line "# TYPE %s gauge" m;
+    List.iter
+      (fun (label, (s : W.stats)) ->
+        line "%s{window=%S} %s" m label (fnum (value_of s)))
+      windows
+  in
+  window_gauge "qps" "requests per second over the window" (fun s -> s.W.qps);
+  window_gauge "requests" "requests completed in the window" (fun s ->
+      float_of_int s.W.n);
+  window_gauge "error_rate" "error fraction over the window" (fun s ->
+      s.W.error_rate);
+  window_gauge "degraded_fraction" "degraded-reply fraction over the window"
+    (fun s -> s.W.degraded_fraction);
+  window_gauge "cache_hit_rate" "cache hit rate over the window" (fun s ->
+      s.W.cache_hit_rate);
+  window_gauge "p50_ns" "windowed latency p50 (nanoseconds)" (fun s ->
+      s.W.p50_ns);
+  window_gauge "p99_ns" "windowed latency p99 (nanoseconds)" (fun s ->
+      s.W.p99_ns);
+  List.iter
+    (fun (name, v) ->
+      let m = prom_name name in
+      line "# HELP %s server gauge %s" m name;
+      line "# TYPE %s gauge" m;
+      line "%s %s" m (fnum v))
+    gauges;
+  Buffer.contents b

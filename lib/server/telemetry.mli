@@ -1,0 +1,75 @@
+(** Request-scoped telemetry: per-request records, the flight recorder,
+    and the Prometheus-style text exposition.
+
+    Every request the server answers materializes one compact {!record}
+    — its monotonically increasing id, what it asked, how admission and
+    the degradation ladder treated it, and what it cost. Records feed
+    two sinks: the {!Flight} ring (always on, bounded, dumped as JSON on
+    crash / drain / demand) and the windowed SLO monitor
+    ([Pc_obs.Window], fed by the server directly).
+
+    See DESIGN.md, "Live telemetry & flight recorder". *)
+
+type record = {
+  id : int;  (** server-wide monotonically increasing request id *)
+  t_s : float;  (** completion wall-clock time (unix seconds) *)
+  op : string;
+  dataset : string;  (** dataset content digest ([""] for non-[bound] ops) *)
+  admission : string;  (** admission level name ([""] when not admitted) *)
+  rungs : string list;
+      (** the degradation-ladder walk ([Pc_core.Bounds.stats.rungs]) *)
+  provenance : string;  (** final rung ([""] for non-[bound] ops) *)
+  cache : string;  (** ["hit"], ["miss"], or ["uncached"] *)
+  sat_calls : int;
+  pivots : int;  (** simplex iterations *)
+  cells : int;
+  nodes : int;  (** branch-and-bound nodes *)
+  latency_ns : int;
+  error : string option;  (** error code when the reply was an error *)
+}
+
+val record_json : record -> Pc_obs.Json.value
+
+(** Always-on bounded ring of the last [capacity] request records.
+
+    Writers claim distinct slots with one [fetch_and_add], so concurrent
+    pushes never lose records — a record only leaves the ring when
+    [capacity] newer ones have overwritten it. A {!records} read racing
+    concurrent writers can observe a slot mid-overwrite as the {e newer}
+    record; at most [writers] of the returned records may be newer than
+    the read's start, and none are torn (slots hold immutable records
+    behind one atomic). *)
+module Flight : sig
+  type t
+
+  val create : capacity:int -> t
+  (** [capacity] is clamped to at least 1. *)
+
+  val capacity : t -> int
+
+  val pushed : t -> int
+  (** Total records ever pushed (≥ the number retained). *)
+
+  val push : t -> record -> unit
+
+  val records : t -> record list
+  (** Retained records, oldest first. *)
+
+  val to_json : t -> reason:string -> Pc_obs.Json.value
+  (** The dump artifact:
+      [{"schema": "pcda-flight/1", "reason": ..., "capacity": ...,
+        "pushed": ..., "records": [...]}] — always valid JSON. *)
+end
+
+val prometheus :
+  windows:(string * Pc_obs.Window.stats) list ->
+  gauges:(string * float) list ->
+  string
+(** Prometheus text exposition ([text/plain; version=0.0.4] shape) of
+    the whole telemetry plane: every registry counter as
+    [pcda_<name> v] (dots become underscores), every registry histogram
+    as [_count] / [_sum] plus [quantile]-labelled gauges, each [windows]
+    entry (label, snapshot) as [pcda_window_*{window="label"}] gauges,
+    and each extra gauge verbatim under [pcda_<name>]. [# TYPE] /
+    [# HELP] comment lines precede each metric family. Numbers are
+    rendered finite (no NaN / infinity). *)

@@ -188,6 +188,7 @@ here so that adding or renaming a counter shows up in review:
   server.degraded
   server.errors
   server.requests
+  server.slo_crushed
   bound.ns
   lp.solve.ns
   milp.node.ns

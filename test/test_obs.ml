@@ -189,6 +189,31 @@ let histogram_percentile_prop =
           blo <= be && be <= bhi
           && (bhi > blo || abs (be - bx) <= 1)))
 
+(* Exact extremes ride alongside the log2 buckets: min/max/mean are not
+   bucket-quantized, while the percentile semantics stay untouched. *)
+let test_histogram_exact_extremes () =
+  let h = Registry.Histogram.make "test.hist.extremes" in
+  Registry.Histogram.clear h;
+  Alcotest.(check int) "empty min is 0" 0 (Registry.Histogram.min_ns h);
+  Alcotest.(check int) "empty max is 0" 0 (Registry.Histogram.max_ns h);
+  Alcotest.(check (float 0.)) "empty mean is 0" 0. (Registry.Histogram.mean_ns h);
+  with_metrics (fun () ->
+      List.iter
+        (fun v -> Registry.Histogram.observe_ns h v)
+        [ 700.; 300.; 1100.; 500. ];
+      Alcotest.(check int) "exact min" 300 (Registry.Histogram.min_ns h);
+      Alcotest.(check int) "exact max" 1100 (Registry.Histogram.max_ns h);
+      Alcotest.(check (float 1e-9)) "exact mean" 650.
+        (Registry.Histogram.mean_ns h);
+      (* same-bucket values stay distinguishable in the extremes *)
+      Alcotest.(check int)
+        "min and max share a percentile bucket regime"
+        (Registry.Histogram.bucket_of_ns 300.)
+        (Registry.Histogram.bucket_of_ns 500.));
+  Registry.Histogram.clear h;
+  Alcotest.(check int) "clear resets min" 0 (Registry.Histogram.min_ns h);
+  Alcotest.(check int) "clear resets max" 0 (Registry.Histogram.max_ns h)
+
 let test_dumps_valid_json () =
   with_metrics (fun () ->
       let h = Registry.Histogram.make "test.hist.dump" in
@@ -271,6 +296,8 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+          Alcotest.test_case "histogram exact extremes" `Quick
+            test_histogram_exact_extremes;
           Alcotest.test_case "dump_json validates" `Quick test_dumps_valid_json;
           Alcotest.test_case "empty histogram" `Quick
             test_empty_histogram_percentile;

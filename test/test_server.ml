@@ -172,7 +172,7 @@ let test_concurrent_clients () =
 (* ------------------------- admission control -------------------------- *)
 
 let test_admission_unit () =
-  let p = A.policy ~max_inflight:8 in
+  let p = A.policy ~max_inflight:8 () in
   Alcotest.(check bool) "idle is full" true (A.level_for p ~inflight:0 = A.Full);
   Alcotest.(check bool) "saturated is floor" true
     (A.level_for p ~inflight:8 = A.Floor_only);
@@ -191,6 +191,35 @@ let test_admission_unit () =
   Alcotest.(check (option int)) "nodes crushed" (Some 0) crushed.B.max_nodes;
   Alcotest.(check (option int)) "sat cap kept" (Some 0) crushed.B.max_sat_calls
 
+let test_admission_p99_slo () =
+  let no_slo = A.policy ~max_inflight:8 () in
+  Alcotest.(check bool) "no SLO: any p99 is full" true
+    (A.level_for_p99 no_slo ~p99_ms:1e9 = A.Full);
+  let p = A.policy ~p99_slo_ms:10. ~max_inflight:8 () in
+  let lvl ms = A.level_for_p99 p ~p99_ms:ms in
+  Alcotest.(check bool) "within SLO" true (lvl 5. = A.Full);
+  Alcotest.(check bool) "at SLO" true (lvl 10. = A.Full);
+  Alcotest.(check bool) "one doubling" true (lvl 15. = A.Dual_only);
+  Alcotest.(check bool) "two doublings" true (lvl 35. = A.Early_only);
+  Alcotest.(check bool) "meltdown" true (lvl 100. = A.Floor_only);
+  (* the latency dimension is monotone too *)
+  let rec mono ms prev =
+    if ms > 120. then ()
+    else begin
+      let l = A.level_order (lvl ms) in
+      Alcotest.(check bool) "p99 monotone" true (l >= prev);
+      mono (ms +. 7.) l
+    end
+  in
+  mono 0. 0;
+  (* combining dimensions: the worse one wins, in both orders *)
+  Alcotest.(check bool) "combine worse right" true
+    (A.combine A.Full A.Early_only = A.Early_only);
+  Alcotest.(check bool) "combine worse left" true
+    (A.combine A.Floor_only A.Dual_only = A.Floor_only);
+  Alcotest.(check bool) "combine equal" true
+    (A.combine A.Full A.Full = A.Full)
+
 let test_overload_degrades () =
   (* thresholds of zero: every request lands on the trivial floor. The
      dataset must be overlapping — a disjoint set takes the budget-free
@@ -202,7 +231,13 @@ let test_overload_degrades () =
   let cfg =
     {
       S.default_config with
-      S.policy = { A.full_below = 0; A.dual_below = 0; A.early_below = 0 };
+      S.policy =
+        {
+          A.full_below = 0;
+          A.dual_below = 0;
+          A.early_below = 0;
+          A.p99_slo_ms = None;
+        };
     }
   in
   let ((srv, _) as s) = start ~cfg () in
@@ -346,6 +381,261 @@ let test_drain_flushes_artifacts () =
   C.close c;
   ignore s
 
+(* --------------------- telemetry & flight recorder -------------------- *)
+
+module T = Pc_server.Telemetry
+
+let mk_record id =
+  {
+    T.id;
+    t_s = 1.5 +. float_of_int id;
+    op = "bound";
+    dataset = "digest";
+    admission = "full";
+    rungs = [ "exact" ];
+    provenance = "exact";
+    cache = "miss";
+    sat_calls = 2;
+    pivots = 3;
+    cells = 4;
+    nodes = 0;
+    latency_ns = 1_000 * id;
+    error = None;
+  }
+
+let test_flight_ring_wraps () =
+  let f = T.Flight.create ~capacity:8 in
+  Alcotest.(check (list int)) "empty ring" []
+    (List.map (fun r -> r.T.id) (T.Flight.records f));
+  for i = 1 to 20 do
+    T.Flight.push f (mk_record i)
+  done;
+  Alcotest.(check int) "pushed counts everything" 20 (T.Flight.pushed f);
+  let ids = List.map (fun r -> r.T.id) (T.Flight.records f) in
+  Alcotest.(check (list int)) "last capacity records, oldest first"
+    [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+    ids;
+  let dump = J.to_string (T.Flight.to_json f ~reason:"test") in
+  (match Pc_obs.Json.validate dump with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "flight dump invalid JSON: %s" e);
+  let v = parse dump in
+  Alcotest.(check (option string)) "schema tag" (Some "pcda-flight/1")
+    (str v "schema");
+  Alcotest.(check (option string)) "reason" (Some "test") (str v "reason")
+
+(* Distinct fetch_and_add slots: within capacity, concurrent writers
+   lose nothing at all — strictly tighter than the documented
+   (writers - 1) bound, and every id is present exactly once. *)
+let test_flight_concurrent_writers () =
+  let writers = 8 and per = 100 in
+  let f = T.Flight.create ~capacity:(writers * per) in
+  let threads =
+    List.init writers (fun w ->
+        Thread.create
+          (fun () ->
+            for i = 0 to per - 1 do
+              T.Flight.push f (mk_record ((w * per) + i + 1))
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  let ids = List.map (fun r -> r.T.id) (T.Flight.records f) in
+  Alcotest.(check int) "no record lost" (writers * per) (List.length ids);
+  Alcotest.(check int) "all ids distinct"
+    (writers * per)
+    (List.length (List.sort_uniq compare ids))
+
+let jpath v names =
+  List.fold_left (fun acc n -> Option.bind acc (J.member n)) (Some v) names
+
+let jnum v names = Option.bind (jpath v names) J.to_num
+
+let test_telemetry_op () =
+  let ((srv, _) as s) = start () in
+  let c = connect srv in
+  let line =
+    Printf.sprintf {|{"op":"bound","query":%s}|} (J.to_string (J.Str sum_query))
+  in
+  Alcotest.(check bool) "miss computes" true (ok (req c line));
+  Alcotest.(check bool) "hit replays" true (ok (req c line));
+  (* windows cover complete slots only (0.25 s each): step past the
+     slot boundary so the two requests become visible *)
+  Thread.delay 0.3;
+  (* default view: windowed SLO stats plus totals *)
+  let v = req c {|{"op":"telemetry"}|} in
+  Alcotest.(check bool) "telemetry ok" true (ok v);
+  List.iter
+    (fun w ->
+      match jnum v [ "windows"; w; "qps" ] with
+      | Some q -> Alcotest.(check bool) (w ^ " qps >= 0") true (q >= 0.)
+      | None -> Alcotest.failf "missing %s window" w)
+    [ "1s"; "10s"; "60s" ];
+  (* the two bound requests land in the live 1s window *)
+  (match jnum v [ "windows"; "1s"; "n" ] with
+  | Some n -> Alcotest.(check bool) "window saw the requests" true (n >= 2.)
+  | None -> Alcotest.fail "no n in 1s window");
+  (match jnum v [ "windows"; "1s"; "cache_hit_rate" ] with
+  | Some r ->
+      Alcotest.(check bool) "hit rate reflects the replay" true
+        (r > 0. && r <= 1.)
+  | None -> Alcotest.fail "no cache_hit_rate");
+  (match (jnum v [ "cache"; "hits" ], jnum v [ "cache"; "misses" ]) with
+  | Some h, Some m ->
+      Alcotest.(check bool) "cache totals" true (h >= 1. && m >= 1.)
+  | _ -> Alcotest.fail "missing cache counters");
+  (match jnum v [ "admission"; "full" ] with
+  | Some n -> Alcotest.(check bool) "admitted full" true (n >= 1.)
+  | None -> Alcotest.fail "missing admission counters");
+  (match jnum v [ "last_id" ] with
+  | Some n -> Alcotest.(check bool) "ids assigned" true (n >= 3.)
+  | None -> Alcotest.fail "missing last_id");
+  (* prometheus view: the exposition rides inside the JSON reply *)
+  let v = req c {|{"op":"telemetry","view":"prometheus"}|} in
+  Alcotest.(check bool) "prometheus ok" true (ok v);
+  (match Option.bind (J.member "text" v) J.to_str with
+  | Some text ->
+      let has needle =
+        let nl = String.length needle and tl = String.length text in
+        let rec scan i =
+          i + nl <= tl && (String.sub text i nl = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) "counter family present" true
+        (has "pcda_server_requests ");
+      Alcotest.(check bool) "window gauge present" true
+        (has "pcda_window_qps{window=\"1s\"}");
+      Alcotest.(check bool) "typed families" true (has "# TYPE");
+      Alcotest.(check bool) "histogram summary present" true
+        (has "pcda_server_request_ns_count")
+  | None -> Alcotest.fail "prometheus view without text");
+  (* flight view: the dump is served over the wire *)
+  let v = req c {|{"op":"telemetry","view":"flight"}|} in
+  Alcotest.(check bool) "flight ok" true (ok v);
+  (match J.member "flight" v with
+  | Some f -> (
+      Alcotest.(check (option string)) "flight schema" (Some "pcda-flight/1")
+        (str f "schema");
+      match J.member "records" f with
+      | Some (J.Arr records) ->
+          Alcotest.(check bool) "records retained" true
+            (List.length records >= 2);
+          (* the cached replay's record says hit, the first one miss *)
+          let caches =
+            List.filter_map (fun r -> str r "cache") records
+          in
+          Alcotest.(check bool) "hit recorded" true (List.mem "hit" caches);
+          Alcotest.(check bool) "miss recorded" true (List.mem "miss" caches);
+          let rungs_of =
+            List.filter_map
+              (fun r ->
+                match J.member "rungs" r with
+                | Some (J.Arr (J.Str first :: _)) -> Some first
+                | _ -> None)
+              records
+          in
+          Alcotest.(check bool) "ladder walk starts at exact" true
+            (List.mem "exact" rungs_of)
+      | _ -> Alcotest.fail "flight without records")
+  | None -> Alcotest.fail "no flight payload");
+  (* unknown view is a structured error, not a crash *)
+  let v = req c {|{"op":"telemetry","view":"bogus"}|} in
+  Alcotest.(check string) "unknown view rejected" "bad-request" (err_code v);
+  (* enriched stats op: cache + admission + uptime *)
+  let v = req c {|{"op":"stats"}|} in
+  Alcotest.(check bool) "stats ok" true (ok v);
+  (match (jnum v [ "cache"; "hits" ], jnum v [ "admission"; "full" ]) with
+  | Some _, Some _ -> ()
+  | _ -> Alcotest.fail "stats missing cache/admission counters");
+  (match jnum v [ "uptime_s" ] with
+  | Some u -> Alcotest.(check bool) "uptime sane" true (u >= 0.)
+  | None -> Alcotest.fail "stats missing uptime");
+  C.close c;
+  stop s
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_flight_dump_on_drain () =
+  let flight = Filename.temp_file "pcda_flight" ".json" in
+  let cfg = { S.default_config with S.flight_path = Some flight } in
+  let ((srv, th) as s) = start ~cfg () in
+  let c = connect srv in
+  ignore
+    (req c
+       (Printf.sprintf {|{"op":"bound","query":%s}|}
+          (J.to_string (J.Str sum_query))));
+  Alcotest.(check bool) "shutdown ok" true (ok (req c {|{"op":"shutdown"}|}));
+  Thread.join th;
+  let text = read_file flight in
+  (match Pc_obs.Json.validate text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "drain flight dump invalid JSON: %s" e);
+  let v = parse text in
+  Alcotest.(check (option string)) "dump reason" (Some "drain")
+    (str v "reason");
+  (match J.member "records" v with
+  | Some (J.Arr records) ->
+      let ops = List.filter_map (fun r -> str r "op") records in
+      Alcotest.(check bool) "bound request recorded" true
+        (List.mem "bound" ops)
+  | _ -> Alcotest.fail "drain dump without records");
+  Sys.remove flight;
+  C.close c;
+  ignore s
+
+let test_flight_dump_on_crash () =
+  let flight = Filename.temp_file "pcda_flight_crash" ".json" in
+  let cfg = { S.default_config with S.flight_path = Some flight } in
+  let ((srv, _) as s) = start ~cfg () in
+  (* every reply torn mid-write: the send fails, the server records the
+     failing request and dumps the flight ring *)
+  F.with_faults
+    (F.config ~seed:4 [ (F.Sock_tear, 1.0) ])
+    (fun () ->
+      let c = connect srv in
+      (match C.request c {|{"op":"ping"}|} with
+      | Some _ -> Alcotest.fail "expected the torn socket to kill the reply"
+      | None -> ());
+      C.close c);
+  (* the dump happens on the connection thread right after the failed
+     send; give it a moment *)
+  let rec wait_for_dump tries =
+    let ready =
+      try String.length (read_file flight) > 0 with Sys_error _ -> false
+    in
+    if ready then ()
+    else if tries = 0 then Alcotest.fail "no crash dump appeared"
+    else begin
+      Thread.delay 0.05;
+      wait_for_dump (tries - 1)
+    end
+  in
+  wait_for_dump 40;
+  let text = read_file flight in
+  (match Pc_obs.Json.validate text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "crash flight dump invalid JSON: %s" e);
+  let v = parse text in
+  Alcotest.(check (option string)) "dump reason" (Some "crash")
+    (str v "reason");
+  (match J.member "records" v with
+  | Some (J.Arr records) ->
+      let failing =
+        List.exists
+          (fun r ->
+            str r "op" = Some "ping" && str r "error" = Some "send-failed")
+          records
+      in
+      Alcotest.(check bool) "failing request's record present" true failing
+  | _ -> Alcotest.fail "crash dump without records");
+  Sys.remove flight;
+  stop s
+
 (* ------------------------------- chaos -------------------------------- *)
 
 let test_chaos () =
@@ -427,7 +717,16 @@ let () =
       ( "admission",
         [
           tc "policy unit" `Quick test_admission_unit;
+          tc "p99 SLO dimension" `Quick test_admission_p99_slo;
           tc "overload degrades, never rejects" `Quick test_overload_degrades;
+        ] );
+      ( "telemetry",
+        [
+          tc "flight ring wraps" `Quick test_flight_ring_wraps;
+          tc "flight concurrent writers" `Quick test_flight_concurrent_writers;
+          tc "telemetry op" `Quick test_telemetry_op;
+          tc "flight dump on drain" `Quick test_flight_dump_on_drain;
+          tc "flight dump on crash" `Quick test_flight_dump_on_crash;
         ] );
       ( "cache",
         [
