@@ -74,6 +74,85 @@ let milp_pivot_counts p =
   in
   (run true, run false)
 
+(* ------------------------------------------------------------------ *)
+(* Fig. 8 disjoint-partition scaling: dense tableau vs revised simplex *)
+(* ------------------------------------------------------------------ *)
+
+(* The disjoint-partition contingency LP at 10-100x the paper's cell
+   counts (Fig. 8 tops out at 2000 partitions): one column per cell,
+   boxed by the partition's tuple cap, cells bucketed into group budget
+   rows plus one global missing-row budget. Block-angular, ~2 nonzeros
+   per column — the regime where the dense tableau pays O(m*n) per pivot
+   while the revised simplex pays O(column nnz * eta nnz). *)
+let fig8_problem ~cells =
+  let open Pc_lp.Simplex in
+  let rng = Pc_util.Rng.create 23 in
+  let groups = 40 + (cells / 2000) in
+  let group_rows = Array.make groups [] in
+  for j = cells - 1 downto 0 do
+    let g = j mod groups in
+    group_rows.(g) <- (j, 1.) :: group_rows.(g)
+  done;
+  let constraints =
+    c_le (List.init cells (fun j -> (j, 1.))) (6. *. float_of_int groups)
+    :: Array.to_list (Array.map (fun row -> c_le row 12.) group_rows)
+  in
+  {
+    n_vars = cells;
+    maximize = true;
+    objective =
+      List.init cells (fun j -> (j, 0.5 +. Pc_util.Rng.uniform rng ~lo:0. ~hi:1.));
+    constraints;
+    var_bounds = List.init cells (fun j -> (j, 0., 10.));
+  }
+
+type fig8_point = {
+  f8_cells : int;
+  f8_sparse_ns : float;
+  f8_sparse_pivots : int;
+  f8_dense : (float * int) option;  (* ns, pivots; None above dense reach *)
+}
+
+let fig8_run ~cells ~with_dense =
+  let p = fig8_problem ~cells in
+  let module C = Pc_obs.Registry.Counter in
+  let pivc = C.make "lp.pivots" in
+  let time f =
+    let t0 = Clock.now () in
+    let r = f () in
+    (r, Clock.elapsed_s ~since:t0 *. 1e9)
+  in
+  let before = C.get pivc in
+  let s_out, s_ns = time (fun () -> Pc_lp.Simplex.solve p) in
+  let s_piv = C.get pivc - before in
+  (match s_out with
+  | Pc_lp.Simplex.Optimal _ -> ()
+  | _ ->
+      Printf.eprintf "FATAL: fig8 revised-simplex solve (%d cells) not Optimal\n"
+        cells;
+      exit 1);
+  let dense =
+    if not with_dense then None
+    else begin
+      let (d_out, d_piv), d_ns =
+        time (fun () -> Pc_lp.Dense_tableau.solve_stats p)
+      in
+      (match d_out with
+      | Pc_lp.Simplex.Optimal _ -> ()
+      | _ ->
+          Printf.eprintf "FATAL: fig8 dense-tableau solve (%d cells) not Optimal\n"
+            cells;
+          exit 1);
+      Some (d_ns, d_piv)
+    end
+  in
+  { f8_cells = cells; f8_sparse_ns = s_ns; f8_sparse_pivots = s_piv; f8_dense = dense }
+
+(* dense runs at the 10x and 30x points; at 100x a single dense pivot
+   sweeps a 200k-column tableau row set, which is exactly the cost the
+   rework removes — recorded as null rather than burning CI minutes *)
+let fig8_sizes = [ (20_000, true); (60_000, true); (200_000, false) ]
+
 let micro_tests () =
   let open Bechamel in
   (* simplex: the paper's worked-example LP shape *)
@@ -223,7 +302,62 @@ let json_escape s =
     s;
   Buffer.contents b
 
+let decompose_schema_version = 5
+let serve_schema_version = 3
+
+(* The "schema_version" an existing baseline file carries, or None when
+   the file is missing/unreadable/unversioned. A cheap textual scan, not
+   a JSON parse — the field is always a bare integer near the top. *)
+let file_schema_version path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let s =
+            really_input_string ic (min (in_channel_length ic) 4096)
+          in
+          let key = "\"schema_version\":" in
+          let klen = String.length key in
+          let rec find i =
+            if i + klen > String.length s then None
+            else if String.sub s i klen = key then Some (i + klen)
+            else find (i + 1)
+          in
+          match find 0 with
+          | None -> None
+          | Some i ->
+              let i = ref i in
+              while
+                !i < String.length s && (s.[!i] = ' ' || s.[!i] = '\t')
+              do
+                incr i
+              done;
+              let start = !i in
+              while !i < String.length s && s.[!i] >= '0' && s.[!i] <= '9' do
+                incr i
+              done;
+              if !i = start then None
+              else int_of_string_opt (String.sub s start (!i - start)))
+
+(* A baseline file from a *newer* schema must not be clobbered by an
+   older binary — that silently downgrades the committed reference the
+   CI bench gate diffs against. Same-or-older schemas are fair game. *)
+let guard_schema ~writes path =
+  match file_schema_version path with
+  | Some v when v > writes ->
+      Printf.eprintf
+        "FATAL: %s carries schema v%d, newer than the v%d this binary \
+         writes; refusing to overwrite (rebuild bench from the matching \
+         checkout)\n"
+        path v writes;
+      exit 1
+  | _ -> ()
+
 let write_baseline ~queries ~rows path =
+  guard_schema ~writes:decompose_schema_version path;
+  Printf.printf "writing %s (schema v%d)\n%!" path decompose_schema_version;
   Printf.printf "measuring micro-benchmarks...\n%!";
   let micro = run_micro () in
   Printf.printf "measuring milp.solve pivot counts (warm vs cold)...\n%!";
@@ -270,6 +404,11 @@ let write_baseline ~queries ~rows path =
   ignore (end_to_end_wall ~jobs:1 ~queries:(min queries 20) ~rows);
   Pc_obs.Trace.set_enabled false;
   let phase_totals = Pc_obs.Trace.totals_by_name () in
+  Printf.printf
+    "measuring fig8 disjoint-partition scaling (dense vs revised simplex)...\n%!";
+  let fig8 =
+    List.map (fun (cells, with_dense) -> fig8_run ~cells ~with_dense) fig8_sizes
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -277,7 +416,7 @@ let write_baseline ~queries ~rows path =
       let p fmt = Printf.fprintf oc fmt in
       p "{\n";
       p "  \"benchmark\": \"BENCH_decompose\",\n";
-      p "  \"schema_version\": 4,\n";
+      p "  \"schema_version\": %d,\n" decompose_schema_version;
       p "  \"pre_pr_reference\": { \"cells.decompose (10 overlapping PCs)\": 78755.4, \"cells.decompose_fdd (10 overlapping PCs)\": 31600.0 },\n";
       p "  \"micro_ns_per_run\": {\n";
       let n = List.length micro in
@@ -311,6 +450,42 @@ let write_baseline ~queries ~rows path =
         (float_of_int cold_pivots /. float_of_int (max 1 warm_pivots));
       p "  \"lp_pivots_total\": %d,\n" total_lp_pivots;
       p "  \"lp_warm_starts\": %d,\n" warm_starts;
+      (* schema v5: the Fig. 8 disjoint-partition scaling micro — wall
+         time and pivot counts of the revised simplex against the
+         retained dense tableau, per size; dense entries are null above
+         its reach *)
+      p "  \"fig8_simplex_scaling\": {\n";
+      p "    \"paper_max_partitions\": 2000,\n";
+      p "    \"sizes\": [\n";
+      let nf = List.length fig8 in
+      List.iteri
+        (fun i f ->
+          let s_npp =
+            f.f8_sparse_ns /. float_of_int (max 1 f.f8_sparse_pivots)
+          in
+          (match f.f8_dense with
+          | Some (d_ns, d_piv) ->
+              let d_npp = d_ns /. float_of_int (max 1 d_piv) in
+              p
+                "      { \"cells\": %d, \"sparse_ns\": %.0f, \
+                 \"sparse_pivots\": %d, \"sparse_ns_per_pivot\": %.1f, \
+                 \"dense_ns\": %.0f, \"dense_pivots\": %d, \
+                 \"dense_ns_per_pivot\": %.1f, \
+                 \"sparse_beats_dense_per_pivot\": %b }"
+                f.f8_cells f.f8_sparse_ns f.f8_sparse_pivots s_npp d_ns d_piv
+                d_npp (s_npp < d_npp)
+          | None ->
+              p
+                "      { \"cells\": %d, \"sparse_ns\": %.0f, \
+                 \"sparse_pivots\": %d, \"sparse_ns_per_pivot\": %.1f, \
+                 \"dense_ns\": null, \"dense_pivots\": null, \
+                 \"dense_ns_per_pivot\": null, \
+                 \"sparse_beats_dense_per_pivot\": null }"
+                f.f8_cells f.f8_sparse_ns f.f8_sparse_pivots s_npp);
+          p "%s\n" (if i = nf - 1 then "" else ","))
+        fig8;
+      p "    ]\n";
+      p "  },\n";
       p "  \"phase_totals_ns\": {\n";
       let np = List.length phase_totals in
       List.iteri
@@ -341,7 +516,26 @@ let write_baseline ~queries ~rows path =
   if not fdd_matches then begin
     Printf.eprintf "FATAL: fdd decomposition disagrees with dfs-rewrite\n";
     exit 1
-  end
+  end;
+  (* the rework's reason to exist: pivot-weighted time must favor the
+     revised simplex at every size the dense tableau can still handle *)
+  List.iter
+    (fun f ->
+      match f.f8_dense with
+      | None -> ()
+      | Some (d_ns, d_piv) ->
+          let s_npp =
+            f.f8_sparse_ns /. float_of_int (max 1 f.f8_sparse_pivots)
+          in
+          let d_npp = d_ns /. float_of_int (max 1 d_piv) in
+          if s_npp >= d_npp then begin
+            Printf.eprintf
+              "FATAL: fig8 %d cells: revised simplex %.1f ns/pivot is not \
+               under dense %.1f ns/pivot\n"
+              f.f8_cells s_npp d_npp;
+            exit 1
+          end)
+    fig8
 
 (* ------------------------------------------------------------------ *)
 (* Closed-loop server load generator (BENCH_serve.json)                *)
@@ -354,6 +548,8 @@ let write_baseline ~queries ~rows path =
    convention. Schema documented in DESIGN.md, "Serving, admission
    control & fault injection". *)
 let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
+  guard_schema ~writes:serve_schema_version path;
+  Printf.printf "writing %s (schema v%d)\n%!" path serve_schema_version;
   let module S = Pc_server.Server in
   let module C = Pc_server.Client in
   let module J = Pc_obs.Json in
@@ -596,7 +792,7 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
       let p fmt = Printf.fprintf oc fmt in
       p "{\n";
       p "  \"benchmark\": \"BENCH_serve\",\n";
-      p "  \"schema_version\": 3,\n";
+      p "  \"schema_version\": %d,\n" serve_schema_version;
       p "  \"config\": { \"clients\": %d, \"requests_per_client\": %d, \"think_ms\": %.1f, \"max_inflight\": %d },\n"
         clients requests think_ms max_inflight;
       p "  \"total_requests_per_phase\": %d,\n" (clients * requests);

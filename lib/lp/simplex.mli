@@ -1,28 +1,36 @@
-(** Dense bounded-variable primal simplex over floats, with a dual-simplex
-    warm start.
+(** Sparse revised bounded-variable primal simplex over floats, with a
+    factorized basis and a dual-simplex warm start.
 
     Solves [max/min c^T x] subject to linear constraints and box bounds
     [lo_j <= x_j <= hi_j]; the implicit domain is [x >= 0], so per-variable
     bounds from {!problem.var_bounds} are intersected with [[0, +inf)].
     Phase 1 finds a basic feasible solution with artificial variables;
-    phase 2 optimizes the real objective. Pricing is Dantzig's rule with a
-    switch to Bland's rule after a stall, which guarantees termination.
-    Nonbasic variables rest at either bound, and a pivot can be a pure
-    bound flip, so box constraints cost no tableau rows.
+    phase 2 optimizes the real objective. Nonbasic variables rest at
+    either bound, and a pivot can be a pure bound flip, so box constraints
+    cost no tableau rows.
+
+    Internally the problem columns are stored CSC and the basis inverse is
+    a product-form eta file: each exchange appends one eta, and after
+    {!refactor_interval} appended etas the file is rebuilt from the basis
+    columns (which also recomputes the basic values, washing out float
+    drift). FTRAN/BTRAN run over Bigarray-backed work vectors
+    ({!Pc_util.Fvec}). Pricing is devex over a maintained candidate list,
+    with a switch to Bland's rule after a stall, which guarantees
+    termination. The pre-rework dense tableau survives as
+    {!Dense_tableau}, the oracle the rewrite is property-tested against
+    (see DESIGN.md, "Sparse revised simplex & basis factorization").
 
     {!solve_snapshot} additionally returns an opaque basis {!snapshot};
-    {!solve_from} restores such a snapshot under {e different} variable
-    bounds, repairs dual feasibility, and re-optimizes with dual-simplex
-    pivots — the hot path for branch-and-bound, where a child differs from
-    its parent by a single tightened bound. The warm path falls back to a
-    cold solve on any numeric trouble (singular basis, unrepairable
-    statuses, pivot-cap overrun, failed self-check): soundness is never
-    entrusted to the warm start alone.
+    {!solve_from} refactorizes such a snapshot's basis under {e different}
+    variable bounds, repairs dual feasibility, and re-optimizes with
+    dual-simplex pivots — the hot path for branch-and-bound, where a child
+    differs from its parent by a single tightened bound. The warm path
+    falls back to a cold solve on any numeric trouble (singular basis,
+    unrepairable statuses, pivot-cap overrun, failed self-check):
+    soundness is never entrusted to the warm start alone.
 
     Tolerances come from {!Pc_util.Float_eps}; this is a float code and its
-    answers are exact only up to those tolerances (see DESIGN.md). Problem
-    sizes in this library are at most a few thousand variables/constraints,
-    well within dense-tableau territory.
+    answers are exact only up to those tolerances (see DESIGN.md).
 
     The solver never raises on resource pressure: hitting the iteration
     cap, a budget limit, or a failed post-solve self-check yields a
@@ -79,8 +87,14 @@ type outcome =
 type snapshot
 (** Compact basis snapshot: the final basic column set, the at-upper flags
     of the nonbasic columns, and the artificial column signs — everything
-    needed to rebuild the tableau under new bounds. Constant-size per
-    problem shape; holds no tableau rows. *)
+    needed to refactorize the basis under new bounds. Constant-size per
+    problem shape; holds no factorization state. *)
+
+val refactor_interval : int
+(** Appended-eta budget between refactorizations: once a factorization has
+    accumulated this many eta updates since it was last rebuilt, the next
+    pivot triggers a rebuild (counted in [lp.refactorizations]). Exposed
+    so tests can construct solves guaranteed to cross the threshold. *)
 
 val solve : ?budget:Pc_budget.Budget.t -> problem -> outcome
 (** Cold two-phase solve. Raises [Invalid_argument] on malformed input

@@ -1,0 +1,78 @@
+type ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  data : ba;
+  pat : int array;  (* touched indices, first [npat] live *)
+  mutable npat : int;
+  mark : Bytes.t;  (* one byte per index: '\001' iff in [pat] *)
+}
+
+let create n =
+  let data = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill data 0.;
+  { data; pat = Array.make (Stdlib.max 1 n) 0; npat = 0; mark = Bytes.make (Stdlib.max 1 n) '\000' }
+
+let length t = Bigarray.Array1.dim t.data
+
+let get t i = Bigarray.Array1.get t.data i
+let uget t i = Bigarray.Array1.unsafe_get t.data i
+
+let mark t i =
+  if Bytes.unsafe_get t.mark i = '\000' then begin
+    Bytes.unsafe_set t.mark i '\001';
+    Array.unsafe_set t.pat t.npat i;
+    t.npat <- t.npat + 1
+  end
+
+let set t i v =
+  Bigarray.Array1.set t.data i v;
+  mark t i
+
+let uset t i v =
+  Bigarray.Array1.unsafe_set t.data i v;
+  mark t i
+
+let add t i v =
+  Bigarray.Array1.unsafe_set t.data i (Bigarray.Array1.unsafe_get t.data i +. v);
+  mark t i
+
+let clear t =
+  for k = 0 to t.npat - 1 do
+    let i = Array.unsafe_get t.pat k in
+    Bigarray.Array1.unsafe_set t.data i 0.;
+    Bytes.unsafe_set t.mark i '\000'
+  done;
+  t.npat <- 0
+
+let fill_all t v = Bigarray.Array1.fill t.data v
+
+let pattern_size t = t.npat
+
+let iter_nz t f =
+  for k = 0 to t.npat - 1 do
+    let i = Array.unsafe_get t.pat k in
+    f i (Bigarray.Array1.unsafe_get t.data i)
+  done
+
+let fold_nz t ~init ~f =
+  let acc = ref init in
+  for k = 0 to t.npat - 1 do
+    let i = Array.unsafe_get t.pat k in
+    acc := f !acc i (Bigarray.Array1.unsafe_get t.data i)
+  done;
+  !acc
+
+let dot_sparse t ~idx ~vals ~lo ~hi =
+  let acc = ref 0. in
+  for k = lo to hi - 1 do
+    acc :=
+      !acc
+      +. Array.unsafe_get vals k
+         *. Bigarray.Array1.unsafe_get t.data (Array.unsafe_get idx k)
+  done;
+  !acc
+
+let scatter t ~idx ~vals ~lo ~hi =
+  for k = lo to hi - 1 do
+    add t (Array.unsafe_get idx k) (Array.unsafe_get vals k)
+  done

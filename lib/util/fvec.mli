@@ -1,0 +1,61 @@
+(** Bigarray-backed dense float work vectors with sparse-pattern tracking.
+
+    The revised simplex ({!Pc_lp.Simplex}) solves triangular/eta systems
+    into dense length-[m] scratch vectors whose nonzero support is
+    usually a small fraction of [m]. This module keeps the dense array in
+    an unboxed [Bigarray.Array1] (no per-element boxing, contiguous C
+    layout) and tracks the set of touched indices beside it, so
+
+    - scatter / FTRAN / ratio-test passes iterate only the support, and
+    - {!clear} resets in O(touched), not O(m).
+
+    Pattern tracking is write-based: an index counts as touched once it
+    has been written, even if cancellation later leaves an exact [0.]
+    there. Iterating such an entry is harmless for every kernel use
+    (multiplying by zero), so no cleanup pass is spent on it.
+
+    The [u*] accessors skip bounds checks; callers own index validity.
+    None of this module is thread-safe — one vector per solver state. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero vector of length [n] with empty pattern. *)
+
+val length : t -> int
+
+val get : t -> int -> float
+val uget : t -> int -> float
+
+val set : t -> int -> float -> unit
+(** Write and mark the index as touched. *)
+
+val uset : t -> int -> float -> unit
+(** Unchecked {!set}; still marks. *)
+
+val add : t -> int -> float -> unit
+(** [add t i v] is [set t i (get t i +. v)] in one marked write. *)
+
+val clear : t -> unit
+(** Zero every touched entry and empty the pattern — O(touched). *)
+
+val fill_all : t -> float -> unit
+(** Dense fill of every entry, marking nothing: for uses that treat the
+    vector as plain dense storage (e.g. the BTRAN pricing vector). Pair
+    with {!fill_all} [t 0.] to reset, not {!clear}. *)
+
+val pattern_size : t -> int
+
+val iter_nz : t -> (int -> float -> unit) -> unit
+(** Iterate the touched entries (index, value), in touch order. Entries
+    cancelled to exact [0.] may be included. *)
+
+val fold_nz : t -> init:'a -> f:('a -> int -> float -> 'a) -> 'a
+
+val dot_sparse : t -> idx:int array -> vals:float array -> lo:int -> hi:int -> float
+(** [dot_sparse t ~idx ~vals ~lo ~hi] is [Σ vals.(k) *. t.(idx.(k))] for
+    [k] in [[lo, hi)]: one sparse-column · dense-vector kernel, the inner
+    loop of pricing and of BTRAN row dots. Unchecked indices. *)
+
+val scatter : t -> idx:int array -> vals:float array -> lo:int -> hi:int -> unit
+(** Add a sparse column into the vector, marking its indices. *)

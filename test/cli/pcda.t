@@ -173,9 +173,13 @@ here so that adding or renaming a counter shows up in review:
   fdd.compiles
   fdd.nodes
   lp.bland_activations
+  lp.btran_ns
   lp.dual_pivots
+  lp.eta_len
+  lp.ftran_ns
   lp.phase1_pivots
   lp.pivots
+  lp.refactorizations
   lp.solves
   lp.warm_fallbacks
   lp.warm_starts

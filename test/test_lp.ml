@@ -444,6 +444,136 @@ let test_solve_from_shape_fallback () =
   | _ -> Alcotest.fail "expected Optimal via fallback");
   Alcotest.(check bool) "fallback was counted" true (C.get fb > before)
 
+(* --- dense-tableau oracle: the revised simplex and the pre-rework dense
+   implementation are independent codebases sharing only the problem
+   types; random bounded LPs — including degenerate bases from duplicated
+   rows, near-singular bases from eps-perturbed row copies, and chain
+   instances long enough to force mid-solve refactorizations — must get
+   the same verdict from both, and the same optimum when Optimal. --- *)
+
+let random_oracle_problem rng =
+  let module R = Pc_util.Rng in
+  if R.int rng 8 = 0 then begin
+    (* chain of equality rows, more than [refactor_interval] of them:
+       phase 1 performs one basis exchange per row, so the eta file is
+       guaranteed to cross the refactorization threshold mid-solve *)
+    let m = S.refactor_interval + 8 + R.int rng 24 in
+    let n_vars = m + 1 in
+    let constraints =
+      List.init m (fun i ->
+          S.c_eq
+            [ (i, 1.); (i + 1, float_of_int (1 + R.int rng 2)) ]
+            (float_of_int (2 + R.int rng 5)))
+    in
+    {
+      S.n_vars;
+      maximize = true;
+      objective = List.init n_vars (fun j -> (j, float_of_int (R.int rng 3)));
+      constraints;
+      var_bounds = List.init n_vars (fun j -> (j, 0., 10.));
+    }
+  end
+  else begin
+    let n_vars = 2 + R.int rng 4 in
+    let n_cons = 1 + R.int rng 5 in
+    let sparse_row () =
+      List.init n_vars (fun j -> (j, float_of_int (R.int rng 9 - 3)))
+      |> List.filter (fun (_, c) -> c <> 0.)
+    in
+    let base =
+      List.init n_cons (fun _ ->
+          let coeffs = sparse_row () in
+          let rhs = float_of_int (R.int rng 25 - 5) in
+          match R.int rng 4 with
+          | 0 -> S.c_ge coeffs rhs
+          | 1 -> S.c_eq coeffs rhs
+          | _ -> S.c_le coeffs rhs)
+    in
+    let constraints =
+      match (base, R.int rng 3) with
+      | c :: _, 0 ->
+          (* exact duplicate row: degenerate vertices, ratio-test ties *)
+          base @ [ c ]
+      | c :: _, 1 ->
+          (* near-copy: almost linearly dependent rows, so a basis
+             holding both is near-singular — the refactorization
+             pivot-magnitude guard's territory *)
+          let nudged =
+            {
+              c with
+              S.coeffs = List.map (fun (j, v) -> (j, v +. 1e-9)) c.S.coeffs;
+              rhs = c.S.rhs +. 1e-9;
+            }
+          in
+          base @ [ nudged ]
+      | _ -> base
+    in
+    {
+      S.n_vars;
+      maximize = R.int rng 2 = 0;
+      objective = sparse_row ();
+      (* boxed on both sides: bound flips on both solvers, no Unbounded *)
+      var_bounds = List.init n_vars (fun j -> (j, 0., float_of_int (3 + R.int rng 8)));
+      constraints;
+    }
+  end
+
+let prop_oracle_dense_vs_sparse =
+  QCheck.Test.make
+    ~name:"revised simplex agrees with the dense-tableau oracle" ~count:300
+    QCheck.small_int (fun seed ->
+      let rng = Pc_util.Rng.create seed in
+      let p = random_oracle_problem rng in
+      match (S.solve p, Dense_tableau.solve p) with
+      | S.Optimal a, S.Optimal b ->
+          Float.abs (a.S.objective_value -. b.S.objective_value)
+          <= 1e-5 *. Float.max 1. (Float.abs b.S.objective_value)
+      | S.Infeasible, S.Infeasible -> true
+      | S.Unbounded, S.Unbounded -> true
+      (* either side declining to answer (numeric distrust, caps) is not
+         a disagreement — both solvers treat Stopped as "no verdict" *)
+      | S.Stopped _, _ | _, S.Stopped _ -> true
+      | _ -> false)
+
+(* --- factorization policy pin: a solve whose pivot count exceeds
+   [refactor_interval] must rebuild the eta file at least once beyond the
+   initial factorization, and the eta/refactorization counters must move.
+   Guards against the threshold check silently rotting (e.g. comparing
+   against total file length instead of growth since the last rebuild). --- *)
+
+let test_eta_refactorization () =
+  let module C = Pc_obs.Registry.Counter in
+  let refacts = C.make "lp.refactorizations" in
+  let etas = C.make "lp.eta_len" in
+  let pivots = C.make "lp.pivots" in
+  let r0 = C.get refacts and e0 = C.get etas and p0 = C.get pivots in
+  let n = (2 * S.refactor_interval) + 1 in
+  (* one equality row per variable: phase 1 must exchange an artificial
+     for a structural on every row — 2×interval+1 etas, two forced
+     rebuilds *)
+  let p =
+    {
+      S.n_vars = n;
+      maximize = true;
+      objective = List.init n (fun j -> (j, 1.));
+      constraints = List.init n (fun i -> S.c_eq [ (i, 1.) ] 1.);
+      var_bounds = [];
+    }
+  in
+  (match S.solve p with
+  | S.Optimal s -> check_float "chain optimum" (float_of_int n) s.S.objective_value
+  | _ -> Alcotest.fail "expected Optimal");
+  let dp = C.get pivots - p0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "pivots (%d) exceed refactor_interval (%d)" dp
+       S.refactor_interval)
+    true
+    (dp > S.refactor_interval);
+  Alcotest.(check bool) "eta entries were accounted" true (C.get etas > e0);
+  Alcotest.(check bool)
+    "eta growth triggered rebuilds beyond the initial factorization" true
+    (C.get refacts - r0 >= 2)
+
 (* --- budget integration: a crushed budget yields Stopped, never an
    exception, and phase-2 stops carry a primal best-so-far. --- *)
 
@@ -499,10 +629,12 @@ let () =
           tc "empty box infeasible" `Quick test_empty_box_infeasible;
           tc "solve_from matches cold" `Quick test_solve_from_matches_cold;
           tc "solve_from shape fallback" `Quick test_solve_from_shape_fallback;
+          tc "eta growth forces refactorization" `Quick test_eta_refactorization;
         ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_dominates_grid;
           QCheck_alcotest.to_alcotest prop_solution_self_check;
+          QCheck_alcotest.to_alcotest prop_oracle_dense_vs_sparse;
         ] );
     ]
