@@ -267,6 +267,120 @@ let micro_benchmarks () =
     (run_micro ())
 
 (* ------------------------------------------------------------------ *)
+(* Incremental rebound vs full recompute (streaming-ingestion micro)   *)
+(* ------------------------------------------------------------------ *)
+
+type incr_micro = {
+  im_pcs : int;
+  im_cells : int;
+  im_rebound_ns : float;
+  im_recompute_ns : float;
+  im_speedup : float;
+  im_agree : bool;
+}
+
+(* The ingestion hot loop in isolation: a 1-row append to a >=500-cell
+   overlapping dataset, re-bounded by the warm engine (dual-simplex
+   repair from the previous basis, pure bound changes) versus the full
+   path (FDD decomposition + cold LP) on the equivalent residual set.
+   The append/retract alternation keeps the consumption vector
+   stationary across timing iterations. *)
+let incremental_micro () =
+  let n = 300 in
+  let set = overlapping_set_n n in
+  let fdd =
+    Pc_predicate.Fdd.compile
+      (Array.of_list
+         (List.map
+            (fun (pc : Pc_core.Pc.t) -> pc.Pc_core.Pc.pred)
+            (Pc_core.Pc_set.pcs set)))
+  in
+  let query = Pc_query.Query.sum "v" in
+  let eng =
+    match Pc_core.Incremental.create ~fdd set query with
+    | Some e -> e
+    | None ->
+        Printf.eprintf "FATAL: incremental engine out of scope on its micro\n";
+        exit 1
+  in
+  let cells = Pc_core.Incremental.n_cells eng in
+  let consumed = Array.make n 0 in
+  (* prime the basis: the engine's first rebound is its cold solve *)
+  ignore (Pc_core.Incremental.rebound eng ~consumed);
+  (* the appended row's active set: any inhabited cell's PC cover *)
+  let actives =
+    match List.find_opt (fun ids -> ids <> []) (Pc_predicate.Fdd.cells fdd) with
+    | Some ids -> ids
+    | None ->
+        Printf.eprintf "FATAL: ingest micro found no covered cell\n";
+        exit 1
+  in
+  let iters = 20 in
+  let warm_answers = ref [] in
+  let t_warm = ref 0. in
+  for i = 1 to iters do
+    let v = if i mod 2 = 1 then 1 else 0 in
+    List.iter (fun j -> consumed.(j) <- v) actives;
+    let t0 = Clock.now () in
+    (match Pc_core.Incremental.rebound eng ~consumed with
+    | Some a ->
+        t_warm := !t_warm +. Clock.elapsed_s ~since:t0;
+        warm_answers := a :: !warm_answers
+    | None ->
+        Printf.eprintf "FATAL: incremental rebound starved on its micro\n";
+        exit 1)
+  done;
+  let residual v =
+    Pc_core.Pc_set.make
+      (List.mapi
+         (fun j (pc : Pc_core.Pc.t) ->
+           if v = 1 && List.mem j actives then
+             Pc_core.Pc.make ~name:pc.Pc_core.Pc.name ~pred:pc.Pc_core.Pc.pred
+               ~values:pc.Pc_core.Pc.values
+               ~freq:
+                 (max 0 (pc.Pc_core.Pc.freq_lo - 1), max 0 (pc.Pc_core.Pc.freq_hi - 1))
+               ()
+           else pc)
+         (Pc_core.Pc_set.pcs set))
+  in
+  let opts =
+    { Pc_core.Bounds.default_opts with Pc_core.Bounds.strategy = Pc_core.Cells.Fdd }
+  in
+  let cold_answers = ref [] in
+  let t_cold = ref 0. in
+  for i = 1 to iters do
+    let v = if i mod 2 = 1 then 1 else 0 in
+    let rset = residual v in
+    let t0 = Clock.now () in
+    let o = Pc_core.Bounds.bound_budgeted ~opts ~fdd rset query in
+    t_cold := !t_cold +. Clock.elapsed_s ~since:t0;
+    cold_answers := o.Pc_core.Bounds.answer :: !cold_answers
+  done;
+  let close a b =
+    Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+  in
+  let agree =
+    List.for_all2
+      (fun w c ->
+        match (w, c) with
+        | Pc_core.Bounds.Range rw, Pc_core.Bounds.Range rc ->
+            close rw.Pc_core.Range.lo rc.Pc_core.Range.lo
+            && close rw.Pc_core.Range.hi rc.Pc_core.Range.hi
+        | a, b -> a = b)
+      !warm_answers !cold_answers
+  in
+  let rebound_ns = !t_warm /. float_of_int iters *. 1e9 in
+  let recompute_ns = !t_cold /. float_of_int iters *. 1e9 in
+  {
+    im_pcs = n;
+    im_cells = cells;
+    im_rebound_ns = rebound_ns;
+    im_recompute_ns = recompute_ns;
+    im_speedup = recompute_ns /. Float.max 1e-9 rebound_ns;
+    im_agree = agree;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable baseline (BENCH_decompose.json)                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -302,8 +416,8 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let decompose_schema_version = 5
-let serve_schema_version = 3
+let decompose_schema_version = 6
+let serve_schema_version = 4
 
 (* The "schema_version" an existing baseline file carries, or None when
    the file is missing/unreadable/unversioned. A cheap textual scan, not
@@ -409,6 +523,9 @@ let write_baseline ~queries ~rows path =
   let fig8 =
     List.map (fun (cells, with_dense) -> fig8_run ~cells ~with_dense) fig8_sizes
   in
+  Printf.printf
+    "measuring incremental rebound vs full recompute (ingest micro)...\n%!";
+  let im = incremental_micro () in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -486,6 +603,15 @@ let write_baseline ~queries ~rows path =
         fig8;
       p "    ]\n";
       p "  },\n";
+      (* schema v6: the streaming-ingestion micro — a 1-row append
+         re-bounded by the warm engine versus a full recompute of the
+         equivalent residual set, on a >=500-cell overlapping dataset *)
+      p
+        "  \"incremental_rebound\": { \"pcs\": %d, \"cells\": %d, \
+         \"rebound_ns\": %.0f, \"recompute_ns\": %.0f, \"speedup\": %.2f, \
+         \"answers_agree\": %b },\n"
+        im.im_pcs im.im_cells im.im_rebound_ns im.im_recompute_ns
+        im.im_speedup im.im_agree;
       p "  \"phase_totals_ns\": {\n";
       let np = List.length phase_totals in
       List.iteri
@@ -515,6 +641,24 @@ let write_baseline ~queries ~rows path =
   end;
   if not fdd_matches then begin
     Printf.eprintf "FATAL: fdd decomposition disagrees with dfs-rewrite\n";
+    exit 1
+  end;
+  (* the ingestion tentpole's reason to exist: a 1-row append must
+     re-bound at least 5x faster than the full recompute, on a dataset
+     big enough (>=500 cells) for the comparison to mean anything *)
+  if im.im_cells < 500 then begin
+    Printf.eprintf "FATAL: ingest micro ran on %d cells (< 500)\n" im.im_cells;
+    exit 1
+  end;
+  if not im.im_agree then begin
+    Printf.eprintf
+      "FATAL: incremental rebound disagrees with the full recompute\n";
+    exit 1
+  end;
+  if im.im_speedup < 5. then begin
+    Printf.eprintf
+      "FATAL: incremental rebound speedup %.2fx is under the 5x floor\n"
+      im.im_speedup;
     exit 1
   end;
   (* the rework's reason to exist: pivot-weighted time must favor the
@@ -781,8 +925,166 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
       bdeg degraded_frac bhit client_hit_rate;
     p "  }"
   in
+  (* The ingest phase: clients run selective bound queries while an
+     ingester thread appends batches that only touch the low-device
+     region. Delta-scoped invalidation must keep the untouched queries'
+     cached replies alive — the phase fails if no hit lands while
+     batches are streaming in. *)
+  let c_incr = Counter.make "ingest.incremental_bounds" in
+  let drive_ingest ~batches ~rows_per_batch =
+    Printf.printf
+      "driving in-process server (ingest): %d clients x %d requests + %d \
+       append batches x %d rows...\n%!"
+      clients requests batches rows_per_batch;
+    let hits0 = Counter.get c_hits and misses0 = Counter.get c_misses in
+    let incr0 = Counter.get c_incr in
+    let srv =
+      S.create
+        {
+          S.default_config with
+          S.policy = Pc_server.Admission.policy ~max_inflight ();
+          cache = true;
+        }
+    in
+    (match S.load_dataset srv ~name:"default" ~constraints:text () with
+    | Ok _ -> ()
+    | Error e ->
+        Printf.eprintf "FATAL: constraint preload failed: %s\n" e;
+        exit 1);
+    let th = Thread.create S.run srv in
+    let port = S.port srv in
+    (* two query families: the >= ones never see an appended row or a
+       touched PC (they survive every batch); the <= ones are evicted by
+       each batch and recomputed *)
+    let iqueries =
+      [|
+        "SELECT COUNT(*) WHERE device >= 30";
+        "SELECT SUM(light) WHERE device >= 30";
+        "SELECT COUNT(*) WHERE device >= 40";
+        "SELECT SUM(light) WHERE device >= 40";
+        "SELECT COUNT(*) WHERE device <= 5";
+        "SELECT SUM(light) WHERE device <= 5";
+      |]
+    in
+    let lat_ns = Array.make (clients * requests) nan in
+    let errors = Atomic.make 0 in
+    let ingest_errors = Atomic.make 0 in
+    let evicted = Atomic.make 0 in
+    let appended = Atomic.make 0 in
+    let ingest_wall = ref 0. in
+    let t0 = Clock.now () in
+    let ingester =
+      Thread.create
+        (fun () ->
+          let c = C.connect ~host:"127.0.0.1" ~port in
+          let ti0 = Clock.now () in
+          for b = 0 to batches - 1 do
+            let buf = Buffer.create 512 in
+            Buffer.add_string buf "device,time,light\n";
+            for r = 0 to rows_per_batch - 1 do
+              Buffer.add_string buf
+                (Printf.sprintf "%d,%d.0,%d.0\n"
+                   ((b + r) mod 6)
+                   ((b * 1000) + r)
+                   (50 + r))
+            done;
+            let line =
+              J.to_string
+                (J.Obj
+                   [
+                     ("op", J.Str "append");
+                     ("csv", J.Str (Buffer.contents buf));
+                   ])
+            in
+            (match C.request c line with
+            | Some reply -> (
+                match J.parse reply with
+                | Ok v when J.member "ok" v = Some (J.Bool true) ->
+                    ignore (Atomic.fetch_and_add appended rows_per_batch);
+                    ignore
+                      (Atomic.fetch_and_add evicted
+                         (int_of_float (jnum v [ "cache_evicted" ])))
+                | Ok _ | Error _ -> Atomic.incr ingest_errors)
+            | None -> Atomic.incr ingest_errors);
+            Thread.delay 0.005
+          done;
+          ingest_wall := Clock.elapsed_s ~since:ti0;
+          C.close c)
+        ()
+    in
+    let worker w =
+      Thread.create
+        (fun () ->
+          let c = C.connect ~host:"127.0.0.1" ~port in
+          for i = 0 to requests - 1 do
+            let q = iqueries.((w + i) mod Array.length iqueries) in
+            let line = Printf.sprintf {|{"op":"bound","query":"%s"}|} q in
+            let r0 = Clock.now_ns () in
+            (match C.request c line with
+            | Some reply -> (
+                lat_ns.((w * requests) + i) <-
+                  Int64.to_float (Int64.sub (Clock.now_ns ()) r0);
+                match J.parse reply with
+                | Ok v -> (
+                    match J.member "ok" v with
+                    | Some (J.Bool true) -> ()
+                    | _ -> Atomic.incr errors)
+                | Error _ -> Atomic.incr errors)
+            | None -> Atomic.incr errors);
+            if think_ms > 0. then Thread.delay (think_ms /. 1e3)
+          done;
+          C.close c)
+        ()
+    in
+    let threads = List.init clients worker in
+    List.iter Thread.join threads;
+    Thread.join ingester;
+    let wall = Clock.elapsed_s ~since:t0 in
+    S.initiate_drain srv;
+    Thread.join th;
+    let completed =
+      Array.to_list lat_ns |> List.filter (fun x -> not (Float.is_nan x))
+    in
+    let sorted = Array.of_list (List.sort compare completed) in
+    let n = Array.length sorted in
+    if n = 0 then begin
+      Printf.eprintf "FATAL: no request completed in the ingest phase\n";
+      exit 1
+    end;
+    if Atomic.get errors > 0 then begin
+      Printf.eprintf "FATAL: %d bound requests failed during ingest\n"
+        (Atomic.get errors);
+      exit 1
+    end;
+    if Atomic.get ingest_errors > 0 then begin
+      Printf.eprintf "FATAL: %d append batches failed\n"
+        (Atomic.get ingest_errors);
+      exit 1
+    end;
+    let hits = Counter.get c_hits - hits0 in
+    if hits = 0 then begin
+      Printf.eprintf
+        "FATAL: zero cache hits across append batches — delta-scoped \
+         invalidation is evicting everything\n";
+      exit 1
+    end;
+    let pct q = sorted.(min (n - 1) (int_of_float (q *. float_of_int n))) in
+    ( wall,
+      n,
+      float_of_int n /. Float.max 1e-9 wall,
+      pct 0.50,
+      pct 0.99,
+      hits,
+      Counter.get c_misses - misses0,
+      Atomic.get appended,
+      !ingest_wall,
+      Atomic.get evicted,
+      Counter.get c_incr - incr0 )
+  in
   let nocache = drive ~cache:false in
   let cached = drive ~cache:true in
+  let ingest_batches = 12 and ingest_rows_per_batch = 25 in
+  let ingest = drive_ingest ~batches:ingest_batches ~rows_per_batch:ingest_rows_per_batch in
   let qps_of (_, _, q, _, _, _, _, _, _) = q in
   let hits_of (_, _, _, _, _, _, h, _, _) = h in
   let oc = open_out path in
@@ -800,6 +1102,39 @@ let serve_baseline ~clients ~requests ~think_ms ~max_inflight path =
       p ",\n";
       phase_json oc "cached" cached;
       p ",\n";
+      (* schema v4: the streaming-ingestion phase — append batches
+         interleaved with selective bound queries; the hit counters
+         prove delta-scoped invalidation kept untouched replies alive *)
+      let ( i_wall,
+            i_n,
+            i_qps,
+            i_p50,
+            i_p99,
+            i_hits,
+            i_misses,
+            i_rows,
+            i_iwall,
+            i_evicted,
+            i_incr ) =
+        ingest
+      in
+      p "  \"ingest\": {\n";
+      p "    \"completed\": %d,\n" i_n;
+      p "    \"errors\": 0,\n";
+      p "    \"wall_s\": %.4f,\n" i_wall;
+      p "    \"qps\": %.1f,\n" i_qps;
+      p "    \"p50_ns\": %.0f,\n" i_p50;
+      p "    \"p99_ns\": %.0f,\n" i_p99;
+      p "    \"cache_hits\": %d,\n" i_hits;
+      p "    \"cache_misses\": %d,\n" i_misses;
+      p "    \"batches\": %d,\n" ingest_batches;
+      p "    \"rows\": %d,\n" i_rows;
+      p "    \"ingest_wall_s\": %.4f,\n" i_iwall;
+      p "    \"rows_per_s\": %.1f,\n"
+        (float_of_int i_rows /. Float.max 1e-9 i_iwall);
+      p "    \"cache_evicted\": %d,\n" i_evicted;
+      p "    \"incremental_bounds\": %d\n" i_incr;
+      p "  },\n";
       p "  \"qps_speedup_cached_over_nocache\": %.2f\n"
         (qps_of cached /. Float.max 1e-9 (qps_of nocache));
       p "}\n");

@@ -703,7 +703,8 @@ let serve_cmd =
   in
   let doc =
     "Serve bound queries over a line-oriented JSON protocol (ops: ping, \
-     load, bound, stats, telemetry, shutdown; one object per line). \
+     load, bound, append, retract, stats, telemetry, shutdown; one object \
+     per line). \
      Requests degrade under load per the admission policy and every reply \
      carries its provenance; the telemetry op serves live windowed SLOs, \
      a Prometheus exposition, and the flight recorder; SIGTERM/SIGINT \
@@ -754,6 +755,150 @@ let client_cmd =
      one reply line each."
   in
   Cmd.v (Cmd.info "client" ~doc) Term.(ret (const run $ host_arg $ port_arg))
+
+(* ---- ingest ---- *)
+
+let ingest_cmd =
+  let module J = Pc_obs.Json in
+  let port_arg =
+    let doc = "Server port." in
+    Arg.(required & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+  in
+  let dataset_arg =
+    let doc = "Target dataset name on the server." in
+    Arg.(value & opt string "default" & info [ "dataset" ] ~docv:"NAME" ~doc)
+  in
+  let batch_rows_arg =
+    let doc = "Rows per append batch (the CSV is replayed in chunks)." in
+    Arg.(value & opt int 256 & info [ "batch-rows" ] ~docv:"N" ~doc)
+  in
+  let retract_arg =
+    let doc = "Retract this batch id instead of appending (no --csv needed)." in
+    Arg.(value & opt (some int) None & info [ "retract" ] ~docv:"ID" ~doc)
+  in
+  let jfield v name =
+    Option.value (Option.bind (J.member name v) J.to_num) ~default:0.
+  in
+  let one_request c line =
+    match Pc_server.Client.request c line with
+    | None -> Error "connection closed by server"
+    | Some reply -> (
+        match J.parse reply with
+        | Error msg -> Error ("bad reply: " ^ msg)
+        | Ok v -> (
+            match J.member "ok" v with
+            | Some (J.Bool true) -> Ok v
+            | _ -> Error ("server refused: " ^ reply)))
+  in
+  let run host port dataset csv batch_rows retract =
+    with_errors (fun () ->
+        let ( let* ) = Result.bind in
+        let* c =
+          try Ok (Pc_server.Client.connect ~host ~port)
+          with Unix.Unix_error (e, _, _) ->
+            Error
+              (Printf.sprintf "cannot connect to %s:%d: %s" host port
+                 (Unix.error_message e))
+        in
+        let result =
+          match retract with
+          | Some batch_id ->
+              let* v =
+                one_request c
+                  (J.to_string
+                     (J.Obj
+                        [
+                          ("op", J.Str "retract");
+                          ("dataset", J.Str dataset);
+                          ("batch", J.Num (float_of_int batch_id));
+                        ]))
+              in
+              Printf.printf
+                "retracted batch %d: %.0f rows restored, version %.0f, %.0f \
+                 cached replies evicted\n"
+                batch_id (jfield v "rows") (jfield v "version")
+                (jfield v "cache_evicted");
+              Ok ()
+          | None ->
+              let* path =
+                match csv with
+                | Some p -> Ok p
+                | None -> Error "ingest: --csv is required unless --retract"
+              in
+              let* text = try Ok (read_file path) with Failure m -> Error m in
+              let* batch_rows =
+                if batch_rows >= 1 then Ok batch_rows
+                else Error "ingest: --batch-rows must be at least 1"
+              in
+              (* chunk on raw lines under the shared header; rows with
+                 quoted embedded newlines are not supported here *)
+              let lines =
+                String.split_on_char '\n' text
+                |> List.filter (fun l -> String.trim l <> "")
+              in
+              let* header, rows =
+                match lines with
+                | [] -> Error "ingest: empty CSV"
+                | h :: rows -> Ok (h, rows)
+              in
+              let rec chunks acc = function
+                | [] -> List.rev acc
+                | rows ->
+                    let n = min batch_rows (List.length rows) in
+                    let chunk = List.filteri (fun i _ -> i < n) rows in
+                    let rest = List.filteri (fun i _ -> i >= n) rows in
+                    chunks (chunk :: acc) rest
+              in
+              let total = List.length rows in
+              let sent = ref 0 in
+              let* () =
+                List.fold_left
+                  (fun acc chunk ->
+                    let* () = acc in
+                    let body =
+                      String.concat "\n" (header :: chunk) ^ "\n"
+                    in
+                    let* v =
+                      one_request c
+                        (J.to_string
+                           (J.Obj
+                              [
+                                ("op", J.Str "append");
+                                ("dataset", J.Str dataset);
+                                ("csv", J.Str body);
+                              ]))
+                    in
+                    sent := !sent + List.length chunk;
+                    Printf.printf
+                      "batch %.0f: %.0f rows (%d/%d), version %.0f, %.0f \
+                       constraints touched, %.0f cached replies evicted\n%!"
+                      (jfield v "batch_id") (jfield v "rows") !sent total
+                      (jfield v "version")
+                      (match J.member "touched" v with
+                      | Some (J.Arr l) -> float_of_int (List.length l)
+                      | _ -> 0.)
+                      (jfield v "cache_evicted");
+                    Ok ())
+                  (Ok ()) (chunks [] rows)
+              in
+              Printf.printf "appended %d rows in %d batches\n" total
+                (List.length (chunks [] rows));
+              Ok ()
+        in
+        Pc_server.Client.close c;
+        result)
+  in
+  let doc =
+    "Stream a CSV into a running `pcda serve` as append batches (or \
+     retract one batch by id). Each batch routes its rows through the \
+     dataset's decision diagram, consumes missing-row budget, and evicts \
+     only the cached replies it can have changed."
+  in
+  Cmd.v (Cmd.info "ingest" ~doc)
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg $ dataset_arg $ csv_opt_arg
+       $ batch_rows_arg $ retract_arg))
 
 (* ---- top ---- *)
 
@@ -888,6 +1033,7 @@ let main_cmd =
       workload_cmd;
       serve_cmd;
       client_cmd;
+      ingest_cmd;
       top_cmd;
     ]
 

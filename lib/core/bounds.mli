@@ -129,3 +129,32 @@ val bound_with_certain :
 
 val can_be_empty : Pc_set.t -> Pc_query.Query.t -> bool
 (** No frequency lower bound forces a row into the query region. *)
+
+(** {2 Cell-level building blocks}
+
+    Exported for {!Incremental}, which rebuilds the same allocation LP
+    once and then maintains it across ingestion under pure variable-bound
+    changes. The semantics are exactly those the internal preparation
+    uses; see the implementation comments for the soundness notes. *)
+
+val effective_kl : Pc_predicate.Pred.t -> Pc.t -> int
+(** Frequency lower bound enforceable under query pushdown: a PC's
+    missing rows may hide outside the query region unless its predicate
+    is wholly contained in it (checked by SAT), so kl is only usable in
+    that case. *)
+
+val cell_value_interval :
+  tighten:bool ->
+  Pc_set.t ->
+  Pc_predicate.Pred.t ->
+  int list ->
+  string ->
+  Pc_interval.Interval.t option
+(** Value interval for rows of the cell [active] on one attribute (the
+    paper's U_i(a)/L_i(a)), optionally clipped by the predicate/query
+    box; [None] when no row can exist in the cell at all. *)
+
+val cell_inhabitable :
+  tighten:bool -> Pc_set.t -> Pc_predicate.Pred.t -> int list -> bool
+(** Can a row exist in this cell: every constrained attribute keeps a
+    non-empty value range. *)

@@ -1,0 +1,35 @@
+(** Columnar append batches: the unit of streaming ingestion.
+
+    A batch is a schema plus one value array per attribute (column-major
+    storage), validated on construction exactly like {!Relation.create}.
+    Batches are immutable from the outside and cheap to scan column-wise
+    (routing a batch through an FDD touches only the attributes the
+    diagram tests), while {!row}/{!iter} materialize row views for
+    per-tuple consumers. *)
+
+type t
+
+val of_rows : Schema.t -> Relation.tuple list -> t
+(** Validates every tuple against the schema (arity and kinds); raises
+    [Invalid_argument] on a mismatch, as {!Relation.create} does. *)
+
+val of_relation : Relation.t -> t
+
+val of_csv_string : ?schema:Schema.t -> string -> t
+(** Parses CSV text with a header row ({!Csv.read_string}); with
+    [schema] the columns are checked against it, otherwise kinds are
+    inferred. Raises [Failure] / [Invalid_argument] like the reader. *)
+
+val schema : t -> Schema.t
+
+val rows : t -> int
+
+val row : t -> int -> Relation.tuple
+(** Materializes row [i] as a fresh tuple (schema order). *)
+
+val iter : (Relation.tuple -> unit) -> t -> unit
+
+val column : t -> string -> Value.t array
+(** A defensive copy of one column. *)
+
+val to_relation : t -> Relation.t

@@ -380,6 +380,9 @@ let cells ?(query = Pred.tt) t =
       go t.root;
       List.sort dfs_order !leaves
 
+let active_pcs ?query t =
+  List.fold_left (fun acc ids -> union_ids acc ids) [] (cells ?query t)
+
 (* ---- Row routing ---------------------------------------------------- *)
 
 let route t schema row =

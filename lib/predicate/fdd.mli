@@ -29,10 +29,19 @@ val cells : ?query:Pred.t -> compiled -> int list list
     decomposer (positive branch first). [query] must be satisfiable per
     attribute or the result is [[]]. *)
 
+val active_pcs : ?query:Pred.t -> compiled -> int list
+(** Sorted union of the active sets of {!cells} under [query]: every
+    predicate index that appears in some reachable non-empty leaf. This
+    over-approximates the set of PCs whose frequency budget a bound for
+    [query] can depend on — the basis of the server cache's delta-scoped
+    invalidation (a batch consuming only PCs outside this set cannot
+    change the query's answer). *)
+
 val route : compiled -> Pc_data.Schema.t -> Pc_data.Relation.tuple -> int list
 (** Active set of the cell hosting the row: one O(attrs) walk instead
     of evaluating every predicate. Raises if a tested attribute is
-    absent from the schema or has the wrong kind. *)
+    absent from the schema or has the wrong kind. A row matching no
+    predicate lands on the open-universe leaf and yields [[]]. *)
 
 val n_preds : compiled -> int
 (** Size of the compiled predicate set. *)

@@ -3,22 +3,43 @@ module Pred = Pc_predicate.Pred
 module Q = Pc_query.Query
 
 (* Global counters (the --metrics face): one cache per dataset, one
-   counter pair per process — the hit rate is a server-level signal. *)
+   counter set per process — hit/eviction rates are server-level
+   signals. *)
 let c_hits = Counter.make "cache.hits"
 let c_misses = Counter.make "cache.misses"
+let c_evictions = Counter.make "cache.evictions"
+let c_invalidations = Counter.make "cache.invalidations"
+
+type meta = { pcs : int list; where_ : Pred.t; missing_only : bool }
+
+type entry = {
+  value : string;
+  bytes : int;  (* key + value, the footprint both caps account *)
+  stamp : int;
+  meta : meta option;
+}
 
 type t = {
   capacity : int;
-  tbl : (string, string) Hashtbl.t;
-  order : string Queue.t;  (* insertion order; FIFO eviction *)
+  capacity_bytes : int;
+  tbl : (string, entry) Hashtbl.t;
+  order : (string * int) Queue.t;
+      (* insertion order with stamps: an entry removed by [invalidate]
+         and later re-stored leaves a stale (key, old_stamp) pair behind,
+         which eviction recognizes and skips *)
+  mutable total_bytes : int;
+  mutable next_stamp : int;
   mu : Mutex.t;
 }
 
-let create ?(capacity = 1024) () =
+let create ?(capacity = 1024) ?(capacity_bytes = 64 * 1024 * 1024) () =
   {
     capacity = max 1 capacity;
+    capacity_bytes = max 1 capacity_bytes;
     tbl = Hashtbl.create 64;
     order = Queue.create ();
+    total_bytes = 0;
+    next_stamp = 0;
     mu = Mutex.create ();
   }
 
@@ -26,26 +47,93 @@ let find t key =
   Mutex.lock t.mu;
   let r = Hashtbl.find_opt t.tbl key in
   Mutex.unlock t.mu;
-  (match r with
-  | Some _ -> Counter.incr c_hits
-  | None -> Counter.incr c_misses);
-  r
+  match r with
+  | Some e ->
+      Counter.incr c_hits;
+      Some e.value
+  | None ->
+      Counter.incr c_misses;
+      None
 
-let store t key value =
+(* Drop the oldest live entries while either cap is exceeded. Must be
+   called with the lock held. *)
+let evict_over_caps t =
+  while
+    Hashtbl.length t.tbl > t.capacity || t.total_bytes > t.capacity_bytes
+  do
+    match Queue.take_opt t.order with
+    | None ->
+        (* caps exceeded with an empty queue cannot happen: every live
+           entry has a queue pair; bail rather than spin *)
+        t.total_bytes <- 0;
+        Hashtbl.reset t.tbl
+    | Some (key, stamp) -> (
+        match Hashtbl.find_opt t.tbl key with
+        | Some e when e.stamp = stamp ->
+            Hashtbl.remove t.tbl key;
+            t.total_bytes <- t.total_bytes - e.bytes;
+            Counter.incr c_evictions
+        | _ -> () (* stale pair from an invalidated entry *))
+  done
+
+let store t ?meta key value =
   Mutex.lock t.mu;
   if not (Hashtbl.mem t.tbl key) then begin
-    if Hashtbl.length t.tbl >= t.capacity then
-      (match Queue.take_opt t.order with
-      | Some oldest -> Hashtbl.remove t.tbl oldest
-      | None -> ());
-    Hashtbl.add t.tbl key value;
-    Queue.push key t.order
+    let bytes = String.length key + String.length value in
+    let stamp = t.next_stamp in
+    t.next_stamp <- stamp + 1;
+    Hashtbl.add t.tbl key { value; bytes; stamp; meta };
+    Queue.push (key, stamp) t.order;
+    t.total_bytes <- t.total_bytes + bytes;
+    evict_over_caps t
   end;
   Mutex.unlock t.mu
+
+(* Does the ingestion delta reach this entry? Missing side: consumption
+   of a reachable PC. Certain side: a batch row inside the entry's
+   selection. A predicate that cannot be evaluated against the batch
+   schema (attribute absent or mistyped) is treated as affected —
+   conservative eviction is always sound. *)
+let affected ~touched ~rows = function
+  | None -> true
+  | Some m ->
+      List.exists (fun j -> List.mem j m.pcs) touched
+      || (not m.missing_only)
+         && (match rows with
+            | None -> false
+            | Some (schema, tuples) ->
+                Array.exists
+                  (fun row ->
+                    try Pred.eval schema m.where_ row with
+                    | Not_found | Invalid_argument _ -> true)
+                  tuples)
+
+let invalidate t ~touched ~rows =
+  Mutex.lock t.mu;
+  let victims =
+    Hashtbl.fold
+      (fun key e acc ->
+        if affected ~touched ~rows e.meta then (key, e.bytes) :: acc else acc)
+      t.tbl []
+  in
+  List.iter
+    (fun (key, bytes) ->
+      Hashtbl.remove t.tbl key;
+      t.total_bytes <- t.total_bytes - bytes;
+      Counter.incr c_invalidations)
+    victims;
+  Mutex.unlock t.mu;
+  List.length victims
 
 let size t =
   Mutex.lock t.mu;
   let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.mu;
+  n
+
+let bytes t =
+  Mutex.lock t.mu;
+  let n = t.total_bytes in
   Mutex.unlock t.mu;
   n
 

@@ -6,24 +6,68 @@
     byte-identical to the reply the compute path would have produced —
     no re-serialization, no float-formatting drift. Only exact,
     fully-admitted replies are stored (degraded answers depend on the
-    budget race that produced them); the server allocates a fresh cache
-    per dataset load, so [load] naturally invalidates.
+    budget race that produced them). The server allocates a fresh cache
+    per dataset load, so [load] naturally invalidates; streaming
+    ingestion instead uses {!invalidate} for {e delta-scoped} eviction.
 
-    Thread-safe; bounded capacity with FIFO eviction. Hits and misses
-    feed the global [cache.hits] / [cache.misses] metrics counters. *)
+    Thread-safe; bounded by {e both} entry count and total byte size
+    with FIFO eviction (large replies can no longer pin unbounded
+    memory behind the entry cap). Hits and misses feed the global
+    [cache.hits] / [cache.misses] counters; capacity-driven evictions
+    feed [cache.evictions] and delta-scoped ones [cache.invalidations].
+
+    {2 Delta-scoped invalidation}
+
+    Each entry may carry {!meta}: the PC indices its query's FDD leaves
+    can reach and its selection predicate. An ingestion batch evicts an
+    entry iff it could have changed that entry's reply:
+
+    - {e missing side}: the batch consumed budget of a PC in the
+      entry's reachable set (consumption tightens every cell that PC
+      covers, reachable cells included);
+    - {e certain side}: some batch row satisfies the entry's selection
+      predicate (the certain aggregate shifts) — skipped for
+      [missing_only] entries, whose replies ignore the certain side.
+
+    An entry stored without metadata (no compiled diagram available) is
+    conservatively evicted by every batch. Batches touching neither
+    side leave the entry byte-valid: the residual constraint system
+    restricted to the entry's reachable cells and its certain selection
+    are both unchanged. *)
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** Default capacity 1024 entries. *)
+type meta = {
+  pcs : int list;
+      (** sorted PC indices reachable from the query's FDD leaves
+          ({!Pc_predicate.Fdd.active_pcs}) *)
+  where_ : Pc_predicate.Pred.t;
+  missing_only : bool;
+}
+
+val create : ?capacity:int -> ?capacity_bytes:int -> unit -> t
+(** Defaults: 1024 entries, 64 MiB of key+value bytes. *)
 
 val find : t -> string -> string option
 (** Counts a hit or a miss. *)
 
-val store : t -> string -> string -> unit
-(** Insert unless present; evicts the oldest entry at capacity. *)
+val store : t -> ?meta:meta -> string -> string -> unit
+(** Insert unless present; evicts oldest entries while either cap is
+    exceeded. *)
+
+val invalidate :
+  t ->
+  touched:int list ->
+  rows:(Pc_data.Schema.t * Pc_data.Relation.tuple array) option ->
+  int
+(** Evict every entry an ingestion delta could have affected: [touched]
+    are the PC indices whose consumption changed, [rows] the batch's
+    certain rows (for selection-predicate tests; [None] means no
+    certain-side change, as when the rows are unavailable the caller
+    should pass the batch rows). Returns the number of evictions. *)
 
 val size : t -> int
+val bytes : t -> int
 
 val digest_set : Pc_core.Pc_set.t -> csv:string option -> string
 (** Hex digest of the dataset's semantic content: canonical PC

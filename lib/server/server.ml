@@ -3,6 +3,8 @@ module Bounds = Pc_core.Bounds
 module J = Pc_obs.Json
 module Counter = Pc_obs.Registry.Counter
 module Fault = Pc_fault.Fault
+module Q = Pc_query.Query
+module Stream = Pc_store.Stream
 
 (* Global instruments (the [--metrics] face); per-instance counts for the
    [stats] op live on [t] so several servers in one test process don't
@@ -13,6 +15,14 @@ let c_degraded = Counter.make "server.degraded"
 let c_crushed = Counter.make "server.admission_crushed"
 let c_slo_crushed = Counter.make "server.slo_crushed"
 let h_request = Pc_obs.Registry.Histogram.make "server.request_ns"
+
+(* Streaming-ingestion instruments. *)
+let c_ingest_batches = Counter.make "ingest.batches"
+let c_ingest_rows = Counter.make "ingest.rows"
+let c_ingest_retracts = Counter.make "ingest.retracts"
+let c_ingest_evicted = Counter.make "ingest.cache_evicted"
+let c_incr_bounds = Counter.make "ingest.incremental_bounds"
+let h_ingest = Pc_obs.Registry.Histogram.make "ingest.ns"
 
 module W = Pc_obs.Window
 
@@ -48,15 +58,28 @@ let default_config =
   }
 
 type dataset = {
-  set : Pc_core.Pc_set.t;
-  certain : Pc_data.Relation.t option;
+  set : Pc_core.Pc_set.t;  (** the base (load-time) constraint set *)
   fdd : Pc_predicate.Fdd.compiled option;
       (** compiled once at load when the configured strategy is [Fdd] *)
   digest : string;  (** canonical content digest — the cache-key prefix *)
   cache : Cache.t;
-      (** per-dataset reply cache; replaced wholesale on re-[load], which
-          is what invalidates stale entries *)
+      (** per-dataset reply cache; replaced wholesale on re-[load];
+          ingestion evicts delta-scoped via [Cache.invalidate] *)
+  stream : Pc_store.Stream.t;
+      (** the evolving certain partition + per-PC consumption; queries
+          pin one immutable snapshot, appends publish a fresh one *)
+  engines : (string, Pc_core.Incremental.t option) Hashtbl.t;
+      (** per-query incremental bound engines, keyed on the canonical
+          (aggregate, predicate) form; [None] caches "out of scope" so
+          unsupported queries don't retry engine construction *)
+  engines_mu : Mutex.t;  (** serializes engine lookup and solves *)
 }
+
+(* Engine table bound: a dataset under a hostile query mix must not
+   accumulate unbounded LP state. Crossing the cap resets the table —
+   engines rebuild cold on demand, which is exactly the pre-incremental
+   cost. *)
+let max_engines = 32
 
 type t = {
   cfg : config;
@@ -72,6 +95,10 @@ type t = {
   n_degraded : int Atomic.t;
   n_hits : int Atomic.t;  (** cache hits, this instance *)
   n_misses : int Atomic.t;
+  n_append_batches : int Atomic.t;
+  n_append_rows : int Atomic.t;
+  n_retracts : int Atomic.t;
+  n_incremental : int Atomic.t;  (** bounds served by the warm engine *)
   n_admitted : int Atomic.t array;  (** per admission level, by order *)
   req_id : int Atomic.t;  (** monotonically increasing request ids *)
   window : W.t;  (** live SLO windows (1 s / 10 s / 60 s snapshots) *)
@@ -116,6 +143,10 @@ let create cfg =
     n_degraded = Atomic.make 0;
     n_hits = Atomic.make 0;
     n_misses = Atomic.make 0;
+    n_append_batches = Atomic.make 0;
+    n_append_rows = Atomic.make 0;
+    n_retracts = Atomic.make 0;
+    n_incremental = Atomic.make 0;
     n_admitted = Array.init 4 (fun _ -> Atomic.make 0);
     req_id = Atomic.make 0;
     window = W.create ();
@@ -153,9 +184,18 @@ let load_dataset t ~name ~constraints ?csv () =
     (set, certain, fdd, Cache.digest_set set ~csv)
   with
   | set, certain, fdd, digest ->
+      let stream = Pc_store.Stream.create ?certain ?fdd set in
       Mutex.lock t.mu;
       Hashtbl.replace t.datasets name
-        { set; certain; fdd; digest; cache = Cache.create () };
+        {
+          set;
+          fdd;
+          digest;
+          cache = Cache.create ();
+          stream;
+          engines = Hashtbl.create 8;
+          engines_mu = Mutex.create ();
+        };
       Mutex.unlock t.mu;
       Ok
         ( Pc_core.Pc_set.size set,
@@ -417,10 +457,119 @@ let handle_bound t pend v =
                             }
                       in
                       let budget = B.start spec in
-                      let certain = if missing_only then None else ds.certain in
-                      let outcome =
-                        Bounds.bound_budgeted ~opts:t.cfg.opts ~budget ?certain
-                          ?fdd:ds.fdd ds.set query
+                      (* Pin one immutable ingestion snapshot: the
+                         certain relation, per-PC consumption, and
+                         residual PC set below were published together,
+                         so this request can never observe a batch's
+                         rows without its budget consumption. *)
+                      let st = Stream.snapshot ds.stream in
+                      let certain =
+                        if missing_only then None else st.Stream.certain
+                      in
+                      (* The warm path: a per-(aggregate, predicate)
+                         incremental engine re-solves from the previous
+                         optimum's basis with pure bound changes.
+                         Reserved for fully-admitted COUNT/SUM requests
+                         under an FDD with no per-request deadline — a
+                         request that asked for a clipped budget keeps
+                         the budgeted ladder's degradation contract
+                         (timeout_ms 0 must still answer trivial with
+                         deadline_hit, not exact). Anything else (or a
+                         starved engine) falls through likewise. *)
+                      let warm =
+                        match ds.fdd with
+                        | Some fdd
+                          when level = Admission.Full && timeout_ms = None
+                               && Pc_core.Incremental.supported query ->
+                            let ekey =
+                              Cache.key ~digest:"engine" ~query
+                                ~missing_only:false ~timeout_ms:None
+                            in
+                            Mutex.lock ds.engines_mu;
+                            Fun.protect
+                              ~finally:(fun () -> Mutex.unlock ds.engines_mu)
+                              (fun () ->
+                                let eng =
+                                  match Hashtbl.find_opt ds.engines ekey with
+                                  | Some e -> e
+                                  | None ->
+                                      if Hashtbl.length ds.engines >= max_engines
+                                      then Hashtbl.reset ds.engines;
+                                      let e =
+                                        Pc_core.Incremental.create
+                                          ~tighten:t.cfg.opts.Bounds.tighten
+                                          ~fdd ds.set query
+                                      in
+                                      Hashtbl.add ds.engines ekey e;
+                                      e
+                                in
+                                match eng with
+                                | None -> None
+                                | Some e ->
+                                    Option.map
+                                      (fun a ->
+                                        (a, Pc_core.Incremental.n_cells e))
+                                      (Pc_core.Incremental.rebound e
+                                         ~consumed:st.Stream.consumed))
+                        | _ -> None
+                      in
+                      let t_solve0 = Pc_util.Clock.now () in
+                      let outcome, incremental =
+                        match warm with
+                        | Some (missing, n_cells) ->
+                            Counter.incr c_incr_bounds;
+                            Atomic.incr t.n_incremental;
+                            (* the certain-partition shift, as in
+                               [Bounds.bound_with_certain] *)
+                            let answer =
+                              match (missing, certain) with
+                              | Bounds.Range r, Some c ->
+                                  let sel = Q.selection c query in
+                                  let shift =
+                                    match query.Q.agg with
+                                    | Q.Sum a ->
+                                        if Pc_data.Relation.cardinality sel = 0
+                                        then 0.
+                                        else
+                                          Pc_util.Stat.sum
+                                            (Pc_data.Relation.column sel a)
+                                    | _ ->
+                                        float_of_int
+                                          (Pc_data.Relation.cardinality sel)
+                                  in
+                                  Bounds.Range (Pc_core.Range.shift r shift)
+                              | a, _ -> a
+                            in
+                            let exact =
+                              match answer with
+                              | Bounds.Range r ->
+                                  r.Pc_core.Range.lo_exact
+                                  && r.Pc_core.Range.hi_exact
+                              | Bounds.Empty | Bounds.Infeasible -> true
+                            in
+                            let provenance =
+                              if exact then Bounds.Exact else Bounds.Relaxed
+                            in
+                            let stats =
+                              {
+                                Bounds.provenance;
+                                rungs =
+                                  (if exact then [ Bounds.Exact ]
+                                   else [ Bounds.Exact; Bounds.Relaxed ]);
+                                cells = n_cells;
+                                sat_calls = 0;
+                                admitted_unchecked = 0;
+                                milp_nodes = 0;
+                                lp_iterations = 0;
+                                elapsed = Pc_util.Clock.now () -. t_solve0;
+                                deadline_hit = false;
+                              }
+                            in
+                            ({ Bounds.answer; stats }, true)
+                        | None ->
+                            ( Bounds.bound_budgeted ~opts:t.cfg.opts ~budget
+                                ?certain ?fdd:ds.fdd st.Stream.residual query,
+                              false )
                       in
                       let s = outcome.Bounds.stats in
                       let degraded = s.Bounds.provenance <> Bounds.Exact in
@@ -439,30 +588,165 @@ let handle_bound t pend v =
                       end;
                       let reply =
                         J.Obj
-                          [
-                            ("ok", J.Bool true);
-                            ("op", J.Str "bound");
-                            ("answer", answer_value outcome.Bounds.answer);
-                            ( "provenance",
-                              J.Str (Bounds.provenance_name s.Bounds.provenance)
-                            );
-                            ("degraded", J.Bool degraded);
-                            ("admission", J.Str (Admission.level_name level));
-                            ("stats", stats_value s);
-                          ]
+                          ([
+                             ("ok", J.Bool true);
+                             ("op", J.Str "bound");
+                             ("answer", answer_value outcome.Bounds.answer);
+                             ( "provenance",
+                               J.Str
+                                 (Bounds.provenance_name s.Bounds.provenance) );
+                             ("degraded", J.Bool degraded);
+                             ("admission", J.Str (Admission.level_name level));
+                             ("stats", stats_value s);
+                           ]
+                          @
+                          if incremental then [ ("incremental", J.Bool true) ]
+                          else [])
                       in
                       (* Only exact, fully-admitted replies are
                          reusable: degraded ones encode this request's
                          budget race, not the query's answer. Store the
-                         serialized bytes so a hit is byte-identical. *)
+                         serialized bytes so a hit is byte-identical.
+                         The meta records which PCs the reply can depend
+                         on, so ingestion evicts delta-scoped instead of
+                         flushing. *)
                       match ckey with
                       | Some k
                         when level = Admission.Full
                              && s.Bounds.provenance = Bounds.Exact ->
+                          let meta =
+                            Option.map
+                              (fun fdd ->
+                                {
+                                  Cache.pcs =
+                                    Pc_predicate.Fdd.active_pcs
+                                      ~query:query.Q.where_ fdd;
+                                  where_ = query.Q.where_;
+                                  missing_only;
+                                })
+                              ds.fdd
+                          in
                           let text = J.to_string reply in
-                          Cache.store ds.cache k text;
+                          Cache.store ds.cache ?meta k text;
                           Rtext text
                       | _ -> Rjson reply))))
+
+(* ------------------------------------------------------------------ *)
+(* Streaming ingestion ops                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ingest_reply ~op ~dname (info : Stream.info) ~evicted =
+  J.Obj
+    [
+      ("ok", J.Bool true);
+      ("op", J.Str op);
+      ("dataset", J.Str dname);
+      ("batch_id", J.Num (float_of_int info.Stream.batch_id));
+      ("version", J.Num (float_of_int info.Stream.version));
+      ("rows", J.Num (float_of_int info.Stream.rows));
+      ( "touched",
+        J.Arr
+          (List.map (fun j -> J.Num (float_of_int j)) info.Stream.touched) );
+      ("cache_evicted", J.Num (float_of_int evicted));
+    ]
+
+(* Evict exactly the cached replies the batch can have changed: entries
+   whose predicate's FDD leaves reach a touched PC (missing side), or
+   whose selection matches a batch row (certain side). *)
+let invalidate_for ds (info : Stream.info) batch =
+  let rows =
+    match batch with
+    | None -> None
+    | Some b ->
+        Some
+          ( Pc_data.Batch.schema b,
+            Pc_data.Relation.tuples (Pc_data.Batch.to_relation b) )
+  in
+  let n = Cache.invalidate ds.cache ~touched:info.Stream.touched ~rows in
+  Counter.add c_ingest_evicted n;
+  n
+
+let handle_append t pend v =
+  match str_field v "csv" with
+  | None -> err_value "bad-request" "append: missing string field \"csv\""
+  | Some csv -> (
+      let dname = Option.value (str_field v "dataset") ~default:"default" in
+      match find_dataset t dname with
+      | None ->
+          err_value "unknown-dataset"
+            (Printf.sprintf "no dataset %S loaded" dname)
+      | Some ds -> (
+          pend.p_dataset <- ds.digest;
+          let t0 = Pc_util.Clock.now_ns () in
+          let r =
+            Pc_obs.Trace.with_span ~name:"ingest.append"
+              ~attrs:[ ("dataset", dname) ]
+              (fun () ->
+                match
+                  Pc_data.Batch.of_csv_string
+                    ?schema:(Stream.schema ds.stream) csv
+                with
+                | exception Failure msg -> Error ("parse-error", msg)
+                | exception Invalid_argument msg -> Error ("parse-error", msg)
+                | batch -> (
+                    match Stream.append ds.stream batch with
+                    | Error msg -> Error ("append-failed", msg)
+                    | Ok (info, _snap) ->
+                        let evicted = invalidate_for ds info (Some batch) in
+                        if Pc_obs.Trace.enabled () then begin
+                          Pc_obs.Trace.add_attr "rows"
+                            (string_of_int info.Stream.rows);
+                          Pc_obs.Trace.add_attr "evicted"
+                            (string_of_int evicted)
+                        end;
+                        Ok (info, evicted)))
+          in
+          let dt = Int64.to_float (Int64.sub (Pc_util.Clock.now_ns ()) t0) in
+          Pc_obs.Registry.Histogram.observe_ns h_ingest dt;
+          match r with
+          | Error (code, msg) -> err_value code msg
+          | Ok (info, evicted) ->
+              Counter.incr c_ingest_batches;
+              Counter.add c_ingest_rows info.Stream.rows;
+              Atomic.incr t.n_append_batches;
+              ignore
+                (Atomic.fetch_and_add t.n_append_rows info.Stream.rows);
+              ingest_reply ~op:"append" ~dname info ~evicted))
+
+let handle_retract t pend v =
+  match num_field v "batch" with
+  | None -> err_value "bad-request" "retract: missing numeric field \"batch\""
+  | Some bid -> (
+      let batch_id = int_of_float bid in
+      let dname = Option.value (str_field v "dataset") ~default:"default" in
+      match find_dataset t dname with
+      | None ->
+          err_value "unknown-dataset"
+            (Printf.sprintf "no dataset %S loaded" dname)
+      | Some ds -> (
+          pend.p_dataset <- ds.digest;
+          let t0 = Pc_util.Clock.now_ns () in
+          let r =
+            Pc_obs.Trace.with_span ~name:"ingest.retract"
+              ~attrs:[ ("dataset", dname) ]
+              (fun () ->
+                (* the rows must be captured before the retraction
+                   removes them — they decide certain-side eviction *)
+                let batch = Stream.find_batch ds.stream ~batch_id in
+                match Stream.retract ds.stream ~batch_id with
+                | Error msg -> Error ("retract-failed", msg)
+                | Ok (info, _snap) ->
+                    let evicted = invalidate_for ds info batch in
+                    Ok (info, evicted))
+          in
+          let dt = Int64.to_float (Int64.sub (Pc_util.Clock.now_ns ()) t0) in
+          Pc_obs.Registry.Histogram.observe_ns h_ingest dt;
+          match r with
+          | Error (code, msg) -> err_value code msg
+          | Ok (info, evicted) ->
+              Counter.incr c_ingest_retracts;
+              Atomic.incr t.n_retracts;
+              ingest_reply ~op:"retract" ~dname info ~evicted))
 
 let ni a = J.Num (float_of_int (Atomic.get a))
 
@@ -491,6 +775,14 @@ let handle_stats t =
       ("connections", ni t.conns);
       ("cache", cache_counters t);
       ("admission", admission_counters t);
+      ( "ingest",
+        J.Obj
+          [
+            ("batches", ni t.n_append_batches);
+            ("rows", ni t.n_append_rows);
+            ("retracts", ni t.n_retracts);
+            ("incremental_bounds", ni t.n_incremental);
+          ] );
       ("datasets", J.Arr (List.map (fun n -> J.Str n) (dataset_names t)));
       ("draining", J.Bool (Atomic.get t.drain));
       ("faults_injected", J.Num (float_of_int (Fault.total_injected ())));
@@ -587,6 +879,8 @@ let handle_line t pend line =
             (Rjson (J.Obj [ ("ok", J.Bool true); ("op", J.Str "pong") ]), false)
         | Some "load" -> (Rjson (handle_load t v), false)
         | Some "bound" -> (handle_bound t pend v, false)
+        | Some "append" -> (Rjson (handle_append t pend v), false)
+        | Some "retract" -> (Rjson (handle_retract t pend v), false)
         | Some "stats" -> (Rjson (handle_stats t), false)
         | Some "telemetry" -> (Rjson (handle_telemetry t v), false)
         | Some "shutdown" ->

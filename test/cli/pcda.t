@@ -163,7 +163,9 @@ here so that adding or renaming a counter shows up in review:
   bound.trivial
   budget.deadline_hits
   budget.exhaustions
+  cache.evictions
   cache.hits
+  cache.invalidations
   cache.misses
   cells.admitted_unchecked
   cells.decompositions
@@ -172,6 +174,14 @@ here so that adding or renaming a counter shows up in review:
   fault.injections
   fdd.compiles
   fdd.nodes
+  incr.engines
+  incr.rebounds_cold
+  incr.rebounds_warm
+  ingest.batches
+  ingest.cache_evicted
+  ingest.incremental_bounds
+  ingest.retracts
+  ingest.rows
   lp.bland_activations
   lp.btran_ns
   lp.dual_pivots
@@ -194,6 +204,7 @@ here so that adding or renaming a counter shows up in review:
   server.requests
   server.slo_crushed
   bound.ns
+  ingest.ns
   lp.solve.ns
   milp.node.ns
   pool.queue_wait_ns

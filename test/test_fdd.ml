@@ -161,6 +161,32 @@ let test_route () =
         (Fdd.route fdd schema row))
     rows
 
+let test_route_open_universe () =
+  (* a row off every predicate walks to the open-universe leaf: its
+     active set is empty, so streaming ingestion charges it to no PC's
+     missing-row budget *)
+  let schema =
+    Pc_data.Schema.of_names
+      [ ("branch", Pc_data.Schema.Categorical); ("price", Pc_data.Schema.Numeric) ]
+  in
+  let preds =
+    [|
+      [ Atom.cat_eq "branch" "Chicago" ];
+      [ Atom.between "price" 0. 100. ];
+    |]
+  in
+  let fdd = Fdd.compile preds in
+  Alcotest.(check (list int))
+    "off-universe row routes nowhere" []
+    (Fdd.route fdd schema [| V.Str "NY"; V.Num 500. |]);
+  (* boundary sanity around the same leaf structure *)
+  Alcotest.(check (list int))
+    "edge of the price interval still routes" [ 1 ]
+    (Fdd.route fdd schema [| V.Str "NY"; V.Num 100. |]);
+  Alcotest.(check (list int))
+    "both predicates" [ 0; 1 ]
+    (Fdd.route fdd schema [| V.Str "Chicago"; V.Num 40. |])
+
 (* ------------------------- qcheck oracle ----------------------------- *)
 
 (* Random PC sets over two numeric attributes and one categorical one;
@@ -273,6 +299,8 @@ let () =
           tc "categorical + query pushdown" `Quick test_categorical_and_query;
           tc "hash-cons sharing" `Quick test_sharing;
           tc "row routing" `Quick test_route;
+          tc "open-universe leaf routes to no PC" `Quick
+            test_route_open_universe;
         ] );
       ( "oracle",
         [

@@ -1,0 +1,432 @@
+(* Streaming ingestion: columnar batches, the snapshot-isolated stream,
+   delta-scoped cache invalidation, the server's append/retract wire
+   ops, and the qcheck pin that the incremental engine's warm rebound
+   equals a from-scratch bound on every prefix of random append/retract
+   schedules. *)
+
+open Pc_core
+module Batch = Pc_data.Batch
+module Relation = Pc_data.Relation
+module Schema = Pc_data.Schema
+module V = Pc_data.Value
+module I = Pc_interval.Interval
+module Atom = Pc_predicate.Atom
+module Pred = Pc_predicate.Pred
+module Fdd = Pc_predicate.Fdd
+module Stream = Pc_store.Stream
+module Cache = Pc_server.Cache
+module Q = Pc_query.Query
+module S = Pc_server.Server
+module C = Pc_server.Client
+module J = Pc_obs.Json
+
+let tc = Alcotest.test_case
+let mk ?name pred values freq = Pc.make ?name ~pred ~values ~freq ()
+
+(* the §4.4 paper example, with value constraints so SUM is in scope *)
+let paper_set () =
+  let t1 =
+    mk ~name:"t1"
+      [ Atom.Num_range ("utc", I.make_exn (I.Closed 11.) (I.Open 12.)) ]
+      [ ("price", I.closed 0.99 129.99) ]
+      (50, 100)
+  in
+  let t2 =
+    mk ~name:"t2"
+      [ Atom.Num_range ("utc", I.make_exn (I.Closed 11.) (I.Open 13.)) ]
+      [ ("price", I.closed 0.99 149.99) ]
+      (75, 125)
+  in
+  Pc_set.make [ t1; t2 ]
+
+let compile_fdd set =
+  Fdd.compile
+    (Array.of_list (List.map (fun (pc : Pc.t) -> pc.Pc.pred) (Pc_set.pcs set)))
+
+let schema_up =
+  Schema.of_names [ ("utc", Schema.Numeric); ("price", Schema.Numeric) ]
+
+let freqs set =
+  List.map (fun (pc : Pc.t) -> (pc.Pc.freq_lo, pc.Pc.freq_hi)) (Pc_set.pcs set)
+
+(* ------------------------------ batches ------------------------------ *)
+
+let test_batch_roundtrip () =
+  let b = Batch.of_csv_string "utc,price\n11.5,20.0\n12.4,99.0\n" in
+  Alcotest.(check int) "rows" 2 (Batch.rows b);
+  Alcotest.(check int) "arity" 2 (Schema.arity (Batch.schema b));
+  (match Batch.row b 1 with
+  | [| V.Num u; V.Num p |] ->
+      Alcotest.(check (float 1e-9)) "utc" 12.4 u;
+      Alcotest.(check (float 1e-9)) "price" 99.0 p
+  | _ -> Alcotest.fail "row 1 has the wrong shape");
+  Alcotest.(check int) "column length" 2
+    (Array.length (Batch.column b "price"));
+  let r = Batch.to_relation b in
+  Alcotest.(check int) "relation cardinality" 2 (Relation.cardinality r);
+  (* the checked constructor agrees with the inferred one *)
+  let b2 = Batch.of_csv_string ~schema:schema_up "utc,price\n11.5,20.0\n" in
+  Alcotest.(check int) "checked parse" 1 (Batch.rows b2)
+
+let test_batch_validation () =
+  match Batch.of_rows schema_up [ [| V.Num 11.5; V.Str "oops" |] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch accepted"
+
+(* ------------------------------- stream ------------------------------ *)
+
+let test_stream_append_retract () =
+  let set = paper_set () in
+  let stream = Stream.create ~fdd:(compile_fdd set) set in
+  let s0 = Stream.snapshot stream in
+  Alcotest.(check int) "version 0" 0 s0.Stream.version;
+  Alcotest.(check bool) "no certain side yet" true (s0.Stream.certain = None);
+  (* 11.5 routes to both PCs, 12.4 to t2 only *)
+  let b0 = Batch.of_csv_string "utc,price\n11.5,20.0\n12.4,99.0\n" in
+  let info0, s1 =
+    match Stream.append stream b0 with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "append failed: %s" e
+  in
+  Alcotest.(check int) "batch id" 0 info0.Stream.batch_id;
+  Alcotest.(check (list int)) "touched both PCs" [ 0; 1 ] info0.Stream.touched;
+  Alcotest.(check (array int)) "per-PC delta" [| 1; 2 |] info0.Stream.delta;
+  Alcotest.(check (array int)) "consumption" [| 1; 2 |] s1.Stream.consumed;
+  Alcotest.(check (list (pair int int)))
+    "residual budgets shrank" [ (49, 99); (73, 123) ]
+    (freqs s1.Stream.residual);
+  (match s1.Stream.certain with
+  | Some r -> Alcotest.(check int) "certain rows" 2 (Relation.cardinality r)
+  | None -> Alcotest.fail "append published no certain side");
+  (* snapshot isolation: the pinned pre-append snapshot never moved *)
+  Alcotest.(check int) "pinned version" 0 s0.Stream.version;
+  Alcotest.(check (array int)) "pinned consumption" [| 0; 0 |] s0.Stream.consumed;
+  (* a row off every predicate consumes nothing but lands certain-side *)
+  let b1 = Batch.of_csv_string "utc,price\n20.0,1.0\n" in
+  let info1, s2 =
+    match Stream.append stream b1 with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "open-universe append failed: %s" e
+  in
+  Alcotest.(check (list int)) "open-universe row touches nothing" []
+    info1.Stream.touched;
+  Alcotest.(check (array int)) "consumption unchanged" [| 1; 2 |]
+    s2.Stream.consumed;
+  (match s2.Stream.certain with
+  | Some r -> Alcotest.(check int) "certain grew" 3 (Relation.cardinality r)
+  | None -> Alcotest.fail "lost the certain side");
+  (* retract the first batch: budget restored, its rows gone *)
+  let info2, s3 =
+    match Stream.retract stream ~batch_id:0 with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "retract failed: %s" e
+  in
+  Alcotest.(check int) "retracted rows" 2 info2.Stream.rows;
+  Alcotest.(check (array int)) "budget restored" [| 0; 0 |] s3.Stream.consumed;
+  Alcotest.(check (list (pair int int)))
+    "residual back to base" [ (50, 100); (75, 125) ]
+    (freqs s3.Stream.residual);
+  (match s3.Stream.certain with
+  | Some r -> Alcotest.(check int) "survivor rows" 1 (Relation.cardinality r)
+  | None -> Alcotest.fail "retract dropped the surviving batch");
+  Alcotest.(check (list (pair int int)))
+    "one live batch" [ (1, 1) ] (Stream.batches stream);
+  (match Stream.retract stream ~batch_id:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "double retract succeeded")
+
+let test_stream_schema_mismatch () =
+  let set = paper_set () in
+  let stream = Stream.create ~fdd:(compile_fdd set) set in
+  ignore (Stream.append stream (Batch.of_csv_string "utc,price\n11.5,20.0\n"));
+  let v = Stream.snapshot stream in
+  (match
+     Stream.append stream (Batch.of_csv_string "humidity,light\n1.0,2.0\n")
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mismatched batch schema accepted");
+  let v' = Stream.snapshot stream in
+  Alcotest.(check int) "no version published on error" v.Stream.version
+    v'.Stream.version
+
+(* ------------------------------- cache ------------------------------- *)
+
+let evictions () = Pc_obs.Registry.Counter.(get (make "cache.evictions"))
+
+let test_cache_byte_cap () =
+  Pc_obs.Registry.set_enabled true;
+  let c = Cache.create ~capacity:1024 ~capacity_bytes:256 () in
+  let before = evictions () in
+  let big = String.make 100 'x' in
+  Cache.store c "k0" big;
+  Cache.store c "k1" big;
+  Cache.store c "k2" big;
+  (* three ~102-byte entries exceed 256 bytes: FIFO drops the oldest *)
+  Alcotest.(check bool) "bytes under cap" true (Cache.bytes c <= 256);
+  Alcotest.(check int) "oldest-out" 2 (Cache.size c);
+  Alcotest.(check (option string)) "k0 evicted" None (Cache.find c "k0");
+  Alcotest.(check (option string)) "k2 kept" (Some big) (Cache.find c "k2");
+  Alcotest.(check bool) "cache.evictions counted" true (evictions () > before)
+
+let test_cache_delta_invalidation () =
+  let c = Cache.create () in
+  let meta ?(missing_only = false) pcs where_ =
+    { Cache.pcs; where_; missing_only }
+  in
+  let chicago = [ Atom.cat_eq "branch" "Chicago" ] in
+  let ny = [ Atom.cat_eq "branch" "New York" ] in
+  Cache.store c ~meta:(meta [ 0 ] chicago) "q_pc" "r_pc";
+  Cache.store c ~meta:(meta [ 1 ] chicago) "q_row" "r_row";
+  Cache.store c ~meta:(meta [ 1 ] ny) "q_safe" "r_safe";
+  Cache.store c ~meta:(meta ~missing_only:true [ 1 ] chicago) "q_miss" "r_miss";
+  Cache.store c "q_bare" "r_bare";
+  let schema =
+    Schema.of_names [ ("branch", Schema.Categorical); ("price", Schema.Numeric) ]
+  in
+  let rows = Some (schema, [| [| V.Str "Chicago"; V.Num 50. |] |]) in
+  (* the batch consumed PC 0 and its row is a Chicago row: the PC-scoped
+     entry, the selection-matching entry, and the no-meta entry go; the
+     New-York entry and the missing-only entry (certain side invisible
+     to it) survive *)
+  let n = Cache.invalidate c ~touched:[ 0 ] ~rows in
+  Alcotest.(check int) "three evictions" 3 n;
+  Alcotest.(check (option string)) "pc overlap evicted" None (Cache.find c "q_pc");
+  Alcotest.(check (option string)) "row match evicted" None (Cache.find c "q_row");
+  Alcotest.(check (option string)) "no-meta evicted" None (Cache.find c "q_bare");
+  Alcotest.(check (option string)) "disjoint entry survives" (Some "r_safe")
+    (Cache.find c "q_safe");
+  Alcotest.(check (option string)) "missing-only ignores certain rows"
+    (Some "r_miss") (Cache.find c "q_miss");
+  (* a retraction with no certain rows in hand: only PC overlap applies *)
+  let n = Cache.invalidate c ~touched:[ 1 ] ~rows:None in
+  Alcotest.(check int) "pc-only sweep" 2 n;
+  Alcotest.(check int) "empty but for nothing" 0 (Cache.size c)
+
+(* --------------------------- server wire ops -------------------------- *)
+
+let constraints_text =
+  "constraint chicago_cap:\n\
+  \  branch = 'Chicago' => price in [0.0, 149.99], count [0, 5];\n\
+   constraint newyork_cap:\n\
+  \  branch = 'New York' => price in [0.0, 100.0], count [0, 10];\n"
+
+let start () =
+  let srv = S.create { S.default_config with S.port = 0 } in
+  (match S.load_dataset srv ~name:"default" ~constraints:constraints_text () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (srv, Thread.create S.run srv)
+
+let stop (srv, th) =
+  S.initiate_drain srv;
+  Thread.join th
+
+let req c line =
+  match C.request c line with
+  | Some reply -> (
+      match J.parse reply with
+      | Ok v -> (reply, v)
+      | Error e -> Alcotest.failf "bad reply %S: %s" reply e)
+  | None -> Alcotest.fail "connection closed instead of replying"
+
+let ok v = match J.member "ok" v with Some (J.Bool b) -> b | _ -> false
+
+let range v =
+  match J.member "answer" v with
+  | Some a -> (
+      match
+        ( Option.bind (J.member "lo" a) J.to_num,
+          Option.bind (J.member "hi" a) J.to_num )
+      with
+      | Some lo, Some hi -> (lo, hi)
+      | _ -> Alcotest.fail "answer without lo/hi")
+  | None -> Alcotest.fail "reply without answer"
+
+let test_server_append_invalidation () =
+  Pc_obs.Registry.set_enabled true;
+  let ((srv, _) as s) = start () in
+  let c = C.connect ~host:"127.0.0.1" ~port:(S.port srv) in
+  let q_chi = {|{"op":"bound","query":"SELECT SUM(price) WHERE branch = 'Chicago'"}|} in
+  let q_ny = {|{"op":"bound","query":"SELECT COUNT(*) WHERE branch = 'New York'"}|} in
+  let chi1, chi1v = req c q_chi in
+  let ny1, _ = req c q_ny in
+  (* both cached now: identical bytes on repeat *)
+  let chi1', _ = req c q_chi in
+  Alcotest.(check string) "warm repeat is a byte-identical hit" chi1 chi1';
+  let _, app =
+    req c {|{"op":"append","csv":"branch,price\nChicago,50.0\n"}|}
+  in
+  Alcotest.(check bool) "append ok" true (ok app);
+  Alcotest.(check (option (float 1e-9)))
+    "only the Chicago PC was touched" (Some 0.)
+    (match J.member "touched" app with
+    | Some (J.Arr [ t ]) -> J.to_num t
+    | _ -> None);
+  (* the New-York entry survived the delta: served from cache verbatim *)
+  let ny2, _ = req c q_ny in
+  Alcotest.(check string) "unaffected query still cached" ny1 ny2;
+  (* the Chicago entry was evicted and recomputed: the certain row
+     shifts the range by +50 while the missing budget drops 5 -> 4 *)
+  let chi2, chi2v = req c q_chi in
+  Alcotest.(check bool) "affected reply recomputed" true (chi1 <> chi2);
+  let lo1, hi1 = range chi1v and lo2, hi2 = range chi2v in
+  Alcotest.(check (float 1e-6)) "lo shifted by the appended row" (lo1 +. 50.) lo2;
+  Alcotest.(check (float 1e-6)) "hi lost one budget row, gained the row"
+    (hi1 -. 149.99 +. 50.) hi2;
+  (* an explicit per-request deadline keeps the degradation contract
+     even though the warm engine could answer exactly: on an
+     overlapping set (no greedy fast path) timeout_ms 0 must still
+     come back trivial, not an instant warm-engine exact *)
+  let over =
+    "constraint t1:\n\
+    \  utc between 11.0 and 12.0 => price in [0.99, 129.99], count [50, 100];\n\
+     constraint t2:\n\
+    \  utc between 11.0 and 13.0 => price in [0.99, 149.99], count [75, 125];\n"
+  in
+  let _, l =
+    req c
+      (J.to_string
+         (J.Obj
+            [
+              ("op", J.Str "load");
+              ("name", J.Str "over");
+              ("constraints", J.Str over);
+            ]))
+  in
+  Alcotest.(check bool) "load over ok" true (ok l);
+  let _, wz =
+    req c {|{"op":"bound","query":"SELECT COUNT(*)","dataset":"over"}|}
+  in
+  Alcotest.(check (option string))
+    "no-deadline request stays exact" (Some "exact")
+    (Option.bind (J.member "provenance" wz) J.to_str);
+  let _, tz =
+    req c
+      {|{"op":"bound","query":"SELECT COUNT(*)","dataset":"over","timeout_ms":0}|}
+  in
+  Alcotest.(check (option string))
+    "clipped budget still degrades" (Some "trivial")
+    (Option.bind (J.member "provenance" tz) J.to_str);
+  (* retraction restores the original answer *)
+  let _, ret = req c {|{"op":"retract","batch":0}|} in
+  Alcotest.(check bool) "retract ok" true (ok ret);
+  let _, chi3v = req c q_chi in
+  let lo3, hi3 = range chi3v in
+  Alcotest.(check (float 1e-6)) "lo restored" lo1 lo3;
+  Alcotest.(check (float 1e-6)) "hi restored" hi1 hi3;
+  C.close c;
+  stop s
+
+(* --------------------- incremental ≡ from-scratch --------------------- *)
+
+(* Random overlapping 1-attribute sets (the shape that defeats the
+   disjoint fast path and exercises the LP), random append/retract
+   schedules, and after EVERY operation: the warm engine's rebound must
+   equal Bounds.bound on the snapshot's residual set. *)
+
+let random_overlap_set rng n =
+  let pcs =
+    List.init n (fun i ->
+        let lo = Pc_util.Rng.uniform rng ~lo:0. ~hi:(6. *. float_of_int n) in
+        let w = Pc_util.Rng.uniform rng ~lo:20. ~hi:50. in
+        let kl = Pc_util.Rng.int rng 3 in
+        mk
+          ~name:(Printf.sprintf "p%d" i)
+          [ Atom.between "x" lo (lo +. w) ]
+          [ ("v", I.closed 0. 100.) ]
+          (kl, kl + 1 + Pc_util.Rng.int rng 8))
+  in
+  Pc_set.make pcs
+
+let schema_xv = Schema.of_names [ ("x", Schema.Numeric); ("v", Schema.Numeric) ]
+
+let answers_close warm scratch =
+  let rel a b =
+    Float.abs (a -. b)
+    <= 1e-6 *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+  in
+  match (warm, scratch) with
+  | Some (Bounds.Range r1), Bounds.Range r2 ->
+      rel r1.Range.lo r2.Range.lo && rel r1.Range.hi r2.Range.hi
+  | Some Bounds.Empty, Bounds.Empty -> true
+  | Some Bounds.Infeasible, Bounds.Infeasible -> true
+  | _ -> false
+
+let prop_incremental_matches_scratch =
+  QCheck.Test.make
+    ~name:"warm rebound ≡ from-scratch bound on every schedule prefix"
+    ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Pc_util.Rng.create seed in
+      let n = 3 + Pc_util.Rng.int rng 8 in
+      let set = random_overlap_set rng n in
+      let fdd = compile_fdd set in
+      let query =
+        if Pc_util.Rng.int rng 2 = 0 then Q.count () else Q.sum "v"
+      in
+      match Incremental.create ~fdd set query with
+      | None -> true (* out of scope: the server takes the full path *)
+      | Some eng ->
+          let stream = Stream.create ~fdd set in
+          let opts =
+            { Bounds.default_opts with Bounds.strategy = Cells.Fdd }
+          in
+          let steps = 2 + Pc_util.Rng.int rng 6 in
+          let ok = ref true in
+          for _ = 1 to steps do
+            let live = Stream.batches stream in
+            (if live <> [] && Pc_util.Rng.int rng 4 = 0 then
+               let id, _ = List.nth live (Pc_util.Rng.int rng (List.length live)) in
+               match Stream.retract stream ~batch_id:id with
+               | Ok _ -> ()
+               | Error e -> Alcotest.failf "retract: %s" e
+             else
+               let rows =
+                 List.init
+                   (1 + Pc_util.Rng.int rng 3)
+                   (fun _ ->
+                     [|
+                       V.Num
+                         (Pc_util.Rng.uniform rng ~lo:(-10.)
+                            ~hi:((6. *. float_of_int n) +. 60.));
+                       V.Num (Pc_util.Rng.uniform rng ~lo:0. ~hi:100.);
+                     |])
+               in
+               match Stream.append stream (Batch.of_rows schema_xv rows) with
+               | Ok _ -> ()
+               | Error e -> Alcotest.failf "append: %s" e);
+            let snap = Stream.snapshot stream in
+            let warm = Incremental.rebound eng ~consumed:snap.Stream.consumed in
+            let scratch = Bounds.bound ~opts snap.Stream.residual query in
+            ok := !ok && answers_close warm scratch
+          done;
+          !ok)
+
+let () =
+  Alcotest.run "pc_ingest"
+    [
+      ( "batch",
+        [
+          tc "csv roundtrip" `Quick test_batch_roundtrip;
+          tc "kind validation" `Quick test_batch_validation;
+        ] );
+      ( "stream",
+        [
+          tc "append/retract with snapshot isolation" `Quick
+            test_stream_append_retract;
+          tc "schema mismatch publishes nothing" `Quick
+            test_stream_schema_mismatch;
+        ] );
+      ( "cache",
+        [
+          tc "byte-cap FIFO eviction" `Quick test_cache_byte_cap;
+          tc "delta-scoped invalidation" `Quick test_cache_delta_invalidation;
+        ] );
+      ( "server",
+        [
+          tc "append evicts only affected entries" `Quick
+            test_server_append_invalidation;
+        ] );
+      ("oracle", [ QCheck_alcotest.to_alcotest prop_incremental_matches_scratch ]);
+    ]

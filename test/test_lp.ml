@@ -411,6 +411,78 @@ let test_solve_from_matches_cold () =
   | S.Infeasible -> ()
   | _ -> Alcotest.fail "expected Infeasible from the warm path"
 
+(* --- warm-start reuse across a 10-step bound-tightening chain ---
+   The streaming-ingestion pattern: the rows and objective never change,
+   each step only pins variable boxes a little tighter, and every
+   re-solve starts from the previous step's basis snapshot. The chain
+   must (a) land on exactly the cold optimum at every step's box, and
+   (b) cost far fewer pivots than re-solving cold each step. *)
+
+let test_warm_chain_reuse () =
+  Pc_obs.Registry.set_enabled true;
+  let pivots_now () =
+    let get k = Pc_obs.Registry.Counter.(get (make k)) in
+    get "lp.pivots" + get "lp.dual_pivots" + get "lp.phase1_pivots"
+  in
+  let counting f =
+    let before = pivots_now () in
+    let r = f () in
+    (r, pivots_now () - before)
+  in
+  let n = 40 and m = 30 and win = 10 in
+  let p =
+    {
+      S.n_vars = n;
+      maximize = true;
+      objective = List.init n (fun i -> (i, 1. +. (float_of_int (i mod 7) *. 0.3)));
+      constraints =
+        List.init m (fun j ->
+            S.c_le (List.init win (fun k -> ((j + k) mod n, 1.))) 25.);
+      var_bounds = [];
+    }
+  in
+  let lo = Array.make n 0. and hi = Array.make n 10. in
+  let cold_at () =
+    match S.solve_snapshot ~bounds:(Array.copy lo, Array.copy hi) p with
+    | S.Optimal s, _ -> s
+    | _ -> Alcotest.fail "cold solve failed"
+  in
+  let snap =
+    ref
+      (match S.solve_snapshot ~bounds:(Array.copy lo, Array.copy hi) p with
+      | S.Optimal _, Some snap -> snap
+      | _ -> Alcotest.fail "root solve failed")
+  in
+  let warm_pivots = ref 0 and cold_pivots = ref 0 and last_warm = ref nan in
+  for step = 1 to 10 do
+    for k = 0 to 3 do
+      let j = ((4 * (step - 1)) + k) mod n in
+      hi.(j) <- Float.max lo.(j) (hi.(j) -. 2.)
+    done;
+    let warm, dw =
+      counting (fun () ->
+          S.solve_from ~snapshot:!snap ~bounds:(Array.copy lo, Array.copy hi) p)
+    in
+    (match warm with
+    | S.Optimal s, Some snap' ->
+        warm_pivots := !warm_pivots + dw;
+        last_warm := s.S.objective_value;
+        (* per-step: the warm answer is the cold answer at this box *)
+        check_float
+          (Printf.sprintf "step %d: warm = cold" step)
+          (fst (counting cold_at)).S.objective_value s.S.objective_value;
+        snap := snap'
+    | _ -> Alcotest.failf "warm step %d failed" step);
+    let _, dc = counting cold_at in
+    cold_pivots := !cold_pivots + dc
+  done;
+  check_float "final warm = final cold" (cold_at ()).S.objective_value !last_warm;
+  Alcotest.(check bool)
+    (Printf.sprintf "10 warm steps cost %d pivots vs %d cold" !warm_pivots
+       !cold_pivots)
+    true
+    (!warm_pivots * 2 < !cold_pivots)
+
 let test_solve_from_shape_fallback () =
   (* a snapshot from a different problem shape must fall back to a cold
      solve — and still return the right answer *)
@@ -628,6 +700,8 @@ let () =
           tc "variable bounds" `Quick test_var_bounds;
           tc "empty box infeasible" `Quick test_empty_box_infeasible;
           tc "solve_from matches cold" `Quick test_solve_from_matches_cold;
+          tc "warm reuse across a tightening chain" `Quick
+            test_warm_chain_reuse;
           tc "solve_from shape fallback" `Quick test_solve_from_shape_fallback;
           tc "eta growth forces refactorization" `Quick test_eta_refactorization;
         ] );

@@ -50,9 +50,14 @@ let checks_decompose =
     ("end_to_end_bound.jobs1_wall_s", Lower_better, 1.00);
     (* effective parallelism swings with co-tenant load on shared runners *)
     ("end_to_end_bound.speedup_jobs4_over_jobs1", Higher_better, 0.60);
+    (* the ingest micro's wall times are ~ms-scale; the speedup ratio is
+       the stable signal and carries the tight bound (plus the 5x hard
+       floor below) *)
+    ("incremental_rebound.rebound_ns", Lower_better, 1.00);
+    ("incremental_rebound.speedup", Higher_better, 0.60);
   ]
 
-(* the schema-v5 shape: all of these must exist in both files *)
+(* the schema-v6 shape: all of these must exist in both files *)
 let required_decompose =
   [
     "schema_version";
@@ -66,6 +71,11 @@ let required_decompose =
     "lp_pivots_total";
     "lp_warm_starts";
     "fig8_simplex_scaling.sizes";
+    "incremental_rebound.cells";
+    "incremental_rebound.rebound_ns";
+    "incremental_rebound.recompute_ns";
+    "incremental_rebound.speedup";
+    "incremental_rebound.answers_agree";
     "phase_totals_ns";
     "end_to_end_bound.jobs1_wall_s";
     "end_to_end_bound.speedup_jobs4_over_jobs1";
@@ -80,6 +90,11 @@ let checks_serve =
     ("nocache.p99_ns", Lower_better, 0.75);
     ("cached.p99_ns", Lower_better, 0.75);
     ("qps_speedup_cached_over_nocache", Higher_better, 0.25);
+    (* the streaming-ingestion phase: append throughput carries the
+       tight 25% bound per the CI contract; its p99 is tail-noisy *)
+    ("ingest.rows_per_s", Higher_better, 0.25);
+    ("ingest.qps", Higher_better, 0.25);
+    ("ingest.p99_ns", Lower_better, 0.75);
   ]
 
 let required_serve =
@@ -92,6 +107,12 @@ let required_serve =
     "cached.qps";
     "cached.p99_ns";
     "cached.cache_hits";
+    "ingest.batches";
+    "ingest.rows";
+    "ingest.rows_per_s";
+    "ingest.qps";
+    "ingest.p99_ns";
+    "ingest.cache_hits";
     "qps_speedup_cached_over_nocache";
   ]
 
@@ -139,17 +160,26 @@ let () =
         Printf.printf "FAIL  %s\n" s)
       fmt
   in
-  (* 1. schema shape: every required key present in both files *)
+  (* 1. schema shape: every required key present in both files; the
+     message names the offending file so a red CI log is actionable
+     without reproducing locally *)
   List.iter
     (fun key ->
-      if lookup key fv = None then fail "%s: missing from fresh baseline" key;
-      if lookup key cv = None then fail "%s: missing from committed baseline" key)
+      if lookup key fv = None then
+        fail "%s: missing from fresh baseline %s (--kind %s schema)" key !fresh
+          !kind;
+      if lookup key cv = None then
+        fail "%s: missing from committed baseline %s (--kind %s schema)" key
+          !committed !kind)
     required;
   (* 2. no schema downgrade: the fresh run must speak at least the
      committed schema (bench itself refuses the opposite overwrite) *)
   (match (num_at "schema_version" cv, num_at "schema_version" fv) with
   | Some c, Some f when f < c ->
-      fail "schema_version: fresh v%g is older than committed v%g" f c
+      fail
+        "schema_version: fresh %s carries v%g, older than v%g in committed %s \
+         (rebuild bench from the matching checkout)"
+        !fresh f c !committed
   | _ -> ());
   (* 3. per-key tolerance diffs *)
   List.iter
@@ -170,13 +200,29 @@ let () =
     checks;
   (* 4. flavor-specific hard floors *)
   (match !kind with
-  | "serve" -> (
-      match num_at "cached.cache_hits" fv with
-      | Some h when h <= 0. -> fail "cached.cache_hits: fresh run recorded zero hits"
+  | "serve" ->
+      (match num_at "cached.cache_hits" fv with
+      | Some h when h <= 0. ->
+          fail "cached.cache_hits: fresh run %s recorded zero hits" !fresh
+      | _ -> ());
+      (match num_at "ingest.cache_hits" fv with
+      | Some h when h <= 0. ->
+          fail
+            "ingest.cache_hits: fresh run %s recorded zero hits across append \
+             batches (delta-scoped invalidation is evicting everything)"
+            !fresh
       | _ -> ())
   | _ -> (
-      match num_at "lp_warm_starts" fv with
-      | Some w when w <= 0. -> fail "lp_warm_starts: warm path never engaged"
+      (match num_at "lp_warm_starts" fv with
+      | Some w when w <= 0. ->
+          fail "lp_warm_starts: warm path never engaged in fresh run %s" !fresh
+      | _ -> ());
+      match num_at "incremental_rebound.speedup" fv with
+      | Some s when s < 5. ->
+          fail
+            "incremental_rebound.speedup: %.2fx in fresh run %s is under the \
+             5x floor"
+            s !fresh
       | _ -> ()));
   if !failures > 0 then begin
     Printf.printf "bench gate FAILED: %d violation(s) (%s vs %s)\n" !failures
