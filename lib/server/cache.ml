@@ -9,6 +9,7 @@ let c_hits = Counter.make "cache.hits"
 let c_misses = Counter.make "cache.misses"
 let c_evictions = Counter.make "cache.evictions"
 let c_invalidations = Counter.make "cache.invalidations"
+let c_stale_stores = Counter.make "cache.stale_stores"
 
 type meta = { pcs : int list; where_ : Pred.t; missing_only : bool }
 
@@ -29,6 +30,13 @@ type t = {
          which eviction recognizes and skips *)
   mutable total_bytes : int;
   mutable next_stamp : int;
+  mutable version : int;
+      (* high-water stream version, advanced by [invalidate] under the
+         lock. [store] carries the version its reply's snapshot was
+         pinned at and is fenced against this: a reply computed against
+         a superseded snapshot must not be stored after the
+         invalidation for the superseding batch already swept — it
+         would be served byte-identical at the new version. *)
   mu : Mutex.t;
 }
 
@@ -40,6 +48,7 @@ let create ?(capacity = 1024) ?(capacity_bytes = 64 * 1024 * 1024) () =
     order = Queue.create ();
     total_bytes = 0;
     next_stamp = 0;
+    version = 0;
     mu = Mutex.create ();
   }
 
@@ -76,9 +85,33 @@ let evict_over_caps t =
         | _ -> () (* stale pair from an invalidated entry *))
   done
 
-let store t ?meta key value =
+(* Stale (key, stamp) pairs left behind by [invalidate] are normally
+   drained by [evict_over_caps] — but only while a cap is exceeded.
+   Under steady store→invalidate churn the table stays small and the
+   queue would grow for the life of the server, so whenever it bloats
+   past twice the live-entry count we rebuild it from the live pairs.
+   Amortized O(1) per queue push; must be called with the lock held. *)
+let compact_if_bloated t =
+  let qlen = Queue.length t.order in
+  if qlen > 64 && qlen > 2 * Hashtbl.length t.tbl then begin
+    let live = Queue.create () in
+    Queue.iter
+      (fun ((key, stamp) as pair) ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some e when e.stamp = stamp -> Queue.push pair live
+        | _ -> ())
+      t.order;
+    Queue.clear t.order;
+    Queue.transfer live t.order
+  end
+
+let store t ?meta ?version key value =
   Mutex.lock t.mu;
-  if not (Hashtbl.mem t.tbl key) then begin
+  let fresh =
+    match version with None -> true | Some v -> v >= t.version
+  in
+  if not fresh then Counter.incr c_stale_stores
+  else if not (Hashtbl.mem t.tbl key) then begin
     let bytes = String.length key + String.length value in
     let stamp = t.next_stamp in
     t.next_stamp <- stamp + 1;
@@ -108,8 +141,9 @@ let affected ~touched ~rows = function
                     | Not_found | Invalid_argument _ -> true)
                   tuples)
 
-let invalidate t ~touched ~rows =
+let invalidate t ~version ~touched ~rows =
   Mutex.lock t.mu;
+  if version > t.version then t.version <- version;
   let victims =
     Hashtbl.fold
       (fun key e acc ->
@@ -122,6 +156,7 @@ let invalidate t ~touched ~rows =
       t.total_bytes <- t.total_bytes - bytes;
       Counter.incr c_invalidations)
     victims;
+  compact_if_bloated t;
   Mutex.unlock t.mu;
   List.length victims
 
@@ -134,6 +169,12 @@ let size t =
 let bytes t =
   Mutex.lock t.mu;
   let n = t.total_bytes in
+  Mutex.unlock t.mu;
+  n
+
+let queue_length t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.order in
   Mutex.unlock t.mu;
   n
 

@@ -33,7 +33,19 @@
     conservatively evicted by every batch. Batches touching neither
     side leave the entry byte-valid: the residual constraint system
     restricted to the entry's reachable cells and its certain selection
-    are both unchanged. *)
+    are both unchanged.
+
+    {2 Version fencing}
+
+    Invalidation alone cannot make the cache safe against a reply that
+    was {e computed} against a pre-batch snapshot but {e stored} after
+    the batch's sweep: the stale bytes would land post-sweep and be
+    served at the new version. The cache therefore tracks a monotonic
+    stream version, advanced by {!invalidate} under the internal lock;
+    {!store} carries the version the reply's snapshot was pinned at and
+    is dropped (counted in [cache.stale_stores]) when the cache version
+    has advanced past it — the check and the insert are atomic with
+    respect to every sweep. *)
 
 type t
 
@@ -51,12 +63,16 @@ val create : ?capacity:int -> ?capacity_bytes:int -> unit -> t
 val find : t -> string -> string option
 (** Counts a hit or a miss. *)
 
-val store : t -> ?meta:meta -> string -> string -> unit
+val store : t -> ?meta:meta -> ?version:int -> string -> string -> unit
 (** Insert unless present; evicts oldest entries while either cap is
-    exceeded. *)
+    exceeded. [version] is the stream version the reply's snapshot was
+    pinned at: the store is silently dropped when an {!invalidate} for
+    a later version has already swept (the reply is stale by
+    construction). Omitting [version] stores unconditionally. *)
 
 val invalidate :
   t ->
+  version:int ->
   touched:int list ->
   rows:(Pc_data.Schema.t * Pc_data.Relation.tuple array) option ->
   int
@@ -64,10 +80,17 @@ val invalidate :
     are the PC indices whose consumption changed, [rows] the batch's
     certain rows (for selection-predicate tests; [None] means no
     certain-side change, as when the rows are unavailable the caller
-    should pass the batch rows). Returns the number of evictions. *)
+    should pass the batch rows). [version] is the stream version the
+    batch publishes — it fences subsequent {!store}s of replies pinned
+    before it. Returns the number of evictions. *)
 
 val size : t -> int
 val bytes : t -> int
+
+val queue_length : t -> int
+(** Length of the internal FIFO bookkeeping queue. Exposed for tests:
+    compaction keeps it O(live entries) under store→invalidate churn
+    rather than growing for the life of the process. *)
 
 val digest_set : Pc_core.Pc_set.t -> csv:string option -> string
 (** Hex digest of the dataset's semantic content: canonical PC

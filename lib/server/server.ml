@@ -609,7 +609,12 @@ let handle_bound t pend v =
                          serialized bytes so a hit is byte-identical.
                          The meta records which PCs the reply can depend
                          on, so ingestion evicts delta-scoped instead of
-                         flushing. *)
+                         flushing; the pinned snapshot version fences
+                         the store against a batch that published (and
+                         swept the cache) while this reply was being
+                         computed — without it the stale bytes would
+                         land after the sweep and be served at the new
+                         version. *)
                       match ckey with
                       | Some k
                         when level = Admission.Full
@@ -627,7 +632,8 @@ let handle_bound t pend v =
                               ds.fdd
                           in
                           let text = J.to_string reply in
-                          Cache.store ds.cache ?meta k text;
+                          Cache.store ds.cache ?meta
+                            ~version:st.Stream.version k text;
                           Rtext text
                       | _ -> Rjson reply))))
 
@@ -652,7 +658,11 @@ let ingest_reply ~op ~dname (info : Stream.info) ~evicted =
 
 (* Evict exactly the cached replies the batch can have changed: entries
    whose predicate's FDD leaves reach a touched PC (missing side), or
-   whose selection matches a batch row (certain side). *)
+   whose selection matches a batch row (certain side). Runs as the
+   stream's [before_publish] hook — inside the writer critical section,
+   before the new snapshot is visible — so the cache never serves a
+   pre-ingest reply at the post-ingest version, and the version fence
+   is up before any reader can pin the new snapshot. *)
 let invalidate_for ds (info : Stream.info) batch =
   let rows =
     match batch with
@@ -662,7 +672,10 @@ let invalidate_for ds (info : Stream.info) batch =
           ( Pc_data.Batch.schema b,
             Pc_data.Relation.tuples (Pc_data.Batch.to_relation b) )
   in
-  let n = Cache.invalidate ds.cache ~touched:info.Stream.touched ~rows in
+  let n =
+    Cache.invalidate ds.cache ~version:info.Stream.version
+      ~touched:info.Stream.touched ~rows
+  in
   Counter.add c_ingest_evicted n;
   n
 
@@ -689,10 +702,15 @@ let handle_append t pend v =
                 | exception Failure msg -> Error ("parse-error", msg)
                 | exception Invalid_argument msg -> Error ("parse-error", msg)
                 | batch -> (
-                    match Stream.append ds.stream batch with
+                    let evicted = ref 0 in
+                    match
+                      Stream.append ds.stream batch
+                        ~before_publish:(fun info ->
+                          evicted := invalidate_for ds info (Some batch))
+                    with
                     | Error msg -> Error ("append-failed", msg)
                     | Ok (info, _snap) ->
-                        let evicted = invalidate_for ds info (Some batch) in
+                        let evicted = !evicted in
                         if Pc_obs.Trace.enabled () then begin
                           Pc_obs.Trace.add_attr "rows"
                             (string_of_int info.Stream.rows);
@@ -733,11 +751,14 @@ let handle_retract t pend v =
                 (* the rows must be captured before the retraction
                    removes them — they decide certain-side eviction *)
                 let batch = Stream.find_batch ds.stream ~batch_id in
-                match Stream.retract ds.stream ~batch_id with
+                let evicted = ref 0 in
+                match
+                  Stream.retract ds.stream ~batch_id
+                    ~before_publish:(fun info ->
+                      evicted := invalidate_for ds info batch)
+                with
                 | Error msg -> Error ("retract-failed", msg)
-                | Ok (info, _snap) ->
-                    let evicted = invalidate_for ds info batch in
-                    Ok (info, evicted))
+                | Ok (info, _snap) -> Ok (info, !evicted))
           in
           let dt = Int64.to_float (Int64.sub (Pc_util.Clock.now_ns ()) t0) in
           Pc_obs.Registry.Histogram.observe_ns h_ingest dt;

@@ -127,19 +127,27 @@ let with_writer t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
-let publish t st ~certain ~consumed ~entries =
-  let snap =
-    {
-      version = st.snap.version + 1;
-      certain;
-      consumed;
-      residual = residual_of t.base_set consumed;
-    }
-  in
-  Atomic.set t.cell { snap; entries };
-  snap
+let make_snap t st ~certain ~consumed =
+  {
+    version = st.snap.version + 1;
+    certain;
+    consumed;
+    residual = residual_of t.base_set consumed;
+  }
 
-let append t batch =
+(* The publish seam: [before_publish] observes the batch's [info] while
+   the writer mutex is held and the old snapshot is still the visible
+   one. The server hangs cache invalidation here, so by the time the
+   new version is readable no cached reply the batch could have changed
+   still exists — and the cache's version fence is already advanced
+   against in-flight replies pinned to the old snapshot. The callback
+   must not raise: a raise aborts the publish (the batch is lost). *)
+let publish t ~before_publish ~info ~snap ~entries =
+  before_publish info;
+  Atomic.set t.cell { snap; entries };
+  Ok (info, snap)
+
+let append ?(before_publish = ignore) t batch =
   with_writer t (fun () ->
       let st = Atomic.get t.cell in
       let schema_ok =
@@ -169,18 +177,19 @@ let append t batch =
               let id = t.next_id in
               t.next_id <- id + 1;
               let entries = st.entries @ [ { id; batch; delta } ] in
-              let snap = publish t st ~certain ~consumed ~entries in
-              Ok
-                ( {
-                    batch_id = id;
-                    version = snap.version;
-                    rows = Batch.rows batch;
-                    touched = touched_of delta;
-                    delta;
-                  },
-                  snap )))
+              let snap = make_snap t st ~certain ~consumed in
+              let info =
+                {
+                  batch_id = id;
+                  version = snap.version;
+                  rows = Batch.rows batch;
+                  touched = touched_of delta;
+                  delta;
+                }
+              in
+              publish t ~before_publish ~info ~snap ~entries))
 
-let retract t ~batch_id =
+let retract ?(before_publish = ignore) t ~batch_id =
   with_writer t (fun () ->
       let st = Atomic.get t.cell in
       match List.find_opt (fun e -> e.id = batch_id) st.entries with
@@ -201,13 +210,14 @@ let retract t ~batch_id =
                 | Some r -> Some (Relation.union r rel))
               t.base_certain entries
           in
-          let snap = publish t st ~certain ~consumed ~entries in
-          Ok
-            ( {
-                batch_id;
-                version = snap.version;
-                rows = Batch.rows e.batch;
-                touched = touched_of e.delta;
-                delta = Array.map (fun d -> -d) e.delta;
-              },
-              snap ))
+          let snap = make_snap t st ~certain ~consumed in
+          let info =
+            {
+              batch_id;
+              version = snap.version;
+              rows = Batch.rows e.batch;
+              touched = touched_of e.delta;
+              delta = Array.map (fun d -> -d) e.delta;
+            }
+          in
+          publish t ~before_publish ~info ~snap ~entries)

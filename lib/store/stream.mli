@@ -66,15 +66,29 @@ val snapshot : t -> snapshot
 (** Lock-free; the returned value is immutable and never changes under
     the caller. *)
 
-val append : t -> Pc_data.Batch.t -> (info * snapshot, string) result
+val append :
+  ?before_publish:(info -> unit) ->
+  t ->
+  Pc_data.Batch.t ->
+  (info * snapshot, string) result
 (** Route, consume, and publish. [Error] (and no published change) when
     the batch schema disagrees with the established certain schema or a
-    routed attribute is missing/mistyped. *)
+    routed attribute is missing/mistyped.
 
-val retract : t -> batch_id:int -> (info * snapshot, string) result
+    [before_publish] runs with the batch's [info] inside the writer
+    critical section, after routing but {e before} the new snapshot
+    becomes visible — the seam where the server invalidates its bound
+    cache, so no reader at the new version can hit a reply the batch
+    obsoleted. It must not raise (a raise aborts the publish). *)
+
+val retract :
+  ?before_publish:(info -> unit) ->
+  t ->
+  batch_id:int ->
+  (info * snapshot, string) result
 (** Reverse one appended batch; [Error] on an unknown id. The returned
     [info] carries the (negative) consumption delta and the rows of the
-    retracted batch in [rows]. *)
+    retracted batch in [rows]. [before_publish] as in {!append}. *)
 
 val batches : t -> (int * int) list
 (** Live (batch id, row count) pairs, oldest first. *)

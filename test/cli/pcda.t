@@ -167,6 +167,7 @@ here so that adding or renaming a counter shows up in review:
   cache.hits
   cache.invalidations
   cache.misses
+  cache.stale_stores
   cells.admitted_unchecked
   cells.decompositions
   cells.emitted

@@ -188,7 +188,7 @@ let test_cache_delta_invalidation () =
      entry, the selection-matching entry, and the no-meta entry go; the
      New-York entry and the missing-only entry (certain side invisible
      to it) survive *)
-  let n = Cache.invalidate c ~touched:[ 0 ] ~rows in
+  let n = Cache.invalidate c ~version:1 ~touched:[ 0 ] ~rows in
   Alcotest.(check int) "three evictions" 3 n;
   Alcotest.(check (option string)) "pc overlap evicted" None (Cache.find c "q_pc");
   Alcotest.(check (option string)) "row match evicted" None (Cache.find c "q_row");
@@ -198,9 +198,79 @@ let test_cache_delta_invalidation () =
   Alcotest.(check (option string)) "missing-only ignores certain rows"
     (Some "r_miss") (Cache.find c "q_miss");
   (* a retraction with no certain rows in hand: only PC overlap applies *)
-  let n = Cache.invalidate c ~touched:[ 1 ] ~rows:None in
+  let n = Cache.invalidate c ~version:2 ~touched:[ 1 ] ~rows:None in
   Alcotest.(check int) "pc-only sweep" 2 n;
   Alcotest.(check int) "empty but for nothing" 0 (Cache.size c)
+
+(* The stale-store race: a reply computed against a pre-batch snapshot
+   must not enter the cache after the batch's invalidation sweep — it
+   would be served byte-identical at the new version. The fence is the
+   pinned snapshot version carried by [store] against the high-water
+   version advanced by [invalidate]. *)
+let test_cache_version_fence () =
+  let c = Cache.create () in
+  Cache.store c ~version:0 "q_v0" "r_v0";
+  Alcotest.(check (option string)) "fresh store lands" (Some "r_v0")
+    (Cache.find c "q_v0");
+  (* a batch publishes version 1 and sweeps (no meta: everything goes) *)
+  ignore (Cache.invalidate c ~version:1 ~touched:[] ~rows:None);
+  Alcotest.(check (option string)) "swept" None (Cache.find c "q_v0");
+  (* the in-flight reply pinned at version 0 arrives late: dropped *)
+  Cache.store c ~version:0 "q_stale" "r_stale";
+  Alcotest.(check (option string)) "stale store fenced" None
+    (Cache.find c "q_stale");
+  (* a reply pinned at the published version stores normally *)
+  Cache.store c ~version:1 "q_v1" "r_v1";
+  Alcotest.(check (option string)) "current store lands" (Some "r_v1")
+    (Cache.find c "q_v1");
+  (* version-less stores (no streaming in play) are unconditional *)
+  Cache.store c "q_bare" "r_bare";
+  Alcotest.(check (option string)) "unversioned store lands" (Some "r_bare")
+    (Cache.find c "q_bare")
+
+(* Steady store→invalidate churn keeps the table under both caps, so
+   capacity eviction never runs — the bookkeeping queue must be
+   compacted on its own or it grows for the life of the server. *)
+let test_cache_queue_compaction () =
+  let c = Cache.create () in
+  for i = 1 to 10_000 do
+    Cache.store c (Printf.sprintf "k%d" i) "v";
+    ignore (Cache.invalidate c ~version:i ~touched:[] ~rows:None)
+  done;
+  Alcotest.(check int) "table empty" 0 (Cache.size c);
+  Alcotest.(check bool)
+    (Printf.sprintf "queue compacted (len %d)" (Cache.queue_length c))
+    true
+    (Cache.queue_length c <= 64)
+
+(* [before_publish] is the invalidation seam: it must observe the batch
+   [info] while the old snapshot is still the visible one. *)
+let test_append_invalidates_before_publish () =
+  let set = paper_set () in
+  let stream = Stream.create ~fdd:(compile_fdd set) set in
+  let seen_version = ref (-1) in
+  (match
+     Stream.append stream
+       (Batch.of_csv_string "utc,price\n11.5,20.0\n")
+       ~before_publish:(fun info ->
+         Alcotest.(check int) "info carries the version to publish" 1
+           info.Stream.version;
+         seen_version := (Stream.snapshot stream).Stream.version)
+   with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  Alcotest.(check int) "hook ran before the new snapshot was visible" 0
+    !seen_version;
+  Alcotest.(check int) "publish still happened" 1
+    (Stream.snapshot stream).Stream.version;
+  let seen_retract = ref (-1) in
+  (match
+     Stream.retract stream ~batch_id:0 ~before_publish:(fun _ ->
+         seen_retract := (Stream.snapshot stream).Stream.version)
+   with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  Alcotest.(check int) "retract hook pre-publish too" 1 !seen_retract
 
 (* --------------------------- server wire ops -------------------------- *)
 
@@ -417,11 +487,15 @@ let () =
             test_stream_append_retract;
           tc "schema mismatch publishes nothing" `Quick
             test_stream_schema_mismatch;
+          tc "before_publish runs pre-swap" `Quick
+            test_append_invalidates_before_publish;
         ] );
       ( "cache",
         [
           tc "byte-cap FIFO eviction" `Quick test_cache_byte_cap;
           tc "delta-scoped invalidation" `Quick test_cache_delta_invalidation;
+          tc "stale-store version fence" `Quick test_cache_version_fence;
+          tc "queue compaction under churn" `Quick test_cache_queue_compaction;
         ] );
       ( "server",
         [
